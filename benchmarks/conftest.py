@@ -1,0 +1,50 @@
+"""Benchmark fixtures and scale control.
+
+By default the benchmarks run on scaled-down structural twins of the
+paper's fat-trees so a full ``pytest benchmarks/ --benchmark-only`` stays
+interactive. Set ``REPRO_PAPER_SCALE=1`` to run Fig. 7 / Table I on the
+true 324/648/5832/11664-node instances (MinHop/ftree complete in seconds
+to minutes; DFSSSP and LASH on the 3-level sizes are *hours* in pure
+Python, mirroring the paper's own 39145-second LASH run, and are skipped
+unless ``REPRO_FULL_LASH=1`` is also set).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.analysis.experiments import paper_scale_enabled
+from repro.fabric.presets import (
+    SCALED_TO_PAPER,
+    paper_fattree,
+    scaled_fattree,
+)
+
+
+def fig7_instances():
+    """(label, built, paper_nodes) triples for the Fig. 7 sweep."""
+    if paper_scale_enabled():
+        return [
+            (f"paper-{n}", paper_fattree(n), n) for n in (324, 648, 5832, 11664)
+        ]
+    return [
+        (profile, scaled_fattree(profile), paper_nodes)
+        for profile, paper_nodes in SCALED_TO_PAPER.items()
+    ]
+
+
+@pytest.fixture(scope="session")
+def bench_fattrees():
+    """Cached topology instances for the whole benchmark session."""
+    return fig7_instances()
+
+
+@pytest.fixture(scope="session")
+def small_instance():
+    """One small instance for per-operation microbenchmarks."""
+    return scaled_fattree("2l-small")

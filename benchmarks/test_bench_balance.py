@@ -1,0 +1,99 @@
+"""Benchmark E7b — traffic balance under many migrations (sections V-A/V-C1).
+
+The paper claims the swap-based reconfiguration "keeps the balancing of the
+initial routing" while the dynamic scheme "compromises on the traffic
+balancing". Measured here: the max/mean link-load imbalance of an
+all-to-all workload over every VF LID, before and after a burst of random
+migrations, under both schemes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.fabric.presets import scaled_fattree
+from repro.sm.routing.base import RoutingRequest
+from repro.virt.cloud import CloudManager
+from repro.workloads.migration_patterns import ANY, MigrationPlanner
+from repro.workloads.traffic import all_to_all_flows, link_loads
+
+MIGRATIONS = 12
+
+
+def imbalance_after_migrations(scheme: str, *, over: str):
+    """Max/mean link imbalance before/after a migration burst.
+
+    ``over`` selects the measured LID population: ``"all-vfs"`` (the full
+    prepopulated path multiset — what the swap preserves *exactly*) or
+    ``"vms"`` (the live VMs' traffic — what the copy scheme skews).
+    """
+    built = scaled_fattree("2l-small")
+    cloud = CloudManager(
+        built.topology, built=built, lid_scheme=scheme, num_vfs=3
+    )
+    cloud.adopt_all_hcas()
+    cloud.bring_up_subnet()
+    for _ in range(30):
+        cloud.boot_vm()
+
+    def measured_lids():
+        if over == "all-vfs":
+            return [
+                vf.lid
+                for vsw in cloud.scheme.vswitches
+                for vf in vsw.vfs
+                if vf.lid is not None
+            ]
+        return [vm.lid for vm in cloud.vms.values()]
+
+    def imbalance():
+        req = RoutingRequest.from_topology(cloud.topology)
+        return link_loads(
+            cloud.sm.current_tables, req, all_to_all_flows(measured_lids())
+        ).imbalance
+
+    before = imbalance()
+    planner = MigrationPlanner(cloud, built, seed=3)
+    done = 0
+    while done < MIGRATIONS:
+        plan = planner.plan_one(ANY)
+        if plan is None:
+            break
+        cloud.live_migrate(*plan)
+        done += 1
+    return before, imbalance(), done
+
+
+def test_swap_preserves_balance(benchmark):
+    """Prepopulated/swap: the load distribution is migration-invariant."""
+    before, after, done = benchmark.pedantic(
+        lambda: imbalance_after_migrations("prepopulated", over="all-vfs"),
+        rounds=1,
+        iterations=1,
+    )
+    assert done == MIGRATIONS
+    # Swapping permutes which VM uses which path; the multiset of paths —
+    # and hence the load histogram — is exactly preserved.
+    assert after == pytest.approx(before, rel=1e-9)
+
+
+def test_copy_degrades_balance(benchmark):
+    """Dynamic/copy: VM LIDs pile onto PF paths as they move."""
+    before, after, done = benchmark.pedantic(
+        lambda: imbalance_after_migrations("dynamic", over="vms"),
+        rounds=1,
+        iterations=1,
+    )
+    assert done == MIGRATIONS
+    assert after >= before
+    print("\n=== all-to-all max/mean link imbalance ===")
+    print(
+        render_table(
+            ["scheme", "before", "after 12 migrations"],
+            [
+                ("prepopulated (swap)", "b", "b (exactly preserved)"),
+                ("dynamic (copy)", f"{before:.3f}", f"{after:.3f}"),
+            ],
+        )
+    )

@@ -1,0 +1,88 @@
+"""Benchmark E8 — section VI-C: deadlock analysis of reconfiguration
+transitions.
+
+Times the channel-dependency-graph machinery and quantifies the paper's
+observation: LID swapping may transiently admit dependency cycles (left to
+IB timeouts), while up/down-constrained routings keep even the transition
+union acyclic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.builders.generic import build_ring, build_torus_2d
+from repro.fabric.presets import scaled_fattree
+from repro.sm.deadlock import (
+    is_deadlock_free,
+    routing_dependencies,
+    transition_is_deadlock_free,
+)
+from repro.sm.routing.base import RoutingRequest
+from repro.sm.routing.registry import create_engine
+from repro.sm.subnet_manager import SubnetManager
+
+
+def routed(built, engine):
+    sm = SubnetManager(built.topology, built=built, engine=engine)
+    sm.assign_lids()
+    req = RoutingRequest.from_topology(built.topology, built=built)
+    tables = create_engine(engine).compute(req)
+    return req, tables
+
+
+def test_dependency_extraction(benchmark):
+    """Cost of building the CDG for a routed fat-tree."""
+    req, tables = routed(scaled_fattree("2l-small"), "minhop")
+    term_lids = [t.lid for t in req.terminals]
+    deps = benchmark(
+        lambda: routing_dependencies(tables.ports, req.view, term_lids)
+    )
+    assert len(deps) > 0
+
+
+def test_updn_transition_swap_stays_acyclic(benchmark):
+    """Up*/Down* + swap: old/new union remains deadlock free."""
+    req, tables = routed(scaled_fattree("2l-small"), "updn")
+    term_lids = [t.lid for t in req.terminals]
+    a, b = term_lids[0], term_lids[-1]
+    new = tables.ports.copy()
+    new[:, [a, b]] = new[:, [b, a]]
+
+    ok = benchmark(
+        lambda: transition_is_deadlock_free(
+            tables.ports, new, req.view, lids=term_lids
+        )
+    )
+    assert ok
+
+
+def test_minhop_swap_transition_on_torus_can_cycle(benchmark):
+    """On a cyclic topology, minhop's transition union admits cycles —
+    the residual risk the paper resolves with IB timeouts."""
+    req, tables = routed(build_torus_2d(3, 3, 2), "minhop")
+    term_lids = [t.lid for t in req.terminals]
+
+    ok = benchmark(
+        lambda: transition_is_deadlock_free(
+            tables.ports, tables.ports.copy(), req.view, lids=term_lids
+        )
+    )
+    assert not ok
+
+
+def test_per_layer_check_dfsssp(benchmark):
+    """DFSSSP stays deadlock free per virtual layer on a ring."""
+    req, tables = routed(build_ring(8, 2), "dfsssp")
+    term_lids = [t.lid for t in req.terminals]
+
+    ok = benchmark(
+        lambda: is_deadlock_free(
+            tables.ports,
+            req.view,
+            lid_to_vl=tables.metadata["lid_to_vl"],
+            lids=term_lids,
+        )
+    )
+    assert ok
+    print(f"\nDFSSSP used {tables.num_vls} virtual lanes on the ring")

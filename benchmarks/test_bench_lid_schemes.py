@@ -1,0 +1,114 @@
+"""Benchmark E7 — sections V-A vs V-B: the two LID schemes head to head.
+
+Measures what the paper discusses qualitatively: initial path-computation
+and distribution cost (prepopulation routes every VF LID at boot), per-VM-
+boot cost (dynamic pays one SMP per switch), and the LID budget each
+scheme consumes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.fabric.presets import scaled_fattree
+from repro.virt.cloud import CloudManager
+
+NUM_VFS = 8
+
+
+def bring_up(lid_scheme: str):
+    built = scaled_fattree("2l-wide")
+    cloud = CloudManager(
+        built.topology, built=built, lid_scheme=lid_scheme, num_vfs=NUM_VFS
+    )
+    cloud.adopt_all_hcas()
+    report = cloud.bring_up_subnet()
+    return cloud, report
+
+
+@pytest.mark.parametrize("scheme", ["prepopulated", "dynamic"])
+def test_subnet_bring_up(benchmark, scheme):
+    """Initial configuration cost per scheme."""
+    cloud, report = benchmark.pedantic(
+        lambda: bring_up(scheme), rounds=2, iterations=1
+    )
+    topo = cloud.topology
+    base_lids = topo.num_switches + topo.num_hcas
+    if scheme == "prepopulated":
+        assert cloud.sm.lids_consumed == base_lids + NUM_VFS * topo.num_hcas
+    else:
+        assert cloud.sm.lids_consumed == base_lids
+
+
+def test_bring_up_comparison(benchmark):
+    """Prepopulation pays more PCt and more LFT SMPs at boot (section V-A/B)."""
+    prep_cloud, prep = benchmark.pedantic(
+        lambda: bring_up("prepopulated"), rounds=1, iterations=1
+    )
+    dyn_cloud, dyn = bring_up("dynamic")
+    assert prep_cloud.sm.lids_consumed > dyn_cloud.sm.lids_consumed
+    assert prep.lft_smps >= dyn.lft_smps
+    assert prep.path_compute_seconds > dyn.path_compute_seconds
+    print("\n=== Subnet bring-up: prepopulated vs dynamic ===")
+    print(
+        render_table(
+            ["scheme", "LIDs", "PCt (s)", "LFT SMPs"],
+            [
+                (
+                    "prepopulated",
+                    prep_cloud.sm.lids_consumed,
+                    f"{prep.path_compute_seconds:.4f}",
+                    prep.lft_smps,
+                ),
+                (
+                    "dynamic",
+                    dyn_cloud.sm.lids_consumed,
+                    f"{dyn.path_compute_seconds:.4f}",
+                    dyn.lft_smps,
+                ),
+            ],
+        )
+    )
+
+
+@pytest.mark.parametrize("scheme", ["prepopulated", "dynamic"])
+def test_vm_boot_cost(benchmark, scheme):
+    """Per-boot SMPs: zero under prepopulation, <= n under dynamic.
+
+    Boots alternate between two far-apart hypervisors so the dynamic
+    scheme's recycled LID genuinely changes paths each time.
+    """
+    cloud, _ = bring_up(scheme)
+    names = list(cloud.hypervisors)
+    hosts = [names[0], names[-1]]
+    state = {"vm": None, "i": 0}
+
+    def cycle():
+        if state["vm"] is not None:
+            cloud.stop_vm(state["vm"].name)
+        before = cloud.sm.transport.stats.lft_update_smps
+        state["vm"] = cloud.boot_vm(on=hosts[state["i"] % 2])
+        state["i"] += 1
+        return cloud.sm.transport.stats.lft_update_smps - before
+
+    smps = benchmark(cycle)
+    if scheme == "prepopulated":
+        assert smps == 0
+    else:
+        assert 0 < smps <= cloud.topology.num_switches
+
+
+def test_dynamic_supports_vf_overcommit(benchmark):
+    """Section V-B: VFs may exceed the LID budget under dynamic assignment."""
+    built = scaled_fattree("2l-small")
+    cloud = CloudManager(
+        built.topology, built=built, lid_scheme="dynamic", num_vfs=64
+    )
+    cloud.adopt_all_hcas()
+    cloud.bring_up_subnet()
+    # 36 hypervisors x 64 VFs = 2304 potential slots with only
+    # 48 LIDs consumed; booting VMs draws LIDs lazily.
+    assert cloud.total_capacity == 64 * 36
+    vm = benchmark.pedantic(cloud.boot_vm, rounds=1, iterations=1)
+    assert vm.lid is not None

@@ -1,0 +1,82 @@
+"""Benchmark E6b — concurrent migrations (section VI-D, last paragraph).
+
+Executes batched migrations with disjoint skylines and reports the
+reconfiguration-makespan speedup over serial execution; with minimal
+intra-leaf updates the concurrency equals the leaf count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parallel import ParallelMigrationExecutor
+from repro.fabric.presets import scaled_fattree
+from repro.virt.cloud import CloudManager
+
+
+@pytest.fixture()
+def fresh_cloud():
+    built = scaled_fattree("2l-wide")
+    cloud = CloudManager(
+        built.topology, built=built, lid_scheme="prepopulated", num_vfs=4
+    )
+    cloud.adopt_all_hcas()
+    cloud.bring_up_subnet()
+    for leaf in range(12):
+        cloud.boot_vm(on=f"l{leaf}h0")
+    return cloud
+
+
+def test_parallel_intra_leaf_campaign(benchmark, fresh_cloud):
+    """One intra-leaf migration per leaf: single-switch skylines."""
+    cloud = fresh_cloud
+    cloud.orchestrator.minimal_intra_leaf = True
+    execu = ParallelMigrationExecutor(cloud)
+    state = {"flip": False}
+
+    def campaign():
+        a, b = ("h0", "h1") if not state["flip"] else ("h1", "h0")
+        state["flip"] = not state["flip"]
+        moves = []
+        for leaf in range(12):
+            vm = next(
+                vm
+                for vm in cloud.vms.values()
+                if vm.hypervisor_name == f"l{leaf}{a}"
+            )
+            moves.append((vm.name, f"l{leaf}{b}"))
+        return execu.execute(moves)
+
+    report = benchmark.pedantic(campaign, rounds=2, iterations=1)
+    assert report.total_migrations == 12
+    for r in report.migrations:
+        assert r.switches_updated == 1
+    print(
+        f"\nparallel campaign: {report.total_migrations} migrations in"
+        f" {report.num_batches} rounds,"
+        f" reconfig speedup {report.speedup:.1f}x,"
+        f" {report.total_lft_smps} SMPs total"
+    )
+
+
+def test_parallel_vs_serial_makespan(benchmark, fresh_cloud):
+    """Cross-fabric moves: batching never slows reconfiguration down."""
+    cloud = fresh_cloud
+    execu = ParallelMigrationExecutor(cloud)
+    vms = [vm.name for vm in list(cloud.vms.values())[:6]]
+    state = {"round": 0}
+
+    def campaign():
+        state["round"] += 1
+        offset = 2 + (state["round"] % 3)
+        moves = []
+        for i, name in enumerate(vms):
+            src_leaf = int(cloud.vms[name].hypervisor_name[1:].split("h")[0])
+            dest = f"l{(src_leaf + offset) % 12}h{2 + (i % 2)}"
+            moves.append((name, dest))
+        return execu.execute(moves)
+
+    report = benchmark.pedantic(campaign, rounds=2, iterations=1)
+    assert report.total_migrations == 6
+    assert report.concurrent_reconfig_seconds <= report.serial_reconfig_seconds
+    assert report.speedup >= 1.0

@@ -1,0 +1,127 @@
+"""Benchmark E3 — per-migration reconfiguration cost: swap vs copy vs full.
+
+Times the actual reconfiguration primitives of Algorithm 1 against the
+traditional full-reconfiguration baseline on the same subnet, and records
+the SMP counts the paper argues about (one to a few vs hundreds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost_model import table1_row
+from repro.fabric.presets import scaled_fattree
+from repro.virt.cloud import CloudManager
+
+
+def build_cloud(lid_scheme: str) -> CloudManager:
+    built = scaled_fattree("2l-wide")
+    cloud = CloudManager(
+        built.topology, built=built, lid_scheme=lid_scheme, num_vfs=4
+    )
+    cloud.adopt_all_hcas()
+    cloud.bring_up_subnet()
+    return cloud
+
+
+@pytest.fixture(scope="module")
+def prep_cloud():
+    return build_cloud("prepopulated")
+
+
+@pytest.fixture(scope="module")
+def dyn_cloud():
+    return build_cloud("dynamic")
+
+
+def test_migration_swap_prepopulated(benchmark, prep_cloud):
+    """Full live migration under the prepopulated scheme (LID swapping)."""
+    cloud = prep_cloud
+    vm = cloud.boot_vm(on="l0h0")
+    spots = ["l11h5", "l0h0"]
+    state = {"i": 0}
+
+    def migrate():
+        dest = spots[state["i"] % 2]
+        state["i"] += 1
+        return cloud.live_migrate(vm.name, dest)
+
+    report = benchmark(migrate)
+    n = cloud.topology.num_switches
+    assert 1 <= report.reconfig.lft_smps <= 2 * n
+    assert report.reconfig.path_compute_seconds == 0.0
+
+
+def test_migration_copy_dynamic(benchmark, dyn_cloud):
+    """Full live migration under the dynamic scheme (LID copying)."""
+    cloud = dyn_cloud
+    vm = cloud.boot_vm(on="l0h0")
+    spots = ["l11h5", "l0h0"]
+    state = {"i": 0}
+
+    def migrate():
+        dest = spots[state["i"] % 2]
+        state["i"] += 1
+        return cloud.live_migrate(vm.name, dest)
+
+    report = benchmark(migrate)
+    n = cloud.topology.num_switches
+    # Copying touches at most one block per switch — never more than n.
+    assert 1 <= report.reconfig.lft_smps <= n
+
+
+def test_traditional_baseline_per_change(benchmark, prep_cloud):
+    """What the same change would cost with a full reconfiguration."""
+    cloud = prep_cloud
+
+    def full_rc():
+        return cloud.sm.full_reconfigure()
+
+    report = benchmark.pedantic(full_rc, rounds=2, iterations=1)
+    topo = cloud.topology
+    vf_lids = 4 * topo.num_hcas
+    row = table1_row(topo.num_hcas, topo.num_switches, extra_lids=vf_lids)
+    assert report.lft_smps == row.min_smps_full_reconfig
+    assert report.path_compute_seconds > 0
+
+
+def test_smp_reduction_vs_baseline(benchmark, prep_cloud):
+    """The headline claim: orders-of-magnitude fewer SMPs per migration."""
+    cloud = prep_cloud
+    vm = cloud.boot_vm(on="l1h0")
+    mig = benchmark.pedantic(
+        lambda: cloud.live_migrate(vm.name, "l10h3"), rounds=1, iterations=1
+    )
+    full = cloud.sm.full_reconfigure()
+    reduction = 1 - mig.reconfig.lft_smps / full.lft_smps
+    assert reduction > 0.5
+    print(
+        f"\nmigration SMPs={mig.reconfig.lft_smps}"
+        f" full-RC SMPs={full.lft_smps} reduction={reduction:.1%}"
+    )
+
+
+def test_vm_boot_cost_dynamic(benchmark, dyn_cloud):
+    """Section V-B runtime overhead: one SMP per switch per VM boot.
+
+    Boots alternate between two hypervisors on different leaves so the
+    recycled LID always needs real LFT edits (rebooting on the same node
+    would find the stale entries already correct).
+    """
+    cloud = dyn_cloud
+    hosts = ["l2h2", "l9h1"]
+    state = {"vm": None, "i": 0}
+
+    def boot_stop():
+        if state["vm"] is not None:
+            cloud.stop_vm(state["vm"].name)
+        state["vm"] = cloud.boot_vm(on=hosts[state["i"] % 2])
+        state["i"] += 1
+        return state["vm"]
+
+    benchmark(boot_stop)
+    n = cloud.topology.num_switches
+    before = cloud.sm.transport.stats.lft_update_smps
+    boot_stop()
+    boot_smps = cloud.sm.transport.stats.lft_update_smps - before
+    assert 0 < boot_smps <= n

@@ -1,0 +1,175 @@
+"""Benchmark E6 — section VI-D: switches updated vs migration distance.
+
+Regenerates the Fig. 6 discussion quantitatively: the number of switches
+(n') a migration updates, grouped by interconnection distance (intra-leaf,
+intra-pod, inter-pod) on a 3-level fat-tree; the minimal (skyline-limited)
+intra-leaf variant; and concurrent-migration admission.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.skyline import MigrationSkyline, admit_concurrent, plan_skyline
+from repro.fabric.presets import scaled_fattree
+from repro.virt.cloud import CloudManager
+from repro.workloads.migration_patterns import (
+    INTER_POD,
+    INTRA_LEAF,
+    INTRA_POD,
+    MigrationPlanner,
+)
+
+
+@pytest.fixture(scope="module")
+def pod_cloud():
+    built = scaled_fattree("3l-small")
+    cloud = CloudManager(
+        built.topology, built=built, lid_scheme="prepopulated", num_vfs=2
+    )
+    cloud.adopt_all_hcas()
+    cloud.bring_up_subnet()
+    planner = MigrationPlanner(cloud, built, seed=7)
+    for _ in range(40):
+        cloud.boot_vm()
+    return cloud, planner
+
+
+def test_minimal_n_by_distance_class(benchmark, pod_cloud):
+    """The Fig. 6 gradient: the *minimum* switches a migration must update
+    grows with its interconnection distance (section VI-D)."""
+    from repro.core.skyline import minimal_update_set
+
+    cloud, planner = pod_cloud
+
+    def measure():
+        observed = {INTRA_LEAF: [], INTRA_POD: [], INTER_POD: []}
+        for klass in (INTRA_LEAF, INTRA_POD, INTER_POD):
+            for _ in range(4):
+                plan = planner.plan_one(klass)
+                if plan is None:
+                    continue
+                vm_name, dest_name = plan
+                vm = cloud.vms[vm_name]
+                dest = cloud.hypervisors[dest_name]
+                minimal = minimal_update_set(
+                    cloud.topology, vm.lid, dest.uplink_port
+                )
+                observed[klass].append(len(minimal))
+        return observed
+
+    observed = benchmark.pedantic(measure, rounds=1, iterations=1)
+    mean = lambda xs: sum(xs) / len(xs)
+    m_leaf = mean(observed[INTRA_LEAF])
+    m_pod = mean(observed[INTRA_POD])
+    m_inter = mean(observed[INTER_POD])
+    n = cloud.topology.num_switches
+    # "In this special case regardless of the network topology, only the
+    # leaf switch needs to be updated."
+    assert m_leaf == 1.0
+    assert m_leaf < m_pod <= m_inter <= n
+    print("\n=== minimum switches to update, by migration distance ===")
+    print(
+        render_table(
+            ["distance", "mean min switches", "samples", "of n"],
+            [
+                (INTRA_LEAF, f"{m_leaf:.1f}", len(observed[INTRA_LEAF]), n),
+                (INTRA_POD, f"{m_pod:.1f}", len(observed[INTRA_POD]), n),
+                (INTER_POD, f"{m_inter:.1f}", len(observed[INTER_POD]), n),
+            ],
+        )
+    )
+
+
+def test_deterministic_updates_more_than_minimum(benchmark, pod_cloud):
+    """Section VI-D: "the deterministic method may update more switches"."""
+    from repro.core.skyline import minimal_update_set, swap_update_set
+
+    cloud, planner = pod_cloud
+    plan = planner.plan_one(INTRA_POD)
+    assert plan is not None
+    vm_name, dest_name = plan
+    vm = cloud.vms[vm_name]
+    dest = cloud.hypervisors[dest_name]
+    dest_vf = dest.vswitch.first_free_vf()
+    deterministic = swap_update_set(cloud.topology, vm.lid, dest_vf.lid)
+    minimal = benchmark(
+        lambda: minimal_update_set(cloud.topology, vm.lid, dest.uplink_port)
+    )
+    assert len(minimal) <= len(deterministic)
+    print(
+        f"\nintra-pod migration: deterministic updates"
+        f" {len(deterministic)} switches, minimum is {len(minimal)}"
+    )
+
+
+def test_minimal_intra_leaf_single_switch(benchmark, pod_cloud):
+    """The special case: one switch, regardless of topology size."""
+    cloud, planner = pod_cloud
+    cloud.orchestrator.minimal_intra_leaf = True
+    try:
+        reports = []
+
+        def one_round():
+            plan = planner.plan_one(INTRA_LEAF)
+            assert plan is not None
+            reports.append(cloud.live_migrate(*plan))
+            return reports[-1]
+
+        benchmark.pedantic(one_round, rounds=3, iterations=1)
+        for report in reports:
+            assert report.switches_updated == 1
+            # m' in {1, 2}: two SMPs when the swapped LIDs straddle a
+            # 64-LID block boundary (section VI-B).
+            assert report.reconfig.lft_smps <= 2
+    finally:
+        cloud.orchestrator.minimal_intra_leaf = False
+
+
+def test_skyline_prediction_cost(benchmark, pod_cloud):
+    """Predicting a migration's update set without executing it."""
+    cloud, planner = pod_cloud
+    plan = planner.plan_one(INTER_POD)
+    assert plan is not None
+    vm_name, dest_name = plan
+    vm = cloud.vms[vm_name]
+    src = cloud.hypervisors[vm.hypervisor_name]
+    dest = cloud.hypervisors[dest_name]
+    dest_vf = dest.vswitch.first_free_vf()
+
+    def predict():
+        return plan_skyline(
+            cloud.topology,
+            vm_lid=vm.lid,
+            other_lid=dest_vf.lid,
+            mode="swap",
+            src_port=src.uplink_port,
+            dest_port=dest.uplink_port,
+        )
+
+    sky = benchmark(predict)
+    assert sky.n_prime >= 1
+
+
+def test_concurrent_admission_scales_with_leaves(benchmark, pod_cloud):
+    """Intra-leaf migrations on distinct leaves all run concurrently."""
+    cloud, planner = pod_cloud
+    # One synthetic intra-leaf skyline per leaf switch.
+    leaves = sorted(
+        {planner.leaf_of(h).index for h in cloud.hypervisors.values()}
+    )
+    skies = [
+        MigrationSkyline(
+            vm_lid=1000 + i,
+            other_lid=2000 + i,
+            mode="swap",
+            switches={leaf},
+            intra_leaf=True,
+        )
+        for i, leaf in enumerate(leaves)
+    ]
+    batches = benchmark(lambda: admit_concurrent(skies))
+    assert len(batches) == 1
+    assert len(batches[0]) == len(leaves)
+    print(f"\nconcurrent intra-leaf migrations admitted: {len(batches[0])}")

@@ -1,0 +1,151 @@
+"""Benchmark E2 — paper Table I: SMPs required to update all LFTs.
+
+Regenerates every column of Table I twice:
+
+* **closed form** — from the cost model, for the paper's exact four
+  fat-trees (independent of benchmark scale; matches the paper digit for
+  digit);
+* **measured** — by actually constructing a fat-tree, routing it, forcing
+  a traditional full reconfiguration and counting SubnSet(LFT) packets,
+  then performing a worst-case and a best-case vSwitch migration and
+  counting again.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import paper_scale_enabled
+from repro.analysis.tables import render_table1
+from repro.core.cost_model import (
+    improvement_percent,
+    paper_table1,
+    table1_row,
+)
+from repro.core.reconfig import VSwitchReconfigurer
+from repro.fabric.presets import paper_fattree, scaled_fattree
+from repro.sm.subnet_manager import SubnetManager
+
+#: The rows exactly as printed in the paper.
+PAPER_ROWS = {
+    324: (36, 360, 6, 216, 1, 72),
+    648: (54, 702, 11, 594, 1, 108),
+    5832: (972, 6804, 107, 104004, 1, 1944),
+    11664: (1620, 13284, 208, 336960, 1, 3240),
+}
+
+
+def test_table1_closed_form_matches_paper(benchmark):
+    """All four rows, computed from node/switch counts alone."""
+    rows = benchmark(paper_table1)
+    for row in rows:
+        expected = PAPER_ROWS[row.nodes]
+        assert (
+            row.switches,
+            row.lids,
+            row.min_lft_blocks_per_switch,
+            row.min_smps_full_reconfig,
+            row.min_smps_vswitch,
+            row.max_smps_swap,
+        ) == expected
+    print("\n=== Table I (closed form, paper-exact) ===")
+    print(render_table1(rows))
+    print(
+        "improvement vs full RC: 324n={:.1f}%  11664n={:.2f}%".format(
+            improvement_percent(216, 72), improvement_percent(336960, 3240)
+        )
+    )
+
+
+@pytest.mark.parametrize("nodes", [324, 648])
+def test_table1_construction_counts(benchmark, nodes):
+    """Constructed topologies reproduce the Nodes/Switches/LIDs columns."""
+    built = benchmark.pedantic(
+        lambda: paper_fattree(nodes), rounds=1, iterations=1
+    )
+    sm = SubnetManager(built.topology, built=built)
+    sm.assign_lids()
+    row = PAPER_ROWS[nodes]
+    assert built.topology.num_switches == row[0]
+    assert sm.lids_consumed == row[1]
+
+
+def test_table1_measured_full_reconfig(benchmark):
+    """Counted SubnSet(LFT) SMPs of a forced full reconfiguration == n*m."""
+    if paper_scale_enabled():
+        built = paper_fattree(324)
+        expected = 216
+    else:
+        built = scaled_fattree("2l-small")
+        t = built.topology
+        expected = table1_row(t.num_hcas, t.num_switches).min_smps_full_reconfig
+    sm = SubnetManager(built.topology, engine="ftree", built=built)
+    sm.initial_configure(with_discovery=False)
+
+    def full_rc():
+        return sm.full_reconfigure()
+
+    report = benchmark.pedantic(full_rc, rounds=2, iterations=1)
+    assert report.lft_smps == expected
+    print(f"\nmeasured full-RC SMPs: {report.lft_smps} (expected {expected})")
+
+
+def test_table1_measured_vswitch_best_case(benchmark):
+    """The subnet-size-agnostic best case: exactly one SMP per migration."""
+    built = (
+        paper_fattree(324) if paper_scale_enabled() else scaled_fattree("2l-small")
+    )
+    topo = built.topology
+    sm = SubnetManager(topo, engine="ftree", built=built)
+    sm.assign_lids()
+    # Two sibling hosts on one leaf; their LIDs land in one 64-block and,
+    # under ftree's destination-indexed spreading, may share up-ports
+    # everywhere else -> only the leaf differs.
+    h_a, h_b = topo.hcas[0], topo.hcas[1]
+    assert h_a.uplink_switch() is h_b.uplink_switch()
+    # One lid-mod period apart (= number of spines), so both LIDs use the
+    # same up ports everywhere; keep both in one 64-LID block.
+    spread = len(built.roots)
+    lid_a = sm.lid_manager.assign_extra_lid(h_a.port(1))
+    assert (lid_a + spread) // 64 == lid_a // 64
+    lid_b = sm.lid_manager.assign_extra_lid(h_b.port(1), lid=lid_a + spread)
+    sm.compute_routing()
+    sm.distribute()
+    rec = VSwitchReconfigurer(sm)
+    leaf = h_a.uplink_switch()
+
+    def intra_leaf_migration():
+        return rec.swap_lids(lid_a, lid_b, limit_switches={leaf.index})
+
+    report = benchmark.pedantic(intra_leaf_migration, rounds=2, iterations=1)
+    assert report.lft_smps == 1
+    assert report.switches_updated == 1
+    print(f"\nbest-case migration SMPs: {report.lft_smps} (paper: 1)")
+
+
+def test_table1_measured_vswitch_worst_case_bound(benchmark):
+    """Worst case stays within 2 * switches SMPs (the Max column)."""
+    built = scaled_fattree("2l-small")
+    topo = built.topology
+    sm = SubnetManager(topo, engine="minhop", built=built)
+    sm.assign_lids()
+    h_a, h_b = topo.hcas[0], topo.hcas[-1]
+    # Force a cross-block pair to exercise the m' = 2 worst case.
+    lid_a = sm.lid_manager.assign_extra_lid(h_a.port(1), lid=60)
+    lid_b = sm.lid_manager.assign_extra_lid(h_b.port(1), lid=70)
+    sm.compute_routing()
+    sm.distribute()
+    rec = VSwitchReconfigurer(sm)
+
+    def worst_case_swap():
+        return rec.swap_lids(lid_a, lid_b)
+
+    report = benchmark.pedantic(worst_case_swap, rounds=2, iterations=1)
+    n = topo.num_switches
+    assert 1 <= report.lft_smps <= 2 * n
+    assert report.max_blocks_on_one_switch == 2
+    print(
+        f"\nworst-case migration SMPs: {report.lft_smps}"
+        f" (bound 2n = {2 * n}, full RC needs"
+        f" {table1_row(topo.num_hcas, topo.num_switches, extra_lids=2).min_smps_full_reconfig})"
+    )

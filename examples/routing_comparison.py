@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Fig. 7 reproduction: path computation time across routing engines.
+
+Times the Fat-Tree, MinHop, DFSSSP and LASH engines on the four fat-tree
+shapes of the paper (scaled twins by default; set REPRO_PAPER_SCALE=1 for
+the true 324/648/5832/11664-node instances — the 3-level DFSSSP/LASH runs
+then take hours, just as the originals took 625 s and 39145 s) and prints
+the measured series next to the paper's published values.
+
+Run:  python examples/routing_comparison.py
+"""
+
+import os
+
+from repro.analysis.experiments import FIG7_ENGINES, run_fig7
+from repro.analysis.figures import PAPER_FIG7_SECONDS, render_fig7
+from repro.analysis.tables import render_table
+from repro.fabric.presets import SCALED_TO_PAPER
+
+
+def main() -> None:
+    paper_scale = os.environ.get("REPRO_PAPER_SCALE", "") == "1"
+    if paper_scale:
+        engines = FIG7_ENGINES
+        print("running at PAPER SCALE (this takes a long time)")
+    else:
+        engines = FIG7_ENGINES
+        print(
+            "running on scaled-down structural twins"
+            " (REPRO_PAPER_SCALE=1 for the full instances)"
+        )
+
+    series = run_fig7(engines=engines)
+    print("\n=== measured path computation time (PCt) ===")
+    print(render_fig7(series))
+
+    from repro.analysis.plots import render_fig7_chart
+
+    print("\n=== as a (log-scale) chart ===")
+    print(render_fig7_chart(series))
+
+    print("\n=== the paper's Fig. 7 values (seconds) ===")
+    sizes = (324, 648, 5832, 11664)
+    rows = [
+        [engine] + [PAPER_FIG7_SECONDS[engine][n] for n in sizes]
+        for engine in list(FIG7_ENGINES) + ["vswitch-reconfig"]
+    ]
+    print(render_table(["engine"] + [f"{n} nodes" for n in sizes], rows))
+
+    print("\nshape checks:")
+    for s in series:
+        t = s.seconds_by_engine
+        checks = {
+            "ftree fastest structured": t["ftree"] <= t["minhop"] * 1.25,
+            "dfsssp >> minhop": t["dfsssp"] > 2 * t["minhop"],
+            "vswitch reconfig zero": t["vswitch-reconfig"] == 0.0,
+        }
+        print(f"  {s.label}: " + ", ".join(f"{k}={v}" for k, v in checks.items()))
+    if not paper_scale:
+        scale_map = ", ".join(
+            f"{prof}~{nodes}n" for prof, nodes in SCALED_TO_PAPER.items()
+        )
+        print(f"\nscaled twin -> paper instance mapping: {scale_map}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Experiment harnesses and table/figure renderers."""
+
+from repro.analysis.experiments import (
+    FIG7_ENGINES,
+    fig7_topologies,
+    measure_path_computation,
+    measured_full_reconfig_smps,
+    paper_scale_enabled,
+    run_fig7,
+    table1_for_topology,
+)
+from repro.analysis.figures import PAPER_FIG7_SECONDS, Fig7Series, render_fig7
+from repro.analysis.calibration import CalibratedConstants, calibrate
+from repro.analysis.plots import ascii_bars, render_fig7_chart
+from repro.analysis.report import generate_report
+from repro.analysis.sweeps import VfCapacityPoint, subnet_cost_sweep, vf_capacity_sweep
+from repro.analysis.verification import (
+    VerificationReport,
+    verify_delivery,
+    verify_sm_consistency,
+    verify_subnet,
+)
+from repro.analysis.tables import render_table, render_table1
+
+__all__ = [
+    "FIG7_ENGINES",
+    "fig7_topologies",
+    "measure_path_computation",
+    "measured_full_reconfig_smps",
+    "paper_scale_enabled",
+    "run_fig7",
+    "table1_for_topology",
+    "PAPER_FIG7_SECONDS",
+    "Fig7Series",
+    "render_fig7",
+    "generate_report",
+    "ascii_bars",
+    "CalibratedConstants",
+    "calibrate",
+    "render_fig7_chart",
+    "VfCapacityPoint",
+    "vf_capacity_sweep",
+    "subnet_cost_sweep",
+    "VerificationReport",
+    "verify_delivery",
+    "verify_sm_consistency",
+    "verify_subnet",
+    "render_table",
+    "render_table1",
+]

@@ -1,0 +1,85 @@
+"""Cost-model calibration: recover k and r from observed SMP timings.
+
+The paper's equations use two constants — ``k``, the average SMP traversal
+time, and ``r``, the directed-routing surcharge — without measuring them.
+Given a transport's observation log (per-SMP hop count, latency and routing
+mode), these helpers fit the per-hop constants by least squares and derive
+the paper-level averages, closing the loop between the analytic model (E5)
+and anything the simulator (or, in principle, a real fabric probe) records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.mad.transport import TransportStats
+
+__all__ = ["CalibratedConstants", "calibrate"]
+
+
+@dataclass(frozen=True)
+class CalibratedConstants:
+    """Fitted per-hop constants and derived paper-level averages."""
+
+    #: Per-hop traversal time (latency/hop on destination-routed SMPs).
+    k_per_hop: float
+    #: Per-hop directed-routing surcharge.
+    r_per_hop: float
+    #: Mean hops per SMP in the observation window.
+    mean_hops: float
+    #: The paper's k: average per-SMP traversal time.
+    k: float
+    #: The paper's r: average per-SMP directed-routing overhead.
+    r: float
+    #: Observations used.
+    samples: int
+
+    def lftd_time(self, n: int, m: int) -> float:
+        """Equation (2) with the calibrated constants."""
+        return n * m * (self.k + self.r)
+
+
+def calibrate(stats: TransportStats) -> CalibratedConstants:
+    """Least-squares fit of ``latency = hops*k_hop + directed*hops*r_hop``.
+
+    Needs at least one directed and one destination-routed observation with
+    non-zero hops (otherwise k and r are not separable) — send a couple of
+    destination-routed probes if the log is all-directed.
+    """
+    if len(stats.latencies) != len(stats.hops) or len(stats.latencies) != len(
+        stats.directed_flags
+    ):
+        raise ReproError("stats observation lists are misaligned")
+    hops = np.asarray(stats.hops, dtype=np.float64)
+    lat = np.asarray(stats.latencies, dtype=np.float64)
+    directed = np.asarray(stats.directed_flags, dtype=np.float64)
+    mask = hops > 0
+    hops, lat, directed = hops[mask], lat[mask], directed[mask]
+    if len(lat) < 2:
+        raise ReproError("need at least two non-trivial SMP observations")
+    if directed.min() == directed.max():
+        raise ReproError(
+            "need both directed and destination-routed observations to"
+            " separate k from r"
+        )
+    # Design matrix: [hops, directed*hops] @ [k_hop, r_hop] = latency.
+    design = np.column_stack([hops, directed * hops])
+    coeffs, *_ = np.linalg.lstsq(design, lat, rcond=None)
+    k_hop, r_hop = (float(c) for c in coeffs)
+    if k_hop < 0 or r_hop < -1e-12:
+        raise ReproError(
+            f"nonphysical fit (k_hop={k_hop:g}, r_hop={r_hop:g});"
+            " observations are inconsistent"
+        )
+    mean_hops = float(hops.mean())
+    return CalibratedConstants(
+        k_per_hop=k_hop,
+        r_per_hop=max(r_hop, 0.0),
+        mean_hops=mean_hops,
+        k=k_hop * mean_hops,
+        r=max(r_hop, 0.0) * mean_hops,
+        samples=int(len(lat)),
+    )

@@ -1,0 +1,119 @@
+"""Experiment harnesses — one function per paper artifact (see DESIGN.md).
+
+These are the library-level entry points the benchmarks and examples call;
+each returns structured results so callers can render, assert or sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.figures import Fig7Series
+from repro.core.cost_model import Table1Row, table1_row
+from repro.fabric.builders.fattree import BuiltTopology
+from repro.fabric.presets import (
+    PAPER_FATTREE_NODES,
+    SCALED_TO_PAPER,
+    paper_fattree,
+    scaled_fattree,
+)
+from repro.sm.routing.base import RoutingRequest
+from repro.sm.routing.registry import create_engine
+from repro.sm.subnet_manager import SubnetManager
+
+__all__ = [
+    "paper_scale_enabled",
+    "fig7_topologies",
+    "measure_path_computation",
+    "run_fig7",
+    "table1_for_topology",
+    "measured_full_reconfig_smps",
+]
+
+#: Engines timed in Fig. 7, in the figure's bar order.
+FIG7_ENGINES: Tuple[str, ...] = ("ftree", "minhop", "dfsssp", "lash")
+
+
+def paper_scale_enabled() -> bool:
+    """Whether benchmarks should use the paper's full-size topologies.
+
+    Controlled by the ``REPRO_PAPER_SCALE`` environment variable; the
+    default (off) uses structurally identical scaled-down fat-trees so a
+    benchmark run stays interactive (see DESIGN.md).
+    """
+    return os.environ.get("REPRO_PAPER_SCALE", "").strip() in ("1", "true", "yes")
+
+
+def fig7_topologies(*, paper_scale: Optional[bool] = None) -> List[BuiltTopology]:
+    """The four Fig. 7 fat-trees (full size or scaled twins)."""
+    scale = paper_scale_enabled() if paper_scale is None else paper_scale
+    if scale:
+        return [paper_fattree(n) for n in PAPER_FATTREE_NODES]
+    return [scaled_fattree(p) for p in SCALED_TO_PAPER]
+
+
+def measure_path_computation(
+    built: BuiltTopology,
+    engines: Sequence[str] = FIG7_ENGINES,
+) -> Fig7Series:
+    """Time each routing engine's path computation on one topology.
+
+    Mirrors the paper's ibsim methodology: LIDs are assigned once, then
+    each engine computes routes for the identical subnet; only the
+    computation (PCt) is timed, not LFT distribution.
+    """
+    topo = built.topology
+    sm = SubnetManager(topo, built=built)
+    sm.assign_lids()
+    request = RoutingRequest.from_topology(topo, built=built)
+    series = Fig7Series(
+        label=topo.name,
+        num_nodes=topo.num_hcas,
+        num_switches=topo.num_switches,
+    )
+    for name in engines:
+        engine = create_engine(name)
+        tables = engine.timed_compute(request)
+        series.record(name, tables.compute_seconds)
+    # The vSwitch reconfiguration performs zero path computation for any
+    # topology and any engine — the paper's headline Fig. 7 bar.
+    series.record("vswitch-reconfig", 0.0)
+    return series
+
+
+def run_fig7(
+    *,
+    engines: Sequence[str] = FIG7_ENGINES,
+    paper_scale: Optional[bool] = None,
+) -> List[Fig7Series]:
+    """The full Fig. 7 sweep: all four topologies, all engines."""
+    return [
+        measure_path_computation(built, engines)
+        for built in fig7_topologies(paper_scale=paper_scale)
+    ]
+
+
+def table1_for_topology(built: BuiltTopology) -> Table1Row:
+    """Compute a Table I row from an actually constructed topology.
+
+    Counts come from the topology itself (not the closed-form preset
+    parameters), so this validates the builders against the paper's
+    arithmetic.
+    """
+    topo = built.topology
+    return table1_row(topo.num_hcas, topo.num_switches)
+
+
+def measured_full_reconfig_smps(built: BuiltTopology, engine: str = "ftree") -> int:
+    """Actually run a full reconfiguration and count its LFT SMPs.
+
+    Brings the subnet up (which programs every LFT), then triggers the
+    traditional full reconfiguration and returns the SubnSet(LFT) count —
+    the measured counterpart of Table I's "Min SMPs Full RC" column.
+    """
+    topo = built.topology
+    sm = SubnetManager(topo, engine=engine, built=built)
+    sm.initial_configure(with_discovery=False)
+    report = sm.full_reconfigure()
+    return report.lft_smps

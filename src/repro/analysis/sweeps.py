@@ -1,0 +1,77 @@
+"""Parameter sweeps over the paper's capacity arithmetic (section V-A/V-B).
+
+The prepopulated scheme's capacity is ruled by the unicast LID budget:
+``hypervisors <= floor(49151 / (VFs + 1))`` and ``VMs = hypervisors * VFs``.
+These helpers sweep that trade-off (reproducing the paper's 16-VF example:
+2891 hypervisors, 46256 VMs) and the subnet-size scaling of the
+reconfiguration costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.constants import UNICAST_LID_COUNT
+from repro.core.cost_model import Table1Row, table1_row
+from repro.errors import ReproError
+from repro.fabric.addressing import (
+    theoretical_hypervisor_limit,
+    theoretical_vm_limit,
+)
+
+__all__ = ["VfCapacityPoint", "vf_capacity_sweep", "subnet_cost_sweep"]
+
+
+@dataclass(frozen=True)
+class VfCapacityPoint:
+    """Capacity limits for one VFs-per-hypervisor choice (prepopulated)."""
+
+    vfs_per_hypervisor: int
+    max_hypervisors: int
+    max_vms: int
+    lids_per_hypervisor: int
+
+    @property
+    def lid_utilization(self) -> float:
+        """Fraction of the unicast LID space the full fleet would consume."""
+        return (
+            self.max_hypervisors * self.lids_per_hypervisor
+            / UNICAST_LID_COUNT
+        )
+
+
+def vf_capacity_sweep(
+    vf_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 126),
+) -> List[VfCapacityPoint]:
+    """Sweep the section V-A capacity arithmetic over VF counts."""
+    points = []
+    for vfs in vf_counts:
+        if vfs < 1:
+            raise ReproError("VF counts must be positive")
+        points.append(
+            VfCapacityPoint(
+                vfs_per_hypervisor=vfs,
+                max_hypervisors=theoretical_hypervisor_limit(vfs),
+                max_vms=theoretical_vm_limit(vfs),
+                lids_per_hypervisor=vfs + 1,
+            )
+        )
+    return points
+
+
+def subnet_cost_sweep(
+    sizes: Sequence[tuple] = ((324, 36), (648, 54), (5832, 972), (11664, 1620)),
+    *,
+    extra_lids_per_node: int = 0,
+) -> List[Table1Row]:
+    """Table-I rows across subnet sizes, optionally with prepopulated VF
+    LIDs included (``extra_lids_per_node`` VFs per compute node)."""
+    rows = []
+    for nodes, switches in sizes:
+        rows.append(
+            table1_row(
+                nodes, switches, extra_lids=extra_lids_per_node * nodes
+            )
+        )
+    return rows

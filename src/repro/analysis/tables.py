@@ -1,0 +1,55 @@
+"""Text renderers for the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.cost_model import Table1Row
+
+__all__ = ["render_table", "render_table1"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Render rows in the exact column layout of the paper's Table I."""
+    headers = [
+        "Nodes",
+        "Switches",
+        "LIDs",
+        "Min LFT Blocks/Switch",
+        "Min SMPs Full RC",
+        "Min SMPs LID Swap/Copy",
+        "Max SMPs LID Swap/Copy",
+    ]
+    body = [
+        [
+            r.nodes,
+            r.switches,
+            r.lids,
+            r.min_lft_blocks_per_switch,
+            r.min_smps_full_reconfig,
+            r.min_smps_vswitch,
+            r.max_smps_swap,
+        ]
+        for r in rows
+    ]
+    return render_table(headers, body)

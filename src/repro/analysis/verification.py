@@ -1,0 +1,155 @@
+"""Subnet verification: prove a fabric's hardware state is consistent.
+
+Downstream users (and this repository's own integration tests) need to
+answer "is this subnet actually correct right now?" after arbitrary
+sequences of migrations, reconfigurations and failures. The checks here
+operate on the *switches' LFT contents* — the hardware truth — rather than
+any controller bookkeeping:
+
+* every bound LID is deliverable from every switch (loop-free, correct
+  final port);
+* the hardware LFTs agree with the SM's recorded routing function;
+* optionally, a deadlock-freedom audit of the current routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.constants import LFT_UNSET
+from repro.errors import ReproError
+from repro.fabric.node import Switch
+from repro.fabric.topology import Topology
+from repro.sm.subnet_manager import SubnetManager
+
+__all__ = ["VerificationReport", "verify_delivery", "verify_sm_consistency", "verify_subnet"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a subnet audit."""
+
+    lids_checked: int = 0
+    switches_checked: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff every check passed."""
+        return not self.failures
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`~repro.errors.ReproError` listing the failures."""
+        if self.failures:
+            raise ReproError(
+                f"subnet verification failed ({len(self.failures)} problems):"
+                f" {self.failures[:5]}"
+            )
+
+
+def _delivery_map(topology: Topology) -> Dict[int, Tuple[int, int]]:
+    """LID -> (destination switch index, delivery port [0 = self])."""
+    out: Dict[int, Tuple[int, int]] = {}
+    for lid in topology.bound_lids():
+        port = topology.port_of_lid(lid)
+        assert port is not None
+        if isinstance(port.node, Switch) and port.num == 0:
+            out[lid] = (port.node.index, 0)
+        else:
+            attach = port.remote
+            if attach is None or not isinstance(attach.node, Switch):
+                raise ReproError(f"LID {lid} bound to an unattached port")
+            out[lid] = (attach.node.index, attach.num)
+    return out
+
+
+def verify_delivery(
+    topology: Topology, *, sample_every: int = 1
+) -> VerificationReport:
+    """Walk the hardware LFTs: every bound LID from every switch.
+
+    ``sample_every`` > 1 checks only every n-th source switch (for large
+    fabrics); destinations are always all checked.
+    """
+    if sample_every < 1:
+        raise ReproError("sample_every must be >= 1")
+    report = VerificationReport()
+    switches = topology.switches
+    p2p: Dict[Tuple[int, int], int] = {}
+    for sw in switches:
+        for port in sw.connected_ports():
+            peer = port.remote
+            assert peer is not None
+            if isinstance(peer.node, Switch):
+                p2p[(sw.index, port.num)] = peer.node.index
+    targets = _delivery_map(topology)
+    sources = switches[::sample_every]
+    report.switches_checked = len(sources)
+    for lid, (dest_sw, dest_port) in targets.items():
+        report.lids_checked += 1
+        for start in sources:
+            cur = start
+            hops = 0
+            while True:
+                if cur.index == dest_sw:
+                    if dest_port != 0 and cur.lft.get(lid) != dest_port:
+                        report.failures.append(
+                            f"LID {lid}: wrong delivery port at {cur.name}"
+                        )
+                    break
+                out = cur.lft.get(lid)
+                if out == LFT_UNSET:
+                    report.failures.append(
+                        f"LID {lid}: unroutable at {cur.name}"
+                    )
+                    break
+                nxt = p2p.get((cur.index, out))
+                if nxt is None:
+                    report.failures.append(
+                        f"LID {lid}: misdelivered off-fabric at {cur.name}"
+                    )
+                    break
+                cur = switches[nxt]
+                hops += 1
+                if hops > len(switches):
+                    report.failures.append(
+                        f"LID {lid}: forwarding loop from {start.name}"
+                    )
+                    break
+    return report
+
+
+def verify_sm_consistency(sm: SubnetManager) -> VerificationReport:
+    """Hardware LFTs must equal the SM's recorded routing for bound LIDs."""
+    report = VerificationReport()
+    tables = sm.current_tables
+    if tables is None:
+        report.failures.append("SM has no recorded routing")
+        return report
+    lids = sm.topology.bound_lids()
+    report.lids_checked = len(lids)
+    report.switches_checked = sm.topology.num_switches
+    for sw in sm.topology.switches:
+        for lid in lids:
+            hw = sw.lft.get(lid)
+            soft = tables.port_for(sw.index, lid)
+            if hw != soft:
+                report.failures.append(
+                    f"LID {lid} at {sw.name}: hardware={hw} recorded={soft}"
+                )
+    return report
+
+
+def verify_subnet(
+    sm: SubnetManager, *, sample_every: int = 1
+) -> VerificationReport:
+    """Full audit: delivery walk plus SM/hardware consistency."""
+    delivery = verify_delivery(sm.topology, sample_every=sample_every)
+    consistency = verify_sm_consistency(sm)
+    merged = VerificationReport(
+        lids_checked=delivery.lids_checked,
+        switches_checked=delivery.switches_checked,
+        failures=delivery.failures + consistency.failures,
+    )
+    return merged

@@ -1,0 +1,177 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+::
+
+    python -m repro table1                # Table I, paper-exact
+    python -m repro fig7 [--paper-scale]  # path-computation sweep
+    python -m repro cost-model            # equations (1)-(5) sweep
+    python -m repro migrate-demo          # end-to-end migration walkthrough
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Towards the InfiniBand SR-IOV vSwitch"
+            " Architecture' (CLUSTER 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the regenerated Table I")
+
+    fig7 = sub.add_parser("fig7", help="run the Fig. 7 path-computation sweep")
+    fig7.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the true 324/648/5832/11664-node instances (slow)",
+    )
+    fig7.add_argument(
+        "--engines",
+        default="ftree,minhop,dfsssp,lash",
+        help="comma-separated engine list",
+    )
+
+    sub.add_parser("cost-model", help="sweep equations (1)-(5)")
+
+    report = sub.add_parser(
+        "report", help="regenerate every artifact into one markdown report"
+    )
+    report.add_argument("--paper-scale", action="store_true")
+    report.add_argument("--output", default=None, help="write to a file")
+
+    demo = sub.add_parser("migrate-demo", help="boot a cloud, migrate a VM")
+    demo.add_argument(
+        "--scheme",
+        choices=["prepopulated", "dynamic"],
+        default="prepopulated",
+    )
+    demo.add_argument("--profile", default="2l-small")
+    return parser
+
+
+def _cmd_table1() -> int:
+    from repro.analysis.tables import render_table1
+    from repro.core.cost_model import improvement_percent, paper_table1
+
+    rows = paper_table1()
+    print(render_table1(rows))
+    print(
+        "improvement (worst-case swap vs full RC): "
+        + ", ".join(
+            f"{r.nodes}n={improvement_percent(r.min_smps_full_reconfig, r.max_smps_swap):.2f}%"
+            for r in rows
+        )
+    )
+    return 0
+
+
+def _cmd_fig7(paper_scale: bool, engines: str) -> int:
+    from repro.analysis.experiments import run_fig7
+    from repro.analysis.figures import render_fig7
+
+    series = run_fig7(
+        engines=tuple(e.strip() for e in engines.split(",") if e.strip()),
+        paper_scale=paper_scale,
+    )
+    print(render_fig7(series))
+    return 0
+
+
+def _cmd_cost_model() -> int:
+    from repro.analysis.tables import render_table
+    from repro.core.cost_model import (
+        PAPER_TABLE1_INPUTS,
+        table1_row,
+        traditional_rc_time,
+        vswitch_rc_time,
+    )
+
+    k, r = 2.0e-6, 1.0e-6
+    rows = []
+    for nodes, switches in PAPER_TABLE1_INPUTS:
+        row = table1_row(nodes, switches)
+        full = traditional_rc_time(
+            0.0, switches, row.min_lft_blocks_per_switch, k, r
+        )
+        worst = vswitch_rc_time(switches, 2, k)
+        rows.append(
+            (nodes, f"{full:.4f}s", f"{worst * 1e3:.3f}ms", f"{full / worst:,.0f}x")
+        )
+    print(
+        render_table(
+            ["nodes", "LFTD full (eq.2)", "vSwitch worst (eq.5)", "ratio"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_migrate_demo(scheme: str, profile: str) -> int:
+    from repro.fabric.presets import scaled_fattree
+    from repro.virt.cloud import CloudManager
+
+    built = scaled_fattree(profile)
+    cloud = CloudManager(
+        built.topology, built=built, lid_scheme=scheme, num_vfs=4
+    )
+    cloud.adopt_all_hcas()
+    bring_up = cloud.bring_up_subnet()
+    print(
+        f"subnet up: {cloud.sm.lids_consumed} LIDs,"
+        f" {bring_up.lft_smps} LFT SMPs,"
+        f" PCt={bring_up.path_compute_seconds * 1e3:.1f}ms"
+    )
+    vm = cloud.boot_vm()
+    src = vm.hypervisor_name
+    dest = next(
+        name
+        for name, h in cloud.hypervisors.items()
+        if name != src and h.has_capacity()
+    )
+    report = cloud.live_migrate(vm.name, dest)
+    print(
+        f"migrated {vm.name} {src} -> {dest}: mode={report.mode},"
+        f" n'={report.switches_updated}, SMPs={report.reconfig.lft_smps},"
+        f" PCt=0, LID kept={vm.lid == report.vm_lid}"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "fig7":
+        return _cmd_fig7(args.paper_scale, args.engines)
+    if args.command == "cost-model":
+        return _cmd_cost_model()
+    if args.command == "migrate-demo":
+        return _cmd_migrate_demo(args.scheme, args.profile)
+    if args.command == "report":
+        from repro.analysis.report import generate_report
+
+        text = generate_report(
+            paper_scale=args.paper_scale, output=args.output
+        )
+        if args.output:
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

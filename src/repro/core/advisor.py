@@ -1,0 +1,166 @@
+"""Migration advisor: turning cheap reconfiguration into an optimizer.
+
+The paper's case for the vSwitch architecture is that once migrations cost
+a handful of SMPs and zero path computation, the operator can *use* them —
+"transparent live migrations for data center optimization" (section I).
+The advisor closes that loop with the observability substrate:
+
+1. read the PMA counters (or a supplied flow set) to find the hottest
+   hypervisor uplinks;
+2. propose moving a VM from behind the hottest uplink to the coldest
+   hypervisor with capacity;
+3. price the proposal with the skyline machinery (predicted n′ and SMPs)
+   so the operator sees the cost before committing.
+
+Proposals are suggestions — :meth:`MigrationAdvisor.apply` executes one
+through the normal cloud path so every invariant (and every listener)
+holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.skyline import plan_skyline
+from repro.errors import ReproError
+from repro.workloads.traffic import LinkLoadReport, all_to_all_flows, link_loads
+
+__all__ = ["MigrationProposal", "MigrationAdvisor"]
+
+
+@dataclass(frozen=True)
+class MigrationProposal:
+    """One suggested migration with its predicted network cost."""
+
+    vm_name: str
+    source: str
+    destination: str
+    reason: str
+    predicted_switches: int
+    predicted_max_smps: int
+    intra_leaf: bool
+
+
+class MigrationAdvisor:
+    """Suggests load-cooling migrations on a running cloud."""
+
+    def __init__(self, cloud) -> None:
+        self.cloud = cloud
+
+    # -- load views ------------------------------------------------------------
+
+    def uplink_load(
+        self, flows: Optional[Sequence[Tuple[int, int]]] = None
+    ) -> Dict[str, int]:
+        """Traffic crossing each hypervisor's uplink.
+
+        With *flows* given, loads are computed by placing them on the
+        current routing; otherwise the all-to-all of the running VMs is
+        assumed (the neutral default when no telemetry is supplied).
+        """
+        cloud = self.cloud
+        if flows is None:
+            lids = [vm.lid for vm in cloud.vms.values() if vm.is_running]
+            flows = all_to_all_flows(lids)
+        loads: Dict[str, int] = {h: 0 for h in cloud.hypervisors}
+        if not flows:
+            return loads
+        from repro.sm.routing.base import RoutingRequest
+
+        request = RoutingRequest.from_topology(cloud.topology)
+        report: LinkLoadReport = link_loads(
+            cloud.sm.current_tables, request, list(flows)
+        )
+        # A hypervisor's uplink load = traffic its leaf forwards to it plus
+        # traffic it injects; approximate with the leaf's port toward it.
+        for name, hyp in cloud.hypervisors.items():
+            attach = hyp.uplink_port.remote
+            if attach is None:
+                continue
+            # Count flows terminating at or originating from this node.
+            for vm in hyp.vms.values():
+                for src, dst in flows:
+                    if dst == vm.lid or src == vm.lid:
+                        loads[name] += 1
+        return loads
+
+    # -- proposals ----------------------------------------------------------------
+
+    def propose(
+        self,
+        *,
+        flows: Optional[Sequence[Tuple[int, int]]] = None,
+        count: int = 1,
+    ) -> List[MigrationProposal]:
+        """Up to *count* cooling proposals, hottest source first."""
+        if count < 1:
+            raise ReproError("count must be >= 1")
+        cloud = self.cloud
+        loads = self.uplink_load(flows)
+        hot_order = sorted(loads, key=loads.get, reverse=True)
+        cold_order = sorted(loads, key=loads.get)
+        proposals: List[MigrationProposal] = []
+        used_vms: set = set()
+        reserved: Dict[str, int] = {}
+        mode = "swap" if cloud.scheme.name == "prepopulated" else "copy"
+        for hot in hot_order:
+            if len(proposals) >= count:
+                break
+            src = cloud.hypervisors[hot]
+            vms = [vm for vm in src.vms.values() if vm.is_running]
+            if not vms or loads[hot] == 0:
+                continue
+            vm = max(vms, key=lambda v: v.lid)
+            if vm.name in used_vms:
+                continue
+            dest_name = next(
+                (
+                    c
+                    for c in cold_order
+                    if c != hot
+                    and cloud.hypervisors[c].free_vf_count
+                    - reserved.get(c, 0)
+                    > 0
+                ),
+                None,
+            )
+            if dest_name is None:
+                break
+            dest = cloud.hypervisors[dest_name]
+            other = (
+                dest.vswitch.free_vfs()[reserved.get(dest_name, 0)].lid
+                if mode == "swap"
+                else dest.pf_lid
+            )
+            if other is None:
+                continue
+            sky = plan_skyline(
+                cloud.topology,
+                vm_lid=vm.lid,
+                other_lid=other,
+                mode=mode,
+                src_port=src.uplink_port,
+                dest_port=dest.uplink_port,
+            )
+            proposals.append(
+                MigrationProposal(
+                    vm_name=vm.name,
+                    source=hot,
+                    destination=dest_name,
+                    reason=(
+                        f"uplink load {loads[hot]} (hottest) ->"
+                        f" {loads[dest_name]} (coldest with capacity)"
+                    ),
+                    predicted_switches=sky.n_prime,
+                    predicted_max_smps=sky.max_smps,
+                    intra_leaf=sky.intra_leaf,
+                )
+            )
+            used_vms.add(vm.name)
+            reserved[dest_name] = reserved.get(dest_name, 0) + 1
+        return proposals
+
+    def apply(self, proposal: MigrationProposal):
+        """Execute one proposal through the normal migration path."""
+        return self.cloud.live_migrate(proposal.vm_name, proposal.destination)

@@ -1,0 +1,168 @@
+"""The analytic reconfiguration cost model (paper section VI, eqs. (1)-(5))
+and the Table I calculator.
+
+Symbols, as in the paper:
+
+* ``n``  — switches in the subnet; ``n'`` — switches actually updated;
+* ``m``  — LFT blocks per switch to distribute; ``m' in {1, 2}``;
+* ``k``  — average SMP network traversal time;
+* ``r``  — average per-SMP directed-routing overhead;
+* ``PCt`` — path computation time; ``LFTDt`` — LFT distribution time.
+
+All functions are pure so they can be swept and cross-checked against the
+discrete-event measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.constants import (
+    LFT_BLOCK_SIZE,
+    LFT_BLOCKS_FULL_SUBNET,
+    UNICAST_LID_COUNT,
+)
+from repro.errors import ReproError
+from repro.fabric.lft import min_blocks_for_lid_count
+
+__all__ = [
+    "lftd_time",
+    "traditional_rc_time",
+    "vswitch_rc_time",
+    "Table1Row",
+    "table1_row",
+    "paper_table1",
+    "PAPER_TABLE1_INPUTS",
+]
+
+
+def lftd_time(n: int, m: int, k: float, r: float) -> float:
+    """Equation (2): ``LFTDt = n * m * (k + r)`` (serial, directed SMPs)."""
+    _check_counts(n=n, m=m)
+    _check_times(k=k, r=r)
+    return n * m * (k + r)
+
+
+def traditional_rc_time(pct: float, n: int, m: int, k: float, r: float) -> float:
+    """Equation (3): ``RCt = PCt + n * m * (k + r)``."""
+    _check_times(pct=pct)
+    return pct + lftd_time(n, m, k, r)
+
+
+def vswitch_rc_time(
+    n_prime: int,
+    m_prime: int,
+    k: float,
+    r: float = 0.0,
+    *,
+    destination_routed: bool = True,
+) -> float:
+    """Equations (4)/(5): ``vSwitch RCt = n' * m' * (k + r)``, with ``r``
+    eliminated when the LFT updates use destination-based routing (switch
+    LIDs never move when only VMs migrate)."""
+    _check_counts(n=n_prime)
+    if m_prime not in (0, 1, 2):
+        raise ReproError(f"m' must be 0, 1 or 2, got {m_prime}")
+    _check_times(k=k, r=r)
+    overhead = 0.0 if destination_routed else r
+    return n_prime * m_prime * (k + overhead)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table I."""
+
+    nodes: int
+    switches: int
+    lids: int
+    min_lft_blocks_per_switch: int
+    min_smps_full_reconfig: int
+    min_smps_vswitch: int
+    max_smps_swap: int
+    max_smps_copy: int
+
+    def as_paper_columns(self) -> Dict[str, int]:
+        """The exact columns printed in Table I (Max column = swap bound)."""
+        return {
+            "Nodes": self.nodes,
+            "Switches": self.switches,
+            "LIDs": self.lids,
+            "Min LFT Blocks/Switch": self.min_lft_blocks_per_switch,
+            "Min SMPs Full RC": self.min_smps_full_reconfig,
+            "Min SMPs LID Swap/Copy": self.min_smps_vswitch,
+            "Max SMPs LID Swap/Copy": self.max_smps_swap,
+        }
+
+
+def table1_row(nodes: int, switches: int, *, extra_lids: int = 0) -> Table1Row:
+    """Compute one Table I row from node and switch counts.
+
+    LIDs consumed = nodes + switches (+ any extra, e.g. prepopulated VFs);
+    minimum blocks assume densely packed LIDs; the full-reconfiguration
+    minimum sends every used block to every switch; the vSwitch best case
+    is always exactly one SMP (subnet-size agnostic); worst cases are
+    ``2n`` for a swap and ``n`` for a copy (sections VI-B/VII-C).
+    """
+    _check_counts(nodes=nodes, switches=switches, extra_lids=extra_lids)
+    lids = nodes + switches + extra_lids
+    if lids > UNICAST_LID_COUNT:
+        raise ReproError(
+            f"{lids} LIDs exceed the {UNICAST_LID_COUNT} unicast LID space"
+        )
+    m = min_blocks_for_lid_count(lids)
+    return Table1Row(
+        nodes=nodes,
+        switches=switches,
+        lids=lids,
+        min_lft_blocks_per_switch=m,
+        min_smps_full_reconfig=switches * m,
+        min_smps_vswitch=1,
+        max_smps_swap=2 * switches,
+        max_smps_copy=switches,
+    )
+
+
+#: (nodes, switches) of the four fat-trees in Table I.
+PAPER_TABLE1_INPUTS: List[tuple] = [
+    (324, 36),
+    (648, 54),
+    (5832, 972),
+    (11664, 1620),
+]
+
+
+def paper_table1() -> List[Table1Row]:
+    """All four rows of the paper's Table I."""
+    return [table1_row(nodes, switches) for nodes, switches in PAPER_TABLE1_INPUTS]
+
+
+def improvement_percent(full_smps: int, vswitch_smps: int) -> float:
+    """SMP-count improvement of the vSwitch method over full reconfig.
+
+    The paper quotes e.g. 66.7% for the 324-node subnet (72 vs 216 SMPs)
+    and 99.04% for the 11664-node one (3240 vs 336960).
+    """
+    if full_smps <= 0:
+        raise ReproError("full_smps must be positive")
+    if vswitch_smps < 0:
+        raise ReproError("vswitch_smps must be non-negative")
+    return 100.0 * (1.0 - vswitch_smps / full_smps)
+
+
+def worst_case_blocks_example() -> int:
+    """Section VII-C's corner case: a node using the topmost unicast LID
+    forces the whole LFT to be populated — 768 SMPs for a single switch."""
+    return LFT_BLOCKS_FULL_SUBNET
+
+
+def _check_counts(**kwargs: int) -> None:
+    for name, value in kwargs.items():
+        if value < 0:
+            raise ReproError(f"{name} must be non-negative, got {value}")
+
+
+def _check_times(**kwargs: float) -> None:
+    for name, value in kwargs.items():
+        if value < 0:
+            raise ReproError(f"{name} must be non-negative, got {value}")

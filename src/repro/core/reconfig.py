@@ -1,0 +1,370 @@
+"""Topology-agnostic dynamic reconfiguration (paper section V-C, Algorithm 1).
+
+The vSwitch property — every VF shares the uplink with its PF — lets a live
+migration be absorbed by *editing* LFT entries instead of recomputing paths:
+
+* **LID swapping** (prepopulated LIDs, V-C1): exchange the migrating VM's
+  LID entry with the entry of the destination VF's LID on every switch
+  where they differ. 1 SMP per switch if both LIDs share a 64-LID block,
+  2 otherwise (``m' in {1, 2}``).
+* **LID copying** (dynamic assignment, V-C2): overwrite the VM LID's entry
+  with the destination hypervisor PF's entry — always at most 1 SMP per
+  switch (``m' = 1``).
+
+Only the ``n' <= n`` switches whose entries actually differ receive SMPs
+(section VI-B), and because switch LIDs never move, the updates may use
+destination-based routing, dropping the per-hop directed-routing overhead
+``r`` (equation (5)).
+
+Path computation time is zero by construction — the headline result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.constants import LFT_BLOCK_SIZE, LFT_DROP_PORT
+from repro.errors import ReconfigError
+from repro.fabric.lft import lft_block_of
+from repro.mad.smp import make_set_lft_block
+from repro.sm.subnet_manager import SubnetManager
+
+__all__ = ["ReconfigReport", "VSwitchReconfigurer"]
+
+
+@dataclass
+class ReconfigReport:
+    """Cost accounting of one LFT reconfiguration — the paper's
+    ``vSwitch RC_t = n' * m' * k`` quantities."""
+
+    mode: str = ""
+    lft_smps: int = 0
+    switches_updated: int = 0  # n'
+    blocks_per_switch: Dict[str, int] = field(default_factory=dict)
+    serial_time: float = 0.0
+    pipelined_time: float = 0.0
+    path_compute_seconds: float = 0.0  # identically 0 — kept for symmetry
+
+    @property
+    def max_blocks_on_one_switch(self) -> int:
+        """The realized ``m'`` (0 if nothing changed)."""
+        return max(self.blocks_per_switch.values(), default=0)
+
+    @property
+    def total_seconds_serial(self) -> float:
+        """End-to-end reconfiguration time, serial SMPs."""
+        return self.path_compute_seconds + self.serial_time
+
+
+class VSwitchReconfigurer:
+    """Executes the paper's swap/copy LFT updates against a live subnet.
+
+    Operates on the switches' actual LFTs (the hardware state), keeps the
+    SM's recorded routing function consistent, and accounts every SMP
+    through the SM's transport. ``destination_routed`` selects the
+    equation-(5) optimization of sending the LFT updates with
+    destination-based routing instead of directed routing.
+    """
+
+    def __init__(
+        self,
+        sm: SubnetManager,
+        *,
+        destination_routed: bool = False,
+        pipeline_window: int = 8,
+    ) -> None:
+        if pipeline_window < 1:
+            raise ReconfigError("pipeline window must be >= 1")
+        self.sm = sm
+        self.destination_routed = destination_routed
+        self.pipeline_window = pipeline_window
+
+    # -- public operations ---------------------------------------------------
+
+    def swap_lids(
+        self,
+        lid_a: int,
+        lid_b: int,
+        *,
+        limit_switches: Optional[Set[int]] = None,
+    ) -> ReconfigReport:
+        """Prepopulated-LIDs migration: swap two LID entries on all switches.
+
+        Implements UPDATELFTBLOCKSONALLSWITCHES of Algorithm 1 for the
+        swapping variant: iterate every LFT block of every switch, send an
+        SMP only where the block actually changes.
+
+        ``limit_switches`` restricts the update to a skyline subset (the
+        section VI-D minimal reconfiguration). Only safe when every LID
+        involved attaches *within* the limited region — the intra-leaf
+        special case — which is validated here.
+        """
+        if lid_a == lid_b:
+            raise ReconfigError("cannot swap a LID with itself")
+        self._check_lid_known(lid_a)
+        self._check_lid_known(lid_b)
+        if limit_switches is not None:
+            self._check_limit_safe((lid_a, lid_b), limit_switches)
+        report = ReconfigReport(mode="swap")
+        before = self.sm.transport.stats.snapshot()
+        for sw in self._switch_sweep(limit_switches):
+            pa, pb = sw.lft.get(lid_a), sw.lft.get(lid_b)
+            if pa == pb:
+                continue  # same forwarding port: this switch keeps balance
+            blocks = sorted({lft_block_of(lid_a), lft_block_of(lid_b)})
+            desired = sw.lft.clone()
+            desired.swap(lid_a, lid_b)
+            self._send_blocks(sw, desired, blocks, report)
+        self._finish(report, before)
+        self._record_swap(lid_a, lid_b, limit_switches)
+        return report
+
+    def copy_path(
+        self,
+        template_lid: int,
+        target_lid: int,
+        *,
+        limit_switches: Optional[Set[int]] = None,
+    ) -> ReconfigReport:
+        """Dynamic-assignment migration/creation: *target_lid* inherits
+        *template_lid*'s forwarding port on every switch (V-C2).
+
+        ``template_lid`` is the LID of the PF of the hypervisor hosting (or
+        about to host) the VM. At most one block per switch changes.
+        ``limit_switches`` as in :meth:`swap_lids`.
+        """
+        if template_lid == target_lid:
+            raise ReconfigError("template and target LIDs must differ")
+        self._check_lid_known(template_lid)
+        if limit_switches is not None:
+            self._check_limit_safe((template_lid,), limit_switches)
+        report = ReconfigReport(mode="copy")
+        before = self.sm.transport.stats.snapshot()
+        block = lft_block_of(target_lid)
+        for sw in self._switch_sweep(limit_switches):
+            src_port = sw.lft.get(template_lid)
+            if sw.lft.get(target_lid) == src_port:
+                continue
+            desired = sw.lft.clone()
+            desired.copy_entry(template_lid, target_lid)
+            self._send_blocks(sw, desired, [block], report)
+        self._finish(report, before)
+        self._record_copy(template_lid, target_lid, limit_switches)
+        return report
+
+    def safe_swap_lids(
+        self,
+        lid_a: int,
+        lid_b: int,
+        *,
+        limit_switches: Optional[Set[int]] = None,
+    ) -> ReconfigReport:
+        """The section VI-C *partially-static* swap.
+
+        Before the actual entry swap, the LIDs being moved are pointed at
+        port 255 on every switch that will be updated, so in-flight traffic
+        toward them is dropped instead of racing the reconfiguration (and
+        the transition can never contribute the moved LIDs' channels to a
+        dependency cycle). Costs the extra "n' SMPs (1 SMP per switch that
+        needs to be updated, to invalidate the LID of the migrated VM
+        before the actual reconfiguration)" the paper prices in — here one
+        invalidation SMP per affected (switch, changed block).
+        """
+        if lid_a == lid_b:
+            raise ReconfigError("cannot swap a LID with itself")
+        self._check_lid_known(lid_a)
+        self._check_lid_known(lid_b)
+        if limit_switches is not None:
+            self._check_limit_safe((lid_a, lid_b), limit_switches)
+        report = ReconfigReport(mode="safe-swap")
+        before = self.sm.transport.stats.snapshot()
+        affected = [
+            sw
+            for sw in self._switch_sweep(limit_switches)
+            if sw.lft.get(lid_a) != sw.lft.get(lid_b)
+        ]
+        # Phase 1: invalidate the moving LIDs on the affected switches.
+        for sw in affected:
+            desired = sw.lft.clone()
+            desired.drop(lid_a)
+            desired.drop(lid_b)
+            blocks = sorted({lft_block_of(lid_a), lft_block_of(lid_b)})
+            self._send_blocks(sw, desired, blocks, report)
+        # Phase 2: program the swapped entries (recomputed per switch from
+        # the pre-invalidation ports captured in the SM's tables).
+        tbl = self.sm.current_tables
+        for sw in affected:
+            desired = sw.lft.clone()
+            if tbl is not None and max(lid_a, lid_b) <= tbl.top_lid:
+                pa = tbl.port_for(sw.index, lid_a)
+                pb = tbl.port_for(sw.index, lid_b)
+            else:  # pragma: no cover - tables always exist in practice
+                pa, pb = desired.get(lid_a), desired.get(lid_b)
+            desired.set(lid_a, pb)
+            desired.set(lid_b, pa)
+            blocks = sorted({lft_block_of(lid_a), lft_block_of(lid_b)})
+            self._send_blocks(sw, desired, blocks, report)
+        # blocks_per_switch was incremented per phase; n' is the number of
+        # distinct switches, not phase-entries.
+        report.switches_updated = len(affected)
+        self._finish(report, before)
+        self._record_swap(lid_a, lid_b, limit_switches)
+        return report
+
+    def invalidate_lid(self, lid: int) -> ReconfigReport:
+        """Partially-static pre-step (section VI-C): forward *lid* to port
+        255 on every switch so in-flight traffic toward the migrating VM is
+        dropped rather than risking a transition deadlock."""
+        report = ReconfigReport(mode="invalidate")
+        before = self.sm.transport.stats.snapshot()
+        block = lft_block_of(lid)
+        for sw in self.sm.topology.switches:
+            if sw.lft.get(lid) == LFT_DROP_PORT:
+                continue
+            desired = sw.lft.clone()
+            desired.drop(lid)
+            self._send_blocks(sw, desired, [block], report)
+        self._finish(report, before)
+        if self.sm.current_tables is not None:
+            tbl = self.sm.current_tables
+            if lid <= tbl.top_lid:
+                tbl.ports[:, lid] = LFT_DROP_PORT
+        return report
+
+    # -- prediction (no mutation) -----------------------------------------------
+
+    def predict_swap(self, lid_a: int, lid_b: int) -> Tuple[int, int]:
+        """(n', total SMPs) a swap would cost, without performing it."""
+        n_prime = 0
+        smps = 0
+        blocks = {lft_block_of(lid_a), lft_block_of(lid_b)}
+        for sw in self.sm.topology.switches:
+            if sw.lft.get(lid_a) != sw.lft.get(lid_b):
+                n_prime += 1
+                smps += len(blocks)
+        return n_prime, smps
+
+    def predict_copy(self, template_lid: int, target_lid: int) -> Tuple[int, int]:
+        """(n', total SMPs) a copy would cost, without performing it."""
+        n_prime = 0
+        for sw in self.sm.topology.switches:
+            if sw.lft.get(template_lid) != sw.lft.get(target_lid):
+                n_prime += 1
+        return n_prime, n_prime
+
+    # -- internals ------------------------------------------------------------------
+
+    def _check_lid_known(self, lid: int) -> None:
+        if self.sm.topology.port_of_lid(lid) is None:
+            raise ReconfigError(f"LID {lid} is not bound anywhere in the subnet")
+
+    def _switch_sweep(self, limit_switches: Optional[Set[int]]):
+        if limit_switches is None:
+            return self.sm.topology.switches
+        return [
+            sw
+            for sw in self.sm.topology.switches
+            if sw.index in limit_switches
+        ]
+
+    def _check_limit_safe(self, lids, limit_switches: Set[int]) -> None:
+        """A skyline-limited update is only correct when every involved LID
+        terminates inside the limited region: switches outside keep stale
+        entries, which still deliver only if they point toward the region.
+        That is guaranteed for the intra-leaf case (both hypervisors behind
+        one leaf), which is what we validate."""
+        for lid in lids:
+            port = self.sm.topology.port_of_lid(lid)
+            if port is None:
+                raise ReconfigError(f"LID {lid} is not bound")
+            attach = port.remote
+            if attach is None or attach.node.index not in limit_switches:
+                raise ReconfigError(
+                    f"LID {lid} does not attach within the limited switch"
+                    " set; a restricted update would strand traffic"
+                )
+
+    def _send_blocks(self, sw, desired, blocks: List[int], report: ReconfigReport) -> None:
+        sent = 0
+        for block in blocks:
+            if np.array_equal(sw.lft.get_block(block), desired.get_block(block)):
+                continue
+            smp = make_set_lft_block(
+                sw.name,
+                block,
+                desired.get_block(block),
+                directed=not self.destination_routed,
+            )
+            self.sm.transport.send(smp)
+            sent += 1
+        if sent:
+            report.switches_updated += 1
+            report.blocks_per_switch[sw.name] = (
+                report.blocks_per_switch.get(sw.name, 0) + sent
+            )
+
+    def _finish(self, report: ReconfigReport, before) -> None:
+        delta = self.sm.transport.stats.delta_since(before)
+        report.lft_smps = delta.lft_update_smps
+        report.serial_time = delta.serial_time
+        report.pipelined_time = delta.pipelined_time(self.pipeline_window)
+
+    def _record_swap(
+        self,
+        lid_a: int,
+        lid_b: int,
+        limit_switches: Optional[Set[int]] = None,
+    ) -> None:
+        """Keep the SM's recorded routing function in sync."""
+        tbl = self.sm.current_tables
+        if tbl is None:
+            return
+        top = max(lid_a, lid_b)
+        if top > tbl.top_lid:
+            return
+        rows = (
+            slice(None)
+            if limit_switches is None
+            else sorted(limit_switches)
+        )
+        col_a = tbl.ports[rows, lid_a].copy()
+        tbl.ports[rows, lid_a] = tbl.ports[rows, lid_b]
+        tbl.ports[rows, lid_b] = col_a
+
+    def _record_copy(
+        self,
+        template_lid: int,
+        target_lid: int,
+        limit_switches: Optional[Set[int]] = None,
+    ) -> None:
+        tbl = self.sm.current_tables
+        if tbl is None:
+            return
+        if max(template_lid, target_lid) > tbl.top_lid:
+            self._grow_tables(target_lid)
+            tbl = self.sm.current_tables
+            assert tbl is not None
+        rows = (
+            slice(None)
+            if limit_switches is None
+            else sorted(limit_switches)
+        )
+        tbl.ports[rows, target_lid] = tbl.ports[rows, template_lid]
+
+    def _grow_tables(self, lid: int) -> None:
+        tbl = self.sm.current_tables
+        assert tbl is not None
+        if lid <= tbl.top_lid:
+            return
+        from repro.constants import LFT_UNSET
+
+        n_blocks = lft_block_of(lid) + 1
+        width = n_blocks * LFT_BLOCK_SIZE
+        grown = np.full(
+            (tbl.ports.shape[0], width), LFT_UNSET, dtype=tbl.ports.dtype
+        )
+        grown[:, : tbl.ports.shape[1]] = tbl.ports
+        tbl.ports = grown

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AddressingError(ReproError):
+    """Invalid or exhausted IB address (LID/GUID/GID) operation."""
+
+
+class LidExhaustedError(AddressingError):
+    """The unicast LID space (49151 addresses) has been exhausted."""
+
+
+class LidInUseError(AddressingError):
+    """Attempt to assign a LID that is already held by another port."""
+
+
+class TopologyError(ReproError):
+    """Ill-formed topology operation (bad port, duplicate link, ...)."""
+
+
+class RoutingError(ReproError):
+    """A routing engine could not produce valid forwarding tables."""
+
+
+class UnreachableLidError(RoutingError):
+    """A LID has no path from some switch under the computed routing."""
+
+
+class DeadlockError(ReproError):
+    """A routing function (or transition) admits a channel-dependency cycle."""
+
+
+class SriovError(ReproError):
+    """Invalid SR-IOV function operation (VF exhaustion, bad detach, ...)."""
+
+
+class VirtError(ReproError):
+    """Cloud/virtualization layer error (placement, migration, lifecycle)."""
+
+
+class MigrationError(VirtError):
+    """A live migration could not be carried out."""
+
+
+class ReconfigError(ReproError):
+    """Dynamic reconfiguration failure (unknown LID, no destination VF...)."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event engine misuse (time travel, stopped engine, ...)."""

@@ -1,0 +1,282 @@
+"""InfiniBand addressing: LIDs, GUIDs and GIDs (paper section II-B).
+
+Three address types exist in an IB subnet:
+
+* **LID** — 16-bit Local Identifier, assigned by the subnet manager, used for
+  intra-subnet routing. Unicast range is 0x0001-0xBFFF (49151 addresses),
+  which bounds the subnet size.
+* **GUID** — 64-bit Global Unique Identifier, burned in by the manufacturer;
+  the SM may assign additional *virtual* GUIDs (vGUIDs) to an HCA port,
+  which is how SR-IOV VFs get their identity.
+* **GID** — 128-bit Global Identifier (a valid IPv6 address), formed from a
+  64-bit subnet prefix plus a port GUID.
+
+This module provides value types plus allocators with explicit exhaustion
+and double-assignment errors, because LID accounting is at the heart of the
+paper's two vSwitch schemes (sections V-A and V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set
+
+from repro.constants import MAX_UNICAST_LID, MIN_UNICAST_LID
+from repro.errors import AddressingError, LidExhaustedError, LidInUseError
+
+__all__ = [
+    "LID",
+    "GUID",
+    "GID",
+    "DEFAULT_SUBNET_PREFIX",
+    "make_gid",
+    "LidAllocator",
+    "GuidAllocator",
+]
+
+#: Type alias: LIDs are plain ints for speed (they index numpy LFT arrays).
+LID = int
+
+#: Type alias: GUIDs are 64-bit ints.
+GUID = int
+
+#: Default 64-bit subnet prefix used when forming GIDs (the well-known
+#: IB default prefix 0xfe80::/64).
+DEFAULT_SUBNET_PREFIX: int = 0xFE80_0000_0000_0000
+
+
+def is_valid_unicast_lid(lid: int) -> bool:
+    """Return True iff *lid* lies in the unicast range 0x0001-0xBFFF."""
+    return MIN_UNICAST_LID <= lid <= MAX_UNICAST_LID
+
+
+@dataclass(frozen=True)
+class GID:
+    """A 128-bit Global Identifier: subnet prefix + port GUID.
+
+    The GID follows the port's GUID; when a VM migrates with its vGUID the
+    GID migrates automatically (paper section V-C: "Migration of the virtual
+    or alias GUIDs, and consequently the GIDs, do not pose a significant
+    burden").
+    """
+
+    prefix: int
+    guid: GUID
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix < (1 << 64):
+            raise AddressingError(f"GID prefix out of 64-bit range: {self.prefix:#x}")
+        if not 0 <= self.guid < (1 << 64):
+            raise AddressingError(f"GID GUID out of 64-bit range: {self.guid:#x}")
+
+    @property
+    def as_int(self) -> int:
+        """The GID as a single 128-bit integer."""
+        return (self.prefix << 64) | self.guid
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        raw = self.as_int
+        groups = [(raw >> shift) & 0xFFFF for shift in range(112, -16, -16)]
+        return ":".join(f"{g:04x}" for g in groups)
+
+
+def make_gid(guid: GUID, prefix: int = DEFAULT_SUBNET_PREFIX) -> GID:
+    """Form a GID from a port GUID and a subnet prefix (section II-B)."""
+    return GID(prefix=prefix, guid=guid)
+
+
+class LidAllocator:
+    """Allocates unicast LIDs within one subnet.
+
+    Supports both sequential allocation (what OpenSM does on a fresh subnet)
+    and explicit assignment of a chosen LID (needed when a migrated VM
+    carries its LID to the destination, or when tests reproduce the exact
+    LID layouts of the paper's figures 3-5).
+    """
+
+    def __init__(
+        self,
+        first: int = MIN_UNICAST_LID,
+        last: int = MAX_UNICAST_LID,
+    ) -> None:
+        if not (is_valid_unicast_lid(first) and is_valid_unicast_lid(last)):
+            raise AddressingError(
+                f"LID range [{first:#x}, {last:#x}] outside unicast space"
+            )
+        if first > last:
+            raise AddressingError(f"empty LID range [{first:#x}, {last:#x}]")
+        self._first = first
+        self._last = last
+        self._next = first
+        self._in_use: Set[int] = set()
+        self._released: List[int] = []
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Total number of LIDs this allocator manages."""
+        return self._last - self._first + 1
+
+    @property
+    def allocated_count(self) -> int:
+        """Number of LIDs currently held."""
+        return len(self._in_use)
+
+    @property
+    def free_count(self) -> int:
+        """Number of LIDs still available."""
+        return self.capacity - self.allocated_count
+
+    def is_allocated(self, lid: int) -> bool:
+        """Return True iff *lid* is currently held."""
+        return lid in self._in_use
+
+    def allocated(self) -> Iterator[int]:
+        """Iterate over held LIDs in ascending order."""
+        return iter(sorted(self._in_use))
+
+    # -- mutations --------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Allocate the next available LID.
+
+        Freed LIDs are recycled (lowest first) before fresh LIDs are used;
+        this mirrors the "next available LID" policy of the dynamic LID
+        assignment scheme (section V-B) which produces the non-sequential
+        layouts shown in Fig. 4.
+        """
+        while self._released:
+            lid = self._released.pop()
+            if lid not in self._in_use:
+                self._in_use.add(lid)
+                return lid
+        while self._next <= self._last and self._next in self._in_use:
+            self._next += 1
+        if self._next > self._last:
+            raise LidExhaustedError(
+                f"unicast LID space exhausted ({self.capacity} LIDs)"
+            )
+        lid = self._next
+        self._next += 1
+        self._in_use.add(lid)
+        return lid
+
+    def assign(self, lid: int) -> int:
+        """Mark a specific *lid* as held (e.g. a migrated VM keeping its LID)."""
+        if not is_valid_unicast_lid(lid) or not self._first <= lid <= self._last:
+            raise AddressingError(f"LID {lid:#x} outside managed range")
+        if lid in self._in_use:
+            raise LidInUseError(f"LID {lid:#x} already assigned")
+        self._in_use.add(lid)
+        return lid
+
+    def release(self, lid: int) -> None:
+        """Return *lid* to the free pool."""
+        if lid not in self._in_use:
+            raise AddressingError(f"LID {lid:#x} not currently assigned")
+        self._in_use.remove(lid)
+        # Keep released list sorted descending so .pop() yields lowest first.
+        self._released.append(lid)
+        self._released.sort(reverse=True)
+
+    def find_free_aligned_run(self, count: int, alignment: int) -> int:
+        """First LID of a free run of *count* LIDs starting on *alignment*.
+
+        Used for LMC assignment, where the IBA requires the 2^lmc LIDs of a
+        port to be sequential and the base LID to have its low lmc bits
+        zero.
+        """
+        if count < 1 or alignment < 1:
+            raise AddressingError("count and alignment must be positive")
+        start = ((self._first + alignment - 1) // alignment) * alignment
+        while start + count - 1 <= self._last:
+            if all(lid not in self._in_use for lid in range(start, start + count)):
+                return start
+            start += alignment
+        raise LidExhaustedError(
+            f"no free aligned run of {count} LIDs (alignment {alignment})"
+        )
+
+    def assign_range(self, first: int, count: int) -> List[int]:
+        """Claim *count* consecutive LIDs starting at *first* (atomic)."""
+        lids = list(range(first, first + count))
+        for lid in lids:
+            if not self._first <= lid <= self._last:
+                raise AddressingError(f"LID {lid:#x} outside managed range")
+            if lid in self._in_use:
+                raise LidInUseError(f"LID {lid:#x} already assigned")
+        self._in_use.update(lids)
+        return lids
+
+
+class GuidAllocator:
+    """Hands out unique 64-bit GUIDs.
+
+    Real GUIDs are manufacturer-assigned; for the simulation we derive them
+    from a vendor prefix plus a monotonically increasing serial. The SM-side
+    *virtual* GUIDs used for SR-IOV VFs come from a distinct prefix so that
+    physical and virtual identities never collide.
+    """
+
+    #: 24-bit OUI used for "manufactured" (physical) GUIDs.
+    PHYSICAL_OUI = 0x0002C9  # Mellanox OUI, as on the paper's testbed HCAs.
+    #: OUI used for SM-assigned virtual GUIDs.
+    VIRTUAL_OUI = 0x000001
+
+    def __init__(self) -> None:
+        self._serial: Dict[int, int] = {
+            self.PHYSICAL_OUI: 0,
+            self.VIRTUAL_OUI: 0,
+        }
+        self._issued: Set[int] = set()
+
+    def _next(self, oui: int) -> GUID:
+        serial = self._serial[oui] = self._serial[oui] + 1
+        if serial >= (1 << 40):
+            raise AddressingError("GUID serial space exhausted")
+        guid = (oui << 40) | serial
+        self._issued.add(guid)
+        return guid
+
+    def allocate_physical(self) -> GUID:
+        """Allocate a manufacturer-style GUID (for HCAs, switches, PFs)."""
+        return self._next(self.PHYSICAL_OUI)
+
+    def allocate_virtual(self) -> GUID:
+        """Allocate an SM-assigned vGUID (for SR-IOV VFs / VMs)."""
+        return self._next(self.VIRTUAL_OUI)
+
+    def is_virtual(self, guid: GUID) -> bool:
+        """True iff *guid* came from the virtual pool."""
+        return (guid >> 40) == self.VIRTUAL_OUI
+
+    def was_issued(self, guid: GUID) -> bool:
+        """True iff this allocator issued *guid*."""
+        return guid in self._issued
+
+    @property
+    def issued_count(self) -> int:
+        """Total number of GUIDs handed out."""
+        return len(self._issued)
+
+
+def theoretical_hypervisor_limit(vfs_per_hypervisor: int) -> int:
+    """Hypervisor limit for prepopulated LIDs (paper section V-A).
+
+    Each hypervisor consumes 1 LID for the PF plus one per VF, so with the
+    paper's 16 VFs the limit is ``49151 // 17 = 2891`` hypervisors.
+    """
+    if vfs_per_hypervisor < 0:
+        raise AddressingError("vfs_per_hypervisor must be non-negative")
+    from repro.constants import UNICAST_LID_COUNT
+
+    return UNICAST_LID_COUNT // (vfs_per_hypervisor + 1)
+
+
+def theoretical_vm_limit(vfs_per_hypervisor: int) -> int:
+    """VM limit under prepopulated LIDs: hypervisor limit x VFs (section V-A).
+
+    With 16 VFs: ``2891 * 16 = 46256`` VMs.
+    """
+    return theoretical_hypervisor_limit(vfs_per_hypervisor) * vfs_per_hypervisor

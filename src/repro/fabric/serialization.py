@@ -1,0 +1,129 @@
+"""Topology (de)serialization to a JSON-friendly document.
+
+Lets a constructed subnet — including LID bindings, switch LFT contents and
+fat-tree metadata — be saved and reloaded, so large instances can be built
+once and reused across benchmark runs, or captured fabrics replayed in
+tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.errors import TopologyError
+from repro.fabric.builders.fattree import BuiltTopology
+from repro.fabric.node import Switch
+from repro.fabric.topology import Topology
+
+__all__ = ["topology_to_dict", "topology_from_dict", "save_topology", "load_topology"]
+
+_FORMAT_VERSION = 1
+
+
+def topology_to_dict(
+    topology: Topology, *, built: Optional[BuiltTopology] = None
+) -> Dict[str, Any]:
+    """Serialize *topology* (and optional builder metadata) to a dict."""
+    doc: Dict[str, Any] = {
+        "format": _FORMAT_VERSION,
+        "name": topology.name,
+        "switches": [
+            {"name": sw.name, "ports": sw.num_ports, "lid": sw.lid}
+            for sw in topology.switches
+        ],
+        "hcas": [
+            {
+                "name": h.name,
+                "ports": h.num_ports,
+                "lid": h.port(1).lid,
+            }
+            for h in topology.hcas
+        ],
+        "links": [
+            [
+                link.a.node.name,
+                link.a.num,
+                link.b.node.name,
+                link.b.num,
+                link.latency,
+            ]
+            for link in topology.links
+        ],
+        "lids": {
+            str(lid): [
+                topology.port_of_lid(lid).node.name,
+                topology.port_of_lid(lid).num,
+            ]
+            for lid in topology.bound_lids()
+        },
+        "lfts": {
+            sw.name: {
+                str(int(lid)): int(sw.lft.get(int(lid)))
+                for lid in sw.lft.programmed_lids()
+            }
+            for sw in topology.switches
+        },
+    }
+    if built is not None:
+        doc["built"] = {
+            "level": dict(built.level),
+            "pod": dict(built.pod),
+            "roots": [sw.name for sw in built.roots],
+            "params": dict(built.params),
+        }
+    return doc
+
+
+def topology_from_dict(doc: Dict[str, Any]) -> BuiltTopology:
+    """Rebuild a topology (wrapped in a BuiltTopology) from a dict."""
+    if doc.get("format") != _FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported topology format {doc.get('format')!r}"
+        )
+    topo = Topology(doc["name"])
+    for sw_doc in doc["switches"]:
+        sw = topo.add_switch(sw_doc["name"], sw_doc["ports"])
+        sw.lid = sw_doc.get("lid")
+    for hca_doc in doc["hcas"]:
+        hca = topo.add_hca(hca_doc["name"], hca_doc["ports"])
+        hca.port(1).lid = hca_doc.get("lid")
+    for a, pa, b, pb, latency in doc["links"]:
+        topo.connect(a, pa, b, pb, latency=latency)
+    for lid_str, (node_name, port_num) in doc.get("lids", {}).items():
+        node = topo.node(node_name)
+        port = (
+            node.management_port
+            if isinstance(node, Switch) and port_num == 0
+            else node.port(port_num)
+        )
+        topo.bind_lid(int(lid_str), port)
+    for sw_name, entries in doc.get("lfts", {}).items():
+        sw = topo.node(sw_name)
+        if not isinstance(sw, Switch):
+            raise TopologyError(f"LFT entry for non-switch {sw_name!r}")
+        for lid_str, out_port in entries.items():
+            sw.lft.set(int(lid_str), out_port)
+
+    built = BuiltTopology(topology=topo)
+    meta = doc.get("built")
+    if meta:
+        built.level = dict(meta.get("level", {}))
+        built.pod = dict(meta.get("pod", {}))
+        built.roots = [topo.node(name) for name in meta.get("roots", [])]
+        built.params = dict(meta.get("params", {}))
+    return built
+
+
+def save_topology(
+    path: str, topology: Topology, *, built: Optional[BuiltTopology] = None
+) -> None:
+    """Write the topology document as JSON to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(topology_to_dict(topology, built=built), fh)
+
+
+def load_topology(path: str) -> BuiltTopology:
+    """Load a topology document from *path*."""
+    with open(path, encoding="utf-8") as fh:
+        return topology_from_dict(json.load(fh))

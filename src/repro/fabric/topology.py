@@ -1,0 +1,375 @@
+"""The subnet topology graph.
+
+Holds every node and cable of one IB subnet, maintains the LID -> port
+binding registry (several LIDs may bind to one physical HCA port — that is
+exactly what the vSwitch architecture does), and exports a compact
+integer-indexed view of the switch graph for the routing engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.fabric.link import Link
+from repro.fabric.node import HCA, Node, Port, Switch
+
+__all__ = ["Topology", "Terminal", "SwitchFabricView"]
+
+
+class Terminal(NamedTuple):
+    """A routable endpoint LID and where it attaches to the switch fabric.
+
+    ``switch_index``/``switch_port`` give the leaf switch (dense index) and
+    the port *on that switch* through which the LID is reached. Multiple
+    terminals may share the same attachment point — e.g. all the VF LIDs of
+    one vSwitch-enabled hypervisor.
+    """
+
+    lid: int
+    switch_index: int
+    switch_port: int
+    hca_port: Port
+
+
+@dataclass(frozen=True)
+class SwitchFabricView:
+    """Compact CSR adjacency of the switch-to-switch graph.
+
+    ``indptr``/``peer``/``out_port`` encode, for switch ``i``, its switch
+    neighbours ``peer[indptr[i]:indptr[i+1]]`` and the local output port
+    leading to each. Routing engines work exclusively on this view so the
+    hot loops touch integer arrays, never the object graph.
+    """
+
+    num_switches: int
+    indptr: np.ndarray
+    peer: np.ndarray
+    out_port: np.ndarray
+    #: Port number on the *peer* switch for the same cable (reverse port).
+    in_port: np.ndarray
+    link_latency: np.ndarray
+
+    def neighbors(self, switch_index: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(peer_switch_index, local_out_port)`` pairs."""
+        lo, hi = self.indptr[switch_index], self.indptr[switch_index + 1]
+        for k in range(lo, hi):
+            yield int(self.peer[k]), int(self.out_port[k])
+
+    def degree(self, switch_index: int) -> int:
+        """Number of inter-switch cables on this switch."""
+        return int(self.indptr[switch_index + 1] - self.indptr[switch_index])
+
+
+class Topology:
+    """A mutable IB subnet: nodes, links, and the LID binding registry."""
+
+    def __init__(self, name: str = "subnet") -> None:
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._switches: List[Switch] = []
+        self._hcas: List[HCA] = []
+        self._links: List[Link] = []
+        self._lid_to_port: Dict[int, Port] = {}
+        self._fabric_view: Optional[SwitchFabricView] = None
+
+    # -- construction -----------------------------------------------------
+
+    def add_switch(self, name: str, num_ports: int) -> Switch:
+        """Create and register a switch."""
+        self._check_fresh_name(name)
+        sw = Switch(name, num_ports)
+        sw.index = len(self._switches)
+        self._switches.append(sw)
+        self._nodes[name] = sw
+        self._fabric_view = None
+        return sw
+
+    def add_hca(self, name: str, num_ports: int = 1) -> HCA:
+        """Create and register an HCA."""
+        self._check_fresh_name(name)
+        hca = HCA(name, num_ports)
+        hca.index = len(self._hcas)
+        self._hcas.append(hca)
+        self._nodes[name] = hca
+        return hca
+
+    def connect(
+        self,
+        a: Union[Node, str],
+        port_a: int,
+        b: Union[Node, str],
+        port_b: int,
+        *,
+        latency: float = 100e-9,
+    ) -> Link:
+        """Cable port *port_a* of *a* to port *port_b* of *b*."""
+        node_a, node_b = self._resolve(a), self._resolve(b)
+        link = Link(node_a.port(port_a), node_b.port(port_b), latency=latency)
+        self._links.append(link)
+        self._fabric_view = None
+        return link
+
+    def auto_connect(self, a: Union[Node, str], b: Union[Node, str], **kw) -> Link:
+        """Cable the first free port of *a* to the first free port of *b*."""
+        node_a, node_b = self._resolve(a), self._resolve(b)
+        pa = next(node_a.free_ports(), None)
+        pb = next(node_b.free_ports(), None)
+        if pa is None or pb is None:
+            raise TopologyError(
+                f"no free port on {node_a.name!r} or {node_b.name!r}"
+            )
+        return self.connect(node_a, pa.num, node_b, pb.num, **kw)
+
+    def remove_switch(self, ref: Union[Node, str]) -> Switch:
+        """Remove a failed switch from the subnet.
+
+        All its cables are unplugged and the remaining switches are
+        re-indexed densely. Only switches with no HCAs attached (spines,
+        aggregation, core) can be removed — a dead leaf strands its hosts,
+        which must be handled at the virtualization layer instead. The
+        switch's own LID (if bound) must be released by the caller first.
+        """
+        node = self._resolve(ref)
+        if not isinstance(node, Switch):
+            raise TopologyError(f"{node.name!r} is not a switch")
+        if node.attached_hcas():
+            raise TopologyError(
+                f"{node.name!r} still has HCAs attached; evacuate them first"
+            )
+        if node.lid is not None and node.lid in self._lid_to_port:
+            raise TopologyError(
+                f"{node.name!r} still holds LID {node.lid}; release it first"
+            )
+        for port in list(node.connected_ports()):
+            link = port.link
+            assert link is not None
+            link.disconnect()
+            self._links.remove(link)
+        self._switches.remove(node)
+        del self._nodes[node.name]
+        for idx, sw in enumerate(self._switches):
+            sw.index = idx
+        node.index = -1
+        self._fabric_view = None
+        return node
+
+    def _check_fresh_name(self, name: str) -> None:
+        if name in self._nodes:
+            raise TopologyError(f"duplicate node name {name!r}")
+
+    def _resolve(self, ref: Union[Node, str]) -> Node:
+        if isinstance(ref, Node):
+            return ref
+        try:
+            return self._nodes[ref]
+        except KeyError:
+            raise TopologyError(f"unknown node {ref!r}") from None
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def switches(self) -> List[Switch]:
+        """All switches, in dense-index order."""
+        return list(self._switches)
+
+    @property
+    def hcas(self) -> List[HCA]:
+        """All HCAs, in dense-index order."""
+        return list(self._hcas)
+
+    @property
+    def links(self) -> List[Link]:
+        """All cables."""
+        return list(self._links)
+
+    @property
+    def num_switches(self) -> int:
+        """Number of switches (the paper's ``n``)."""
+        return len(self._switches)
+
+    @property
+    def num_hcas(self) -> int:
+        """Number of HCAs."""
+        return len(self._hcas)
+
+    def node(self, name: str) -> Node:
+        """Look a node up by name."""
+        return self._resolve(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def switch_by_index(self, index: int) -> Switch:
+        """Dense index -> switch."""
+        try:
+            return self._switches[index]
+        except IndexError:
+            raise TopologyError(f"no switch with index {index}") from None
+
+    def leaf_switches(self) -> List[Switch]:
+        """Switches with at least one HCA attached."""
+        return [sw for sw in self._switches if sw.is_leaf]
+
+    # -- LID registry -----------------------------------------------------
+
+    def bind_lid(self, lid: int, port: Port) -> None:
+        """Register that *lid* is reachable at *port*.
+
+        Several LIDs may bind to the same HCA port (vSwitch), but one LID
+        binds to exactly one port.
+        """
+        if lid in self._lid_to_port:
+            raise TopologyError(f"LID {lid} already bound to a port")
+        self._lid_to_port[lid] = port
+
+    def unbind_lid(self, lid: int) -> None:
+        """Remove *lid* from the registry."""
+        if lid not in self._lid_to_port:
+            raise TopologyError(f"LID {lid} is not bound")
+        del self._lid_to_port[lid]
+
+    def rebind_lid(self, lid: int, port: Port) -> None:
+        """Atomically move *lid* to a new port (a migrated VM's LID)."""
+        if lid not in self._lid_to_port:
+            raise TopologyError(f"LID {lid} is not bound")
+        self._lid_to_port[lid] = port
+
+    def port_of_lid(self, lid: int) -> Optional[Port]:
+        """The port a LID is bound to, or None."""
+        return self._lid_to_port.get(lid)
+
+    def bound_lids(self) -> List[int]:
+        """All registered LIDs, ascending."""
+        return sorted(self._lid_to_port)
+
+    @property
+    def num_lids(self) -> int:
+        """Number of consumed LIDs (the paper's Table I "LIDs" column)."""
+        return len(self._lid_to_port)
+
+    # -- routing-engine views ----------------------------------------------
+
+    def fabric_view(self) -> SwitchFabricView:
+        """CSR view of the switch graph (cached until topology mutates)."""
+        if self._fabric_view is None:
+            self._fabric_view = self._build_fabric_view()
+        return self._fabric_view
+
+    def invalidate_fabric_view(self) -> None:
+        """Drop the cached view after an out-of-band mutation (e.g. a cable
+        failure disconnected through the Link object directly)."""
+        self._fabric_view = None
+
+    def _build_fabric_view(self) -> SwitchFabricView:
+        n = len(self._switches)
+        adj: List[List[Tuple[int, int, int, float]]] = [[] for _ in range(n)]
+        for sw in self._switches:
+            for port in sw.connected_ports():
+                peer = port.remote
+                assert peer is not None and port.link is not None
+                if isinstance(peer.node, Switch):
+                    adj[sw.index].append(
+                        (peer.node.index, port.num, peer.num, port.link.latency)
+                    )
+        counts = [len(a) for a in adj]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        peer = np.empty(total, dtype=np.int32)
+        out_port = np.empty(total, dtype=np.int32)
+        in_port = np.empty(total, dtype=np.int32)
+        latency = np.empty(total, dtype=np.float64)
+        pos = 0
+        for a in adj:
+            for pr, op, ip, lat in a:
+                peer[pos], out_port[pos], in_port[pos] = pr, op, ip
+                latency[pos] = lat
+                pos += 1
+        return SwitchFabricView(
+            num_switches=n,
+            indptr=indptr,
+            peer=peer,
+            out_port=out_port,
+            in_port=in_port,
+            link_latency=latency,
+        )
+
+    def terminals(self) -> List[Terminal]:
+        """Every bound endpoint LID with its switch attachment point.
+
+        Switch self-LIDs are excluded — they are handled separately because
+        they terminate *at* a switch rather than through a switch port.
+        """
+        out: List[Terminal] = []
+        for lid in sorted(self._lid_to_port):
+            port = self._lid_to_port[lid]
+            if isinstance(port.node, Switch) and port.num == 0:
+                continue  # switch management LID
+            attach = port.remote
+            if attach is None or not isinstance(attach.node, Switch):
+                raise TopologyError(
+                    f"LID {lid} bound to {port!r} which is not attached to a"
+                    " switch; cannot route"
+                )
+            out.append(
+                Terminal(
+                    lid=lid,
+                    switch_index=attach.node.index,
+                    switch_port=attach.num,
+                    hca_port=port,
+                )
+            )
+        return out
+
+    def switch_lids(self) -> Dict[int, int]:
+        """Mapping LID -> switch dense index for switch self-LIDs."""
+        out: Dict[int, int] = {}
+        for lid, port in self._lid_to_port.items():
+            if isinstance(port.node, Switch) and port.num == 0:
+                out[lid] = port.node.index
+        return out
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Sanity-check the physical graph.
+
+        Raises :class:`TopologyError` on dangling HCAs, switch islands, or
+        LIDs bound to unplugged ports.
+        """
+        for hca in self._hcas:
+            if not any(p.is_connected for p in hca.ports.values()):
+                raise TopologyError(f"HCA {hca.name!r} has no cable")
+        if self._switches:
+            seen = {0}
+            stack = [0]
+            view = self.fabric_view()
+            while stack:
+                cur = stack.pop()
+                for nb, _ in view.neighbors(cur):
+                    if nb not in seen:
+                        seen.add(nb)
+                        stack.append(nb)
+            if len(seen) != len(self._switches):
+                missing = [
+                    sw.name for sw in self._switches if sw.index not in seen
+                ]
+                raise TopologyError(
+                    f"switch fabric is disconnected; unreachable: {missing[:5]}"
+                )
+        for lid, port in self._lid_to_port.items():
+            if isinstance(port.node, Switch) and port.num == 0:
+                continue
+            if not port.is_connected:
+                raise TopologyError(f"LID {lid} bound to unplugged {port!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Topology {self.name!r}: {self.num_switches} switches,"
+            f" {self.num_hcas} HCAs, {len(self._links)} links,"
+            f" {self.num_lids} LIDs>"
+        )

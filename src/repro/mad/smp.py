@@ -1,0 +1,101 @@
+"""Subnet Management Packets (SMPs).
+
+SMPs are the management datagrams the SM exchanges with switches and HCAs on
+QP0. Two routing modes exist (paper section VI-A):
+
+* **directed routing** — the packet carries the hop-by-hop path; every
+  intermediate switch must process and rewrite the header (hop pointer,
+  reverse path), adding the per-hop overhead the paper calls ``r``. OpenSM
+  uses directed routing for everything because it works before LFTs exist.
+* **destination-based (LID) routing** — forwarded immediately by the LFTs;
+  usable by the paper's reconfiguration because switch LIDs never move when
+  only VMs migrate (this removes ``r`` — equation (5)).
+
+An :class:`Smp` is a small record; the semantics of applying it live in
+:mod:`repro.mad.transport`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.constants import LFT_BLOCK_SIZE
+from repro.errors import TopologyError
+
+__all__ = ["SmpKind", "SmpMethod", "Smp", "SmpResult", "make_set_lft_block"]
+
+
+class SmpMethod(enum.Enum):
+    """The management method of the packet."""
+
+    GET = "SubnGet"
+    SET = "SubnSet"
+
+
+class SmpKind(enum.Enum):
+    """Management attribute the packet addresses."""
+
+    NODE_INFO = "NodeInfo"
+    PORT_INFO = "PortInfo"
+    LFT_BLOCK = "LinearForwardingTable"
+    VGUID = "VirtualGUIDInfo"  # alias-GUID programming on a hypervisor HCA
+    SM_INFO = "SMInfo"
+
+
+@dataclass
+class Smp:
+    """One subnet management packet.
+
+    ``target`` names the node the packet is addressed to; ``directed`` picks
+    the routing mode; ``payload`` carries attribute-specific fields (e.g.
+    ``block``/``entries`` for LFT writes, ``lid``/``port`` for PortInfo).
+    """
+
+    method: SmpMethod
+    kind: SmpKind
+    target: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    directed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind is SmpKind.LFT_BLOCK and self.method is SmpMethod.SET:
+            entries = self.payload.get("entries")
+            if entries is None or len(entries) != LFT_BLOCK_SIZE:
+                raise TopologyError(
+                    "SET LinearForwardingTable SMP needs a 64-entry payload"
+                )
+            if "block" not in self.payload:
+                raise TopologyError("SET LFT SMP needs a block index")
+
+    @property
+    def is_lft_update(self) -> bool:
+        """True for SubnSet(LinearForwardingTable) — the packets the paper
+        counts in Table I."""
+        return self.kind is SmpKind.LFT_BLOCK and self.method is SmpMethod.SET
+
+
+@dataclass
+class SmpResult:
+    """Outcome of delivering one SMP."""
+
+    smp: Smp
+    hops: int
+    latency: float
+    data: Optional[Dict[str, Any]] = None
+
+
+def make_set_lft_block(
+    target: str, block: int, entries: np.ndarray, *, directed: bool = True
+) -> Smp:
+    """Convenience constructor for the LFT-block write packet."""
+    return Smp(
+        method=SmpMethod.SET,
+        kind=SmpKind.LFT_BLOCK,
+        target=target,
+        payload={"block": int(block), "entries": np.asarray(entries, dtype=np.int16)},
+        directed=directed,
+    )

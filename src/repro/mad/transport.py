@@ -1,0 +1,281 @@
+"""SMP delivery: hop counting, latency model and accounting.
+
+The transport realizes the paper's cost decomposition (section VI-A):
+
+* ``k`` — time for an SMP to traverse the network to its target. We derive
+  it per packet from the hop distance between the SM's attachment switch and
+  the target (footnote 4: switches closer to the SM are reached faster).
+* ``r`` — additional per-packet cost of directed routing, charged per hop
+  because every intermediate switch rewrites the packet header.
+
+The transport also owns the **SMP counters** used throughout the
+reproduction: total SMPs, LFT-update SMPs per reconfiguration, and per-kind
+tallies. ``pipelined_time``/``serial_time`` model the SM's LFT-update
+pipelining (section VI-B: "In practice, pipelining is used by OpenSM").
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.fabric.node import HCA, Node, Switch
+from repro.fabric.topology import Topology
+from repro.mad.smp import Smp, SmpKind, SmpMethod, SmpResult
+
+__all__ = ["TransportStats", "SmpTransport"]
+
+#: Default per-hop wire+forwarding latency (the building block of ``k``).
+DEFAULT_HOP_LATENCY = 200e-9
+#: Default per-hop directed-routing processing overhead (``r`` per hop).
+DEFAULT_DR_OVERHEAD = 250e-9
+
+
+@dataclass
+class TransportStats:
+    """Aggregated accounting of everything sent through a transport."""
+
+    total_smps: int = 0
+    lft_update_smps: int = 0
+    directed_smps: int = 0
+    destination_routed_smps: int = 0
+    total_hops: int = 0
+    serial_time: float = 0.0
+    by_kind: Counter = field(default_factory=Counter)
+    by_target: Counter = field(default_factory=Counter)
+    latencies: List[float] = field(default_factory=list)
+    #: Per-SMP hop counts, aligned with ``latencies`` (and whether each
+    #: packet used directed routing) — the raw material for calibrating
+    #: the cost model's k and r from observations.
+    hops: List[int] = field(default_factory=list)
+    directed_flags: List[bool] = field(default_factory=list)
+
+    def mean_k(self) -> float:
+        """Average per-SMP traversal time — the paper's ``k``."""
+        if not self.latencies:
+            return 0.0
+        return float(np.mean(self.latencies))
+
+    def pipelined_time(self, window: int) -> float:
+        """LFT-distribution time with *window* outstanding SMPs.
+
+        With serial issue the total is ``sum(t_i)`` (equation (2)); an SM
+        that keeps ``window`` requests in flight finishes in roughly
+        ``sum(t_i)/window`` bounded below by the slowest single packet.
+        """
+        if window < 1:
+            raise TopologyError("pipeline window must be >= 1")
+        if not self.latencies:
+            return 0.0
+        return max(self.serial_time / window, max(self.latencies))
+
+    def snapshot(self) -> "TransportStats":
+        """A frozen copy, so callers can diff before/after an operation."""
+        out = TransportStats(
+            total_smps=self.total_smps,
+            lft_update_smps=self.lft_update_smps,
+            directed_smps=self.directed_smps,
+            destination_routed_smps=self.destination_routed_smps,
+            total_hops=self.total_hops,
+            serial_time=self.serial_time,
+            by_kind=Counter(self.by_kind),
+            by_target=Counter(self.by_target),
+            latencies=list(self.latencies),
+            hops=list(self.hops),
+            directed_flags=list(self.directed_flags),
+        )
+        return out
+
+    def delta_since(self, before: "TransportStats") -> "TransportStats":
+        """Stats accumulated since *before* was snapshot."""
+        return TransportStats(
+            total_smps=self.total_smps - before.total_smps,
+            lft_update_smps=self.lft_update_smps - before.lft_update_smps,
+            directed_smps=self.directed_smps - before.directed_smps,
+            destination_routed_smps=(
+                self.destination_routed_smps - before.destination_routed_smps
+            ),
+            total_hops=self.total_hops - before.total_hops,
+            serial_time=self.serial_time - before.serial_time,
+            by_kind=self.by_kind - before.by_kind,
+            by_target=self.by_target - before.by_target,
+            latencies=self.latencies[len(before.latencies):],
+            hops=self.hops[len(before.hops):],
+            directed_flags=self.directed_flags[len(before.directed_flags):],
+        )
+
+
+class SmpTransport:
+    """Delivers SMPs from the SM to fabric nodes, applying their effects.
+
+    The SM attaches behind one HCA port; hop distances are BFS distances on
+    the switch graph from that HCA's leaf switch (plus the first hop from
+    the HCA and, for HCA targets, the final hop off the fabric).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        sm_node: Optional[Node] = None,
+        hop_latency: float = DEFAULT_HOP_LATENCY,
+        dr_overhead: float = DEFAULT_DR_OVERHEAD,
+    ) -> None:
+        self.topology = topology
+        self.hop_latency = hop_latency
+        self.dr_overhead = dr_overhead
+        self.stats = TransportStats()
+        self._sm_node = sm_node
+        self._dist_cache: Optional[np.ndarray] = None
+
+    # -- SM attachment and hop distances ------------------------------------
+
+    @property
+    def sm_node(self) -> Node:
+        """The node hosting the SM (defaults to the first HCA)."""
+        if self._sm_node is None:
+            hcas = self.topology.hcas
+            if not hcas:
+                raise TopologyError("no HCA to host the SM")
+            self._sm_node = hcas[0]
+        return self._sm_node
+
+    def set_sm_node(self, node: Node) -> None:
+        """Move the SM (invalidates the distance cache)."""
+        self._sm_node = node
+        self._dist_cache = None
+
+    def invalidate_distances(self) -> None:
+        """Drop the BFS cache after a topology mutation."""
+        self._dist_cache = None
+
+    def _sm_root_switch(self) -> Switch:
+        node = self.sm_node
+        if isinstance(node, Switch):
+            return node
+        assert isinstance(node, HCA)
+        up = node.uplink_switch()
+        if up is None:
+            raise TopologyError(f"SM host {node.name!r} is not cabled to a switch")
+        return up
+
+    def _switch_distances(self) -> np.ndarray:
+        if self._dist_cache is None:
+            view = self.topology.fabric_view()
+            n = view.num_switches
+            dist = np.full(n, -1, dtype=np.int32)
+            root = self._sm_root_switch().index
+            dist[root] = 0
+            q = deque([root])
+            while q:
+                cur = q.popleft()
+                for nb, _ in view.neighbors(cur):
+                    if dist[nb] < 0:
+                        dist[nb] = dist[cur] + 1
+                        q.append(nb)
+            self._dist_cache = dist
+        return self._dist_cache
+
+    def hops_to(self, target: Node) -> int:
+        """Hop count from the SM host to *target*.
+
+        One hop from the SM's HCA onto its leaf switch, BFS hops across the
+        fabric, plus one hop down to an HCA target.
+        """
+        dist = self._switch_distances()
+        base = 0 if isinstance(self.sm_node, Switch) else 1
+        if isinstance(target, Switch):
+            d = int(dist[target.index])
+            if d < 0:
+                raise TopologyError(f"switch {target.name!r} unreachable from SM")
+            if target is self.sm_node:
+                return 0
+            return base + d
+        assert isinstance(target, HCA)
+        if target is self.sm_node:
+            return 0
+        up = target.uplink_switch()
+        if up is None:
+            raise TopologyError(f"HCA {target.name!r} is not cabled to a switch")
+        d = int(dist[up.index])
+        if d < 0:
+            raise TopologyError(f"HCA {target.name!r} unreachable from SM")
+        return base + d + 1
+
+    # -- delivery ------------------------------------------------------------
+
+    def send(self, smp: Smp) -> SmpResult:
+        """Deliver one SMP: apply its effect, account for it, and time it."""
+        target = self.topology.node(smp.target)
+        hops = self.hops_to(target)
+        latency = hops * self.hop_latency
+        if smp.directed:
+            latency += hops * self.dr_overhead
+        data = self._apply(smp, target)
+
+        st = self.stats
+        st.total_smps += 1
+        st.total_hops += hops
+        st.serial_time += latency
+        st.latencies.append(latency)
+        st.hops.append(hops)
+        st.directed_flags.append(smp.directed)
+        st.by_kind[smp.kind] += 1
+        st.by_target[smp.target] += 1
+        if smp.directed:
+            st.directed_smps += 1
+        else:
+            st.destination_routed_smps += 1
+        if smp.is_lft_update:
+            st.lft_update_smps += 1
+        return SmpResult(smp=smp, hops=hops, latency=latency, data=data)
+
+    def _apply(self, smp: Smp, target: Node) -> Optional[Dict[str, object]]:
+        """Execute the management operation on the target node."""
+        if smp.kind is SmpKind.LFT_BLOCK:
+            if not isinstance(target, Switch):
+                raise TopologyError(
+                    f"LFT SMP addressed to non-switch {target.name!r}"
+                )
+            block = int(smp.payload["block"])
+            if smp.method is SmpMethod.SET:
+                target.lft.load_block(block, smp.payload["entries"])
+                return None
+            return {"block": block, "entries": target.lft.get_block(block)}
+
+        if smp.kind is SmpKind.PORT_INFO:
+            port_num = int(smp.payload.get("port", 0 if isinstance(target, Switch) else 1))
+            port = (
+                target.management_port
+                if isinstance(target, Switch) and port_num == 0
+                else target.port(port_num)
+            )
+            if smp.method is SmpMethod.SET:
+                if "lid" in smp.payload:
+                    port.lid = smp.payload["lid"]
+                return None
+            return {"lid": port.lid, "port": port_num}
+
+        if smp.kind is SmpKind.NODE_INFO:
+            return {
+                "name": target.name,
+                "node_type": target.node_type.value,
+                "num_ports": target.num_ports,
+                "node_guid": target.node_guid,
+            }
+
+        if smp.kind is SmpKind.VGUID:
+            # Alias-GUID programming: the effect is applied by the SR-IOV
+            # layer (the HCA firmware equivalent); the transport only
+            # accounts and times the packet. Carry the payload back so the
+            # caller can apply it.
+            return dict(smp.payload)
+
+        if smp.kind is SmpKind.SM_INFO:
+            return {"sm": self.sm_node.name}
+
+        raise TopologyError(f"unhandled SMP kind {smp.kind}")  # pragma: no cover

@@ -1,0 +1,162 @@
+"""MAD wire format: encode/decode SMPs to their 256-byte datagrams.
+
+Every IB management datagram is exactly 256 bytes: a 24-byte common MAD
+header followed by class-specific fields and a 64-byte attribute payload
+(IBA 13.4). Encoding the simulator's SMPs to real wire layout keeps the
+model honest about what fits where — notably that one LFT block (64
+one-byte port entries) is exactly one attribute payload, which is *why*
+LFTs are updated in 64-LID blocks and why Table I counts what it counts.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.constants import LFT_BLOCK_SIZE
+from repro.errors import ReproError
+from repro.mad.smp import Smp, SmpKind, SmpMethod
+
+__all__ = [
+    "MAD_SIZE",
+    "ATTR_PAYLOAD_SIZE",
+    "encode_smp",
+    "decode_smp",
+]
+
+#: Every MAD is exactly 256 bytes on the wire.
+MAD_SIZE = 256
+#: The attribute data area of an SMP (IBA: SMP data field).
+ATTR_PAYLOAD_SIZE = 64
+
+#: Management class: directed-route SMP vs LID-routed SMP (IBA 13.4.4).
+_MGMT_CLASS_LID_ROUTED = 0x01
+_MGMT_CLASS_DIRECTED = 0x81
+
+_METHOD_CODES = {SmpMethod.GET: 0x01, SmpMethod.SET: 0x02}
+_METHOD_BY_CODE = {v: k for k, v in _METHOD_CODES.items()}
+
+#: Attribute IDs (IBA 14.2.5; VirtualGUIDInfo uses a vendor range).
+_ATTR_IDS = {
+    SmpKind.NODE_INFO: 0x0011,
+    SmpKind.PORT_INFO: 0x0015,
+    SmpKind.LFT_BLOCK: 0x0019,
+    SmpKind.SM_INFO: 0x0020,
+    SmpKind.VGUID: 0xFF30,
+}
+_ATTR_BY_ID = {v: k for k, v in _ATTR_IDS.items()}
+
+#: Common MAD header: base version, mgmt class, class version, method,
+#: status, hop pointer, hop count, TID, attr id, reserved, attr modifier.
+_HEADER = struct.Struct(">BBBBHBBQHHI")
+
+
+def _target_bytes(target: str) -> bytes:
+    raw = target.encode("utf-8")
+    if len(raw) > 40:
+        raise ReproError(f"target name {target!r} too long for the wire stub")
+    return raw.ljust(40, b"\x00")
+
+
+def encode_smp(smp: Smp, *, tid: int = 0) -> bytes:
+    """Serialize one SMP to its 256-byte wire form.
+
+    The attribute payload carries the LFT block for LFT writes; other
+    attributes encode their scalar fields. The (simulation-only) target
+    name rides in the reserved area so :func:`decode_smp` can round-trip
+    without a subnet-wide GUID directory.
+    """
+    if not 0 <= tid < (1 << 64):
+        raise ReproError("TID out of 64-bit range")
+    mgmt_class = (
+        _MGMT_CLASS_DIRECTED if smp.directed else _MGMT_CLASS_LID_ROUTED
+    )
+    attr_id = _ATTR_IDS[smp.kind]
+    attr_mod = 0
+    payload = bytearray(ATTR_PAYLOAD_SIZE)
+
+    if smp.kind is SmpKind.LFT_BLOCK:
+        attr_mod = int(smp.payload.get("block", 0))
+        if smp.method is SmpMethod.SET:
+            entries = np.asarray(smp.payload["entries"], dtype=np.int16)
+            if len(entries) != LFT_BLOCK_SIZE:
+                raise ReproError("LFT payload must be 64 entries")
+            payload[:] = bytes(int(e) & 0xFF for e in entries)
+    elif smp.kind is SmpKind.PORT_INFO:
+        attr_mod = int(smp.payload.get("port", 0))
+        lid = smp.payload.get("lid") or smp.payload.get("set_lid") or 0
+        struct.pack_into(">H", payload, 0, int(lid) & 0xFFFF)
+    elif smp.kind is SmpKind.VGUID:
+        attr_mod = int(smp.payload.get("vf", 0))
+        struct.pack_into(">Q", payload, 0, int(smp.payload.get("vguid", 0)))
+
+    header = _HEADER.pack(
+        1,  # base version
+        mgmt_class,
+        1,  # class version
+        _METHOD_CODES[smp.method],
+        0,  # status
+        0,  # hop pointer
+        0,  # hop count
+        tid,
+        attr_id,
+        0,  # reserved
+        attr_mod,
+    )
+    body = header + _target_bytes(smp.target) + bytes(payload)
+    return body.ljust(MAD_SIZE, b"\x00")
+
+
+def decode_smp(wire: bytes) -> Tuple[Smp, int]:
+    """Parse a 256-byte datagram back into an (Smp, tid) pair."""
+    if len(wire) != MAD_SIZE:
+        raise ReproError(f"MAD must be {MAD_SIZE} bytes, got {len(wire)}")
+    (
+        base_version,
+        mgmt_class,
+        _class_version,
+        method_code,
+        _status,
+        _hop_ptr,
+        _hop_cnt,
+        tid,
+        attr_id,
+        _reserved,
+        attr_mod,
+    ) = _HEADER.unpack_from(wire, 0)
+    if base_version != 1:
+        raise ReproError(f"unsupported MAD base version {base_version}")
+    try:
+        method = _METHOD_BY_CODE[method_code]
+        kind = _ATTR_BY_ID[attr_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown method/attribute 0x{method_code:02x}/0x{attr_id:04x}"
+        ) from None
+    directed = mgmt_class == _MGMT_CLASS_DIRECTED
+    if not directed and mgmt_class != _MGMT_CLASS_LID_ROUTED:
+        raise ReproError(f"unknown management class 0x{mgmt_class:02x}")
+    off = _HEADER.size
+    target = wire[off : off + 40].rstrip(b"\x00").decode("utf-8")
+    payload_bytes = wire[off + 40 : off + 40 + ATTR_PAYLOAD_SIZE]
+
+    payload: Dict[str, object] = {}
+    if kind is SmpKind.LFT_BLOCK:
+        payload["block"] = attr_mod
+        if method is SmpMethod.SET:
+            payload["entries"] = np.frombuffer(
+                payload_bytes, dtype=np.uint8
+            ).astype(np.int16)
+    elif kind is SmpKind.PORT_INFO:
+        payload["port"] = attr_mod
+        (lid,) = struct.unpack_from(">H", payload_bytes, 0)
+        if lid:
+            payload["lid"] = lid
+    elif kind is SmpKind.VGUID:
+        payload["vf"] = attr_mod
+        (vguid,) = struct.unpack_from(">Q", payload_bytes, 0)
+        payload["vguid"] = vguid
+
+    return Smp(method, kind, target, payload=payload, directed=directed), tid

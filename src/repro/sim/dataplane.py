@@ -1,0 +1,295 @@
+"""Flow-level data-plane simulation with credit-based flow control.
+
+Lossless IB links use credit-based flow control: a packet may only advance
+when the next channel has a free buffer credit, and it keeps holding its
+current channel's credit until it does. That hold-and-wait is what makes
+routing deadlocks real (section VI-C): a cycle of packets each holding one
+channel and waiting for the next never progresses and is only broken by the
+IB **head-of-queue lifetime timeout**, which drops the stuck packet.
+
+This simulator executes that model on the *hardware* LFTs of a topology:
+
+* packets consult each switch's current LFT on arrival, so a reconfiguration
+  performed mid-flight (a LID swap during traffic) affects in-flight packets
+  exactly as it would on real switches;
+* every inter-switch channel has a configurable credit count;
+* a packet that waits longer than ``hoq_timeout`` is dropped and its held
+  credit released — reproducing the paper's "deadlocks ... will be resolved
+  by IB timeouts".
+
+It is a flow-control-faithful, bandwidth-abstract model: serialization time
+is folded into the per-hop latency, which is all the reconfiguration
+experiments need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.constants import LFT_DROP_PORT, LFT_UNSET
+from repro.errors import SimulationError
+from repro.fabric.node import Switch
+from repro.fabric.topology import Topology
+from repro.sim.engine import SimulationEngine
+
+__all__ = ["DataPlaneStats", "Packet", "DataPlaneSimulator"]
+
+#: A directed inter-switch channel: (switch index, out port).
+ChannelId = Tuple[int, int]
+
+
+@dataclass
+class DataPlaneStats:
+    """Outcome counters of one data-plane run."""
+
+    injected: int = 0
+    delivered: int = 0
+    dropped_no_route: int = 0
+    dropped_timeout: int = 0
+    dropped_port255: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def in_flight(self) -> int:
+        """Packets not yet accounted as delivered or dropped."""
+        return (
+            self.injected
+            - self.delivered
+            - self.dropped_no_route
+            - self.dropped_timeout
+            - self.dropped_port255
+        )
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered fraction of injected packets."""
+        return self.delivered / self.injected if self.injected else 0.0
+
+
+class Packet:
+    """One packet in flight."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, src_lid: int, dst_lid: int, inject_time: float) -> None:
+        self.id = next(self._ids)
+        self.src_lid = src_lid
+        self.dst_lid = dst_lid
+        self.inject_time = inject_time
+        #: The (switch, port, VL) channel whose credit this packet holds
+        #: (None while still at the source host or after delivery).
+        self.held: Optional[Tuple[int, int, int]] = None
+        #: Switch index the packet currently sits at.
+        self.at_switch: Optional[int] = None
+        self.hops = 0
+        self.dropped = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Packet#{self.id} {self.src_lid}->{self.dst_lid}>"
+
+
+class _Channel:
+    """Credit state of one directed inter-switch channel."""
+
+    __slots__ = ("credits", "waiters")
+
+    def __init__(self, credits: int) -> None:
+        self.credits = credits
+        self.waiters: Deque[Packet] = deque()
+
+
+class DataPlaneSimulator:
+    """Drives packets across a topology's switches under credit flow control."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        engine: Optional[SimulationEngine] = None,
+        channel_credits: int = 1,
+        hop_time: float = 1e-6,
+        hoq_timeout: float = 1e-3,
+        lid_to_vl: Optional[Dict[int, int]] = None,
+    ) -> None:
+        if channel_credits < 1:
+            raise SimulationError("channels need at least one credit")
+        if hop_time <= 0 or hoq_timeout <= 0:
+            raise SimulationError("hop_time and hoq_timeout must be positive")
+        self.topology = topology
+        self.engine = engine or SimulationEngine()
+        self.channel_credits = channel_credits
+        self.hop_time = hop_time
+        self.hoq_timeout = hoq_timeout
+        #: Destination LID -> virtual lane. Each VL has its own credit pool
+        #: per physical channel, so traffic on different lanes never blocks
+        #: each other — the mechanism behind DFSSSP/LASH deadlock freedom.
+        #: Missing LIDs ride VL 0.
+        self.lid_to_vl = dict(lid_to_vl or {})
+        self.stats = DataPlaneStats()
+
+        # Static maps from the physical graph.
+        self._switches = topology.switches
+        self._p2p: Dict[ChannelId, int] = {}
+        #: (switch, out port) -> in-port on the peer, for rcv counters.
+        self._peer_port: Dict[ChannelId, int] = {}
+        self._host_ports: Dict[ChannelId, str] = {}  # delivery edges
+        for sw in self._switches:
+            for port in sw.connected_ports():
+                peer = port.remote
+                assert peer is not None
+                key = (sw.index, port.num)
+                if isinstance(peer.node, Switch):
+                    self._p2p[key] = peer.node.index
+                    self._peer_port[key] = peer.num
+                else:
+                    self._host_ports[key] = peer.node.name
+        # Channels are keyed (switch, out port, VL) and created lazily:
+        # each VL gets its own credit pool on every physical link.
+        self._channels: Dict[Tuple[int, int, int], _Channel] = {}
+
+    # -- injection -----------------------------------------------------------
+
+    def inject(self, src_lid: int, dst_lid: int, *, delay: float = 0.0) -> Packet:
+        """Inject one packet from the host holding *src_lid*."""
+        port = self.topology.port_of_lid(src_lid)
+        if port is None or port.remote is None:
+            raise SimulationError(f"source LID {src_lid} is not attached")
+        entry = port.remote
+        if not isinstance(entry.node, Switch):
+            raise SimulationError(f"source LID {src_lid} not behind a switch")
+        pkt = Packet(src_lid, dst_lid, 0.0)
+        self.stats.injected += 1
+        leaf = entry.node.index
+
+        def arrive() -> None:
+            pkt.inject_time = self.engine.now
+            pkt.at_switch = leaf
+            self._forward(pkt)
+
+        self.engine.schedule(delay, arrive, label=f"inject#{pkt.id}")
+        return pkt
+
+    def inject_flows(
+        self, flows: List[Tuple[int, int]], *, spacing: float = 0.0
+    ) -> List[Packet]:
+        """Inject a list of (src_lid, dst_lid) flows, optionally staggered."""
+        return [
+            self.inject(s, d, delay=i * spacing)
+            for i, (s, d) in enumerate(flows)
+        ]
+
+    def run(self, *, until: Optional[float] = None) -> DataPlaneStats:
+        """Run the event loop to completion (or *until*)."""
+        self.engine.run(until=until)
+        return self.stats
+
+    # -- movement ------------------------------------------------------------
+
+    def _forward(self, pkt: Packet) -> None:
+        """Packet sits at a switch: look up the LFT and try to advance."""
+        if pkt.dropped:
+            return
+        assert pkt.at_switch is not None
+        sw = self._switches[pkt.at_switch]
+        out = sw.lft.get(pkt.dst_lid)
+        if out == LFT_DROP_PORT or out == LFT_UNSET:
+            # Port 255 / unprogrammed: the partially-static reconfiguration
+            # of section VI-C intentionally drops this traffic.
+            self._drop(pkt, "port255" if out == LFT_DROP_PORT else "no_route")
+            return
+        key = (pkt.at_switch, out)
+        if key in self._host_ports:
+            self._deliver(pkt)
+            return
+        if key not in self._p2p:
+            self._drop(pkt, "no_route")
+            return
+        vl = self.lid_to_vl.get(pkt.dst_lid, 0)
+        vkey = (key[0], key[1], vl)
+        channel = self._channels.get(vkey)
+        if channel is None:
+            channel = self._channels[vkey] = _Channel(self.channel_credits)
+        if channel.credits > 0:
+            channel.credits -= 1
+            self._advance(pkt, vkey)
+        else:
+            channel.waiters.append(pkt)
+            deadline_hops = pkt.hops
+
+            def maybe_timeout() -> None:
+                # Still waiting on the same channel after the head-of-queue
+                # lifetime: drop (the IB timeout that resolves deadlocks).
+                if (
+                    not pkt.dropped
+                    and pkt.hops == deadline_hops
+                    and pkt in channel.waiters
+                ):
+                    channel.waiters.remove(pkt)
+                    self._drop(pkt, "timeout")
+
+            self.engine.schedule(
+                self.hoq_timeout, maybe_timeout, label=f"hoq#{pkt.id}"
+            )
+
+    def _advance(self, pkt: Packet, channel_key: Tuple[int, int, int]) -> None:
+        """Credit acquired: traverse the channel, then release the old one."""
+        phys = channel_key[:2]
+        nxt = self._p2p[phys]
+        # PMA counters: transmit on the egress, receive on the far ingress.
+        self._switches[phys[0]].port_counters(phys[1]).xmit_packets += 1
+        self._switches[nxt].port_counters(self._peer_port[phys]).rcv_packets += 1
+
+        def arrive() -> None:
+            if pkt.dropped:
+                self._release(channel_key)
+                return
+            self._release_held(pkt)
+            pkt.held = channel_key
+            pkt.at_switch = nxt
+            pkt.hops += 1
+            if pkt.hops > 4 * max(len(self._switches), 1):
+                self._drop(pkt, "timeout")  # runaway loop guard
+                return
+            self._forward(pkt)
+
+        self.engine.schedule(self.hop_time, arrive, label=f"hop#{pkt.id}")
+
+    def _release_held(self, pkt: Packet) -> None:
+        if pkt.held is not None:
+            self._release(pkt.held)
+            pkt.held = None
+
+    def _release(self, channel_key: Tuple[int, int, int]) -> None:
+        """Return a credit and wake the first waiter, if any."""
+        channel = self._channels[channel_key]
+        if channel.waiters:
+            waiter = channel.waiters.popleft()
+            # Credit handed directly to the waiter.
+            self._advance(waiter, channel_key)
+        else:
+            channel.credits += 1
+
+    def _deliver(self, pkt: Packet) -> None:
+        self._release_held(pkt)
+        self.stats.delivered += 1
+        self.stats.latencies.append(
+            self.engine.now + self.hop_time - pkt.inject_time
+        )
+
+    def _drop(self, pkt: Packet, reason: str) -> None:
+        pkt.dropped = True
+        if pkt.at_switch is not None:
+            sw = self._switches[pkt.at_switch]
+            out = sw.lft.get(pkt.dst_lid)
+            port = out if 0 <= out <= sw.num_ports else 0
+            sw.port_counters(port).xmit_discards += 1
+        self._release_held(pkt)
+        if reason == "timeout":
+            self.stats.dropped_timeout += 1
+        elif reason == "port255":
+            self.stats.dropped_port255 += 1
+        else:
+            self.stats.dropped_no_route += 1

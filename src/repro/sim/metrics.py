@@ -1,0 +1,144 @@
+"""Metric primitives: counters, timers and streaming histograms.
+
+Experiment harnesses accumulate results into these instead of ad-hoc dicts
+so every benchmark prints comparable summaries.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["Counter", "Timer", "Histogram", "MetricRegistry"]
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increment by *amount* (non-negative)."""
+        if amount < 0:
+            raise SimulationError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+
+class Timer:
+    """Wall-clock stopwatch usable as a context manager."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total = 0.0
+        self.laps: List[float] = []
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        lap = time.perf_counter() - self._start
+        self.total += lap
+        self.laps.append(lap)
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean lap duration."""
+        return self.total / len(self.laps) if self.laps else 0.0
+
+
+class Histogram:
+    """A simple value accumulator with percentile queries."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        if math.isnan(value):
+            raise SimulationError(f"histogram {self.name}: NaN observation")
+        self._values.append(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch."""
+        for v in values:
+            self.observe(v)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        """Mean of observations (0 when empty)."""
+        return float(np.mean(self._values)) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest observation (0 when empty)."""
+        return float(np.max(self._values)) if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (0 when empty)."""
+        return float(np.min(self._values)) if self._values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0 <= q <= 100)."""
+        if not 0 <= q <= 100:
+            raise SimulationError(f"percentile {q} out of [0, 100]")
+        if not self._values:
+            return 0.0
+        return float(np.percentile(self._values, q))
+
+    def values(self) -> np.ndarray:
+        """All observations as an array."""
+        return np.asarray(self._values, dtype=np.float64)
+
+
+class MetricRegistry:
+    """Named metric namespace for one experiment run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter."""
+        return self._counters.setdefault(name, Counter(name))
+
+    def timer(self, name: str) -> Timer:
+        """Get or create a timer."""
+        return self._timers.setdefault(name, Timer(name))
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create a histogram."""
+        return self._histograms.setdefault(name, Histogram(name))
+
+    def summary(self) -> Dict[str, float]:
+        """Flat name -> value snapshot of everything registered."""
+        out: Dict[str, float] = {}
+        for name, c in self._counters.items():
+            out[f"{name}.count"] = float(c.value)
+        for name, t in self._timers.items():
+            out[f"{name}.total_s"] = t.total
+            out[f"{name}.mean_s"] = t.mean
+        for name, h in self._histograms.items():
+            out[f"{name}.mean"] = h.mean
+            out[f"{name}.p50"] = h.percentile(50)
+            out[f"{name}.p99"] = h.percentile(99)
+            out[f"{name}.max"] = h.max
+        return out

@@ -1,0 +1,57 @@
+"""Event traces: an append-only record of what happened in a run.
+
+Examples and the workload drivers emit trace records so a run can be
+inspected (or asserted on in tests) after the fact without print-debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """An in-memory event log with simple filtering."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    def emit(self, time: float, kind: str, **detail: Any) -> TraceRecord:
+        """Append one record."""
+        rec = TraceRecord(time=time, kind=kind, detail=dict(detail))
+        self._records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of one kind, in emit order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def last(self, kind: Optional[str] = None) -> Optional[TraceRecord]:
+        """Most recent record (of *kind*, if given)."""
+        pool = self._records if kind is None else self.of_kind(kind)
+        return pool[-1] if pool else None
+
+    def kinds(self) -> List[str]:
+        """Distinct kinds seen, in first-appearance order."""
+        seen: List[str] = []
+        for r in self._records:
+            if r.kind not in seen:
+                seen.append(r.kind)
+        return seen

@@ -1,0 +1,40 @@
+"""Subnet manager (OpenSM-like): discovery, LIDs, routing, LFT distribution,
+deadlock analysis."""
+
+from repro.sm.deadlock import (
+    ChannelDependencyGraph,
+    find_cycle,
+    is_deadlock_free,
+    routing_dependencies,
+    transition_is_deadlock_free,
+)
+from repro.sm.discovery import DiscoveryReport, discover_subnet
+from repro.sm.handover import SmCandidate, SmRedundancyManager, SmState
+from repro.sm.lft_distribution import DistributionReport, LftDistributor
+from repro.sm.lid_manager import LidManager
+from repro.sm.perfmgt import LinkUtilization, PerformanceManager
+from repro.sm.subnet_manager import ConfigureReport, SubnetManager
+from repro.sm.traps import FabricEventManager, TrapRecord, TrapType
+
+__all__ = [
+    "ChannelDependencyGraph",
+    "routing_dependencies",
+    "is_deadlock_free",
+    "transition_is_deadlock_free",
+    "find_cycle",
+    "DiscoveryReport",
+    "discover_subnet",
+    "DistributionReport",
+    "LftDistributor",
+    "LidManager",
+    "PerformanceManager",
+    "LinkUtilization",
+    "ConfigureReport",
+    "SubnetManager",
+    "SmCandidate",
+    "SmRedundancyManager",
+    "SmState",
+    "FabricEventManager",
+    "TrapRecord",
+    "TrapType",
+]

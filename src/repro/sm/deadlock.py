@@ -1,0 +1,244 @@
+"""Deadlock analysis via channel dependency graphs (CDGs).
+
+A *channel* is a directed inter-switch link (a, b). Routing function R
+induces a dependency (a,b) -> (b,c) whenever a packet may hold (a,b) while
+requesting (b,c). R is deadlock free iff its CDG is acyclic (Duato's
+condition for deterministic routing — the paper's reference [20]).
+
+Section VI-C of the paper discusses why reconfiguration is dangerous even
+between two individually deadlock-free routings: during the transition both
+R_old and R_new are in effect, so the *union* CDG is what must be acyclic.
+:func:`transition_is_deadlock_free` checks exactly that, and the tests use
+it to reproduce the paper's observation that LID swapping may transiently
+admit cycles (resolved in practice by IB timeouts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.constants import LFT_UNSET
+from repro.errors import DeadlockError
+
+__all__ = [
+    "Channel",
+    "Dependency",
+    "ChannelDependencyGraph",
+    "routing_dependencies",
+    "is_deadlock_free",
+    "transition_is_deadlock_free",
+    "find_cycle",
+]
+
+#: A directed inter-switch channel.
+Channel = Tuple[int, int]
+#: A dependency between two consecutive channels.
+Dependency = Tuple[Channel, Channel]
+
+
+class ChannelDependencyGraph:
+    """A mutable CDG with transactional (all-or-nothing) inserts."""
+
+    def __init__(self) -> None:
+        self._succ: Dict[Channel, Set[Channel]] = {}
+
+    @property
+    def num_channels(self) -> int:
+        """Channels mentioned so far."""
+        return len(self._succ)
+
+    @property
+    def num_dependencies(self) -> int:
+        """Dependency edge count."""
+        return sum(len(s) for s in self._succ.values())
+
+    def add_dependency(self, dep: Dependency) -> None:
+        """Insert one dependency (no cycle check)."""
+        a, b = dep
+        if a[1] != b[0]:
+            raise DeadlockError(f"non-consecutive channels in dependency {dep}")
+        self._succ.setdefault(a, set()).add(b)
+        self._succ.setdefault(b, set())
+
+    def try_add_dependencies(self, deps: Iterable[Dependency]) -> bool:
+        """Insert *deps* if the graph stays acyclic; rollback otherwise."""
+        added: List[Dependency] = []
+        created: List[Channel] = []
+        for dep in deps:
+            a, b = dep
+            for ch in (a, b):
+                if ch not in self._succ:
+                    self._succ[ch] = set()
+                    created.append(ch)
+            if b not in self._succ[a]:
+                self._succ[a].add(b)
+                added.append(dep)
+        if self.is_acyclic():
+            return True
+        for a, b in added:
+            self._succ[a].discard(b)
+        for ch in created:
+            if not self._succ[ch] and not any(
+                ch in s for s in self._succ.values()
+            ):
+                del self._succ[ch]
+        return False
+
+    def is_acyclic(self) -> bool:
+        """True iff no dependency cycle exists (iterative colour DFS)."""
+        return self.find_cycle() is None
+
+    def find_cycle(self) -> Optional[List[Channel]]:
+        """Return one cycle as a channel list, or None if acyclic."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[Channel, int] = {ch: WHITE for ch in self._succ}
+        parent: Dict[Channel, Optional[Channel]] = {}
+        for root in self._succ:
+            if colour[root] != WHITE:
+                continue
+            stack: List[Tuple[Channel, Iterable[Channel]]] = [
+                (root, iter(self._succ[root]))
+            ]
+            colour[root] = GREY
+            parent[root] = None
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if colour[nxt] == WHITE:
+                        colour[nxt] = GREY
+                        parent[nxt] = node
+                        stack.append((nxt, iter(self._succ[nxt])))
+                        advanced = True
+                        break
+                    if colour[nxt] == GREY:
+                        # Reconstruct the cycle nxt -> ... -> node -> nxt.
+                        cycle = [node]
+                        cur = node
+                        while cur != nxt:
+                            cur = parent[cur]  # type: ignore[assignment]
+                            cycle.append(cur)
+                        cycle.reverse()
+                        return cycle
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None
+
+
+def _port_to_peer(view) -> Dict[Tuple[int, int], int]:
+    """(switch, out_port) -> neighbour switch, for inter-switch ports only."""
+    degrees = np.diff(view.indptr)
+    edge_src = np.repeat(np.arange(view.num_switches, dtype=np.int64), degrees)
+    return {
+        (int(edge_src[k]), int(view.out_port[k])): int(view.peer[k])
+        for k in range(len(view.peer))
+    }
+
+
+def routing_dependencies(
+    ports: np.ndarray,
+    view,
+    lids: Optional[Sequence[int]] = None,
+) -> Set[Dependency]:
+    """All channel dependencies induced by a routing table matrix.
+
+    *ports* is the (num_switches x top_lid+1) matrix of
+    :class:`~repro.sm.routing.base.RoutingTables`. Only hops between
+    switches create dependencies; delivery ports (to HCAs) terminate chains.
+    """
+    p2p = _port_to_peer(view)
+    n, width = ports.shape
+    lid_list = (
+        list(lids)
+        if lids is not None
+        else [l for l in range(width) if (ports[:, l] != LFT_UNSET).any()]
+    )
+    deps: Set[Dependency] = set()
+    for lid in lid_list:
+        col = ports[:, lid]
+        for s in range(n):
+            out = int(col[s])
+            if out == LFT_UNSET:
+                continue
+            b = p2p.get((s, out))
+            if b is None:
+                continue  # delivered off-fabric (or port 0 self)
+            out2 = int(col[b])
+            if out2 == LFT_UNSET:
+                continue
+            c = p2p.get((b, out2))
+            if c is None:
+                continue
+            deps.add(((s, b), (b, c)))
+    return deps
+
+
+def is_deadlock_free(
+    ports: np.ndarray,
+    view,
+    *,
+    lid_to_vl: Optional[Dict[int, int]] = None,
+    lids: Optional[Sequence[int]] = None,
+) -> bool:
+    """Check Duato's acyclicity condition for one routing function.
+
+    With ``lid_to_vl`` the check is per virtual layer: destinations on
+    different VLs cannot block each other, so each layer's CDG is checked
+    independently (this is how DFSSSP/LASH are deadlock free despite cyclic
+    single-layer dependencies).
+    """
+    if lid_to_vl is None:
+        cdg = ChannelDependencyGraph()
+        for dep in routing_dependencies(ports, view, lids):
+            cdg.add_dependency(dep)
+        return cdg.is_acyclic()
+    layers: Dict[int, List[int]] = {}
+    width = ports.shape[1]
+    universe = (
+        list(lids)
+        if lids is not None
+        else [l for l in range(width) if (ports[:, l] != LFT_UNSET).any()]
+    )
+    for lid in universe:
+        layers.setdefault(lid_to_vl.get(lid, 0), []).append(lid)
+    for vl_lids in layers.values():
+        cdg = ChannelDependencyGraph()
+        for dep in routing_dependencies(ports, view, vl_lids):
+            cdg.add_dependency(dep)
+        if not cdg.is_acyclic():
+            return False
+    return True
+
+
+def transition_is_deadlock_free(
+    old_ports: np.ndarray,
+    new_ports: np.ndarray,
+    view,
+    *,
+    lids: Optional[Sequence[int]] = None,
+) -> bool:
+    """Check the reconfiguration-transition condition (paper section VI-C).
+
+    While switches are updated asynchronously, some forward per R_old and
+    some per R_new, so the union of both dependency sets must be acyclic for
+    the transition to be provably deadlock free. The paper accepts that LID
+    swapping may violate this and relies on IB timeouts; this function makes
+    that risk measurable.
+    """
+    cdg = ChannelDependencyGraph()
+    for dep in routing_dependencies(old_ports, view, lids):
+        cdg.add_dependency(dep)
+    for dep in routing_dependencies(new_ports, view, lids):
+        cdg.add_dependency(dep)
+    return cdg.is_acyclic()
+
+
+def find_cycle(ports: np.ndarray, view) -> Optional[List[Channel]]:
+    """Convenience: one dependency cycle of a routing, or None."""
+    cdg = ChannelDependencyGraph()
+    for dep in routing_dependencies(ports, view):
+        cdg.add_dependency(dep)
+    return cdg.find_cycle()

@@ -1,0 +1,153 @@
+"""Subnet manager redundancy: SMInfo-based master election and handover.
+
+IB subnets run one *master* SM plus standbys. Election follows the SMInfo
+attribute: highest priority wins, ties broken by lowest GUID; standbys poll
+the master and take over when it disappears. The companion work the paper
+builds on (reference [10]) restarts the SM to trigger reconfiguration, so
+modelling handover lets the reproduction show why the vSwitch method is
+better: a handover inherits the routing state and costs only the polling
+SMPs, while a naive restart pays a full traditional reconfiguration.
+
+The vSwitch architecture also removes a Shared Port limitation here: with a
+real per-VF QP0, an SM (including a standby) can run *inside a VM*
+(section IV-B), which :meth:`SmRedundancyManager.can_host` checks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.fabric.addressing import GUID
+from repro.mad.smp import Smp, SmpKind, SmpMethod
+from repro.sm.subnet_manager import ConfigureReport, SubnetManager
+
+__all__ = ["SmState", "SmCandidate", "SmRedundancyManager"]
+
+
+class SmState(enum.Enum):
+    """SMInfo states (a subset of the IBA's)."""
+
+    MASTER = "master"
+    STANDBY = "standby"
+    NOT_ACTIVE = "not-active"
+
+
+@dataclass
+class SmCandidate:
+    """One node capable of running a subnet manager."""
+
+    node_name: str
+    guid: GUID
+    priority: int = 0
+    state: SmState = SmState.NOT_ACTIVE
+    alive: bool = True
+
+    def election_key(self):
+        """Higher priority wins; ties broken by lowest GUID."""
+        return (-self.priority, self.guid)
+
+
+class SmRedundancyManager:
+    """Tracks SM candidates, elects masters and performs handovers."""
+
+    def __init__(self, sm: SubnetManager) -> None:
+        self.sm = sm
+        self._candidates: Dict[str, SmCandidate] = {}
+        self.handovers = 0
+
+    # -- membership ---------------------------------------------------------
+
+    def register(
+        self, node_name: str, guid: GUID, *, priority: int = 0
+    ) -> SmCandidate:
+        """Add an SM candidate (a node with usable QP0 access)."""
+        if node_name in self._candidates:
+            raise ReproError(f"{node_name} already registered as SM candidate")
+        cand = SmCandidate(node_name=node_name, guid=guid, priority=priority)
+        self._candidates[node_name] = cand
+        return cand
+
+    @staticmethod
+    def can_host(function) -> bool:
+        """Whether an SM may run behind this PF/VF.
+
+        True for any vSwitch function (real QP0), False for Shared Port
+        VFs whose QP0 discards SMPs (section IV-A).
+        """
+        return bool(function.can_run_sm)
+
+    def candidates(self) -> List[SmCandidate]:
+        """All registered candidates, election order first."""
+        return sorted(self._candidates.values(), key=SmCandidate.election_key)
+
+    @property
+    def master(self) -> Optional[SmCandidate]:
+        """The current master, if any."""
+        for cand in self._candidates.values():
+            if cand.state is SmState.MASTER:
+                return cand
+        return None
+
+    # -- election ------------------------------------------------------------
+
+    def elect(self) -> SmCandidate:
+        """(Re-)run the election among alive candidates."""
+        alive = [c for c in self._candidates.values() if c.alive]
+        if not alive:
+            raise ReproError("no alive SM candidate")
+        winner = min(alive, key=SmCandidate.election_key)
+        for cand in self._candidates.values():
+            if not cand.alive:
+                cand.state = SmState.NOT_ACTIVE
+            elif cand is winner:
+                cand.state = SmState.MASTER
+            else:
+                cand.state = SmState.STANDBY
+        self.sm.transport.set_sm_node(self.sm.topology.node(winner.node_name))
+        return winner
+
+    def poll_master(self) -> bool:
+        """One standby polling round: SubnGet(SMInfo) to the master.
+
+        Returns True if the master answered; False (master dead) triggers
+        no action by itself — call :meth:`handover`.
+        """
+        master = self.master
+        if master is None:
+            return False
+        if not master.alive:
+            return False
+        self.sm.transport.send(
+            Smp(SmpMethod.GET, SmpKind.SM_INFO, master.node_name)
+        )
+        return True
+
+    def kill_master(self) -> None:
+        """Simulate the master node dying."""
+        master = self.master
+        if master is None:
+            raise ReproError("no master to kill")
+        master.alive = False
+        master.state = SmState.NOT_ACTIVE
+
+    def handover(self, *, resweep: bool = False) -> ConfigureReport:
+        """Standby takes over as master.
+
+        With ``resweep=False`` (what a state-sharing OpenSM pair does) the
+        new master adopts the existing LID assignments and LFTs: the
+        report carries zero path computation and zero LFT SMPs. With
+        ``resweep=True`` it behaves like the naive restart of the
+        reference-[10] prototype: full discovery, recompute, and a diff
+        distribution (usually still zero changed blocks, but the PCt is
+        paid again).
+        """
+        self.elect()
+        self.handovers += 1
+        if not resweep:
+            report = ConfigureReport()
+            report.discovery = self.sm.discover()
+            return report
+        return self.sm.incremental_reroute()

@@ -1,0 +1,130 @@
+"""LFT distribution: turning a routing function into SubnSet(LFT) SMPs.
+
+Implements the ``LFTD_t`` half of the paper's cost model (equation (2)):
+``LFTD_t = n * m * (k + r)`` for a full distribution of ``m`` blocks to each
+of ``n`` switches, serially over directed-route SMPs. The distributor
+supports three modes:
+
+* **full** — send every used block to every switch (the traditional
+  reconfiguration baseline of section VI-A; its SMP count is the
+  "Min SMPs Full RC" column of Table I);
+* **diff** — send only blocks that differ from what the switch already has
+  (what OpenSM actually does on incremental changes);
+* both modes report serial and pipelined times (section VI-B notes OpenSM
+  pipelines LFT updates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.constants import LFT_BLOCK_SIZE, LFT_UNSET
+from repro.errors import RoutingError
+from repro.fabric.lft import lft_block_of
+from repro.fabric.topology import Topology
+from repro.mad.smp import make_set_lft_block
+from repro.mad.transport import SmpTransport
+from repro.sm.routing.base import RoutingTables
+
+__all__ = ["DistributionReport", "LftDistributor"]
+
+
+@dataclass
+class DistributionReport:
+    """Cost accounting of one LFT distribution pass."""
+
+    smps_sent: int = 0
+    switches_updated: int = 0
+    blocks_per_switch: Dict[str, int] = field(default_factory=dict)
+    serial_time: float = 0.0
+    pipelined_time: float = 0.0
+
+    @property
+    def max_blocks_on_one_switch(self) -> int:
+        """The paper's ``m`` for this pass."""
+        return max(self.blocks_per_switch.values(), default=0)
+
+
+class LftDistributor:
+    """Sends LFT blocks to switches through an SMP transport."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        transport: SmpTransport,
+        *,
+        pipeline_window: int = 8,
+        directed: bool = True,
+    ) -> None:
+        if pipeline_window < 1:
+            raise RoutingError("pipeline window must be >= 1")
+        self.topology = topology
+        self.transport = transport
+        self.pipeline_window = pipeline_window
+        self.directed = directed
+
+    def distribute(
+        self,
+        tables: RoutingTables,
+        *,
+        force_full: bool = False,
+    ) -> DistributionReport:
+        """Program every switch's LFT from *tables*.
+
+        ``force_full`` resends every used block even if identical (the
+        traditional full-reconfiguration baseline); the default diffs
+        against the switches' current LFTs.
+        """
+        report = DistributionReport()
+        before = self.transport.stats.snapshot()
+        top_lid = tables.top_lid
+        n_blocks = lft_block_of(top_lid) + 1
+        width = n_blocks * LFT_BLOCK_SIZE
+
+        for sw in self.topology.switches:
+            # Widen to whichever is larger: the new routing or the switch's
+            # existing table — stale entries above the new top LID must be
+            # cleared, not silently kept.
+            current = sw.lft.as_array()
+            full_width = max(width, len(current))
+            desired = np.full(full_width, LFT_UNSET, dtype=np.int16)
+            row = tables.ports[sw.index]
+            desired[: len(row)] = row
+
+            if force_full:
+                blocks = self._used_blocks(desired)
+            else:
+                blocks = self._changed_blocks(current, desired)
+            if not blocks:
+                continue
+            report.switches_updated += 1
+            report.blocks_per_switch[sw.name] = len(blocks)
+            for block in blocks:
+                smp = make_set_lft_block(
+                    sw.name,
+                    block,
+                    desired[block * LFT_BLOCK_SIZE : (block + 1) * LFT_BLOCK_SIZE],
+                    directed=self.directed,
+                )
+                self.transport.send(smp)
+
+        delta = self.transport.stats.delta_since(before)
+        report.smps_sent = delta.total_smps
+        report.serial_time = delta.serial_time
+        report.pipelined_time = delta.pipelined_time(self.pipeline_window)
+        return report
+
+    @staticmethod
+    def _used_blocks(desired: np.ndarray) -> List[int]:
+        mask = (desired != LFT_UNSET).reshape(-1, LFT_BLOCK_SIZE)
+        return np.nonzero(mask.any(axis=1))[0].tolist()
+
+    @staticmethod
+    def _changed_blocks(current: np.ndarray, desired: np.ndarray) -> List[int]:
+        cur = np.full(len(desired), LFT_UNSET, dtype=np.int16)
+        cur[: len(current)] = current
+        mask = (cur != desired).reshape(-1, LFT_BLOCK_SIZE)
+        return np.nonzero(mask.any(axis=1))[0].tolist()

@@ -1,0 +1,97 @@
+"""Performance management: querying PMA port counters.
+
+The performance manager polls switches' PortCounters through the MAD
+transport (so the polling itself is accounted like any other management
+traffic) and derives fabric-level views: hot links, discard hotspots, and
+the per-link utilization skew the balance experiments (E7b) reason about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ReproError
+from repro.mad.smp import Smp, SmpKind, SmpMethod
+from repro.sm.subnet_manager import SubnetManager
+
+__all__ = ["LinkUtilization", "PerformanceManager"]
+
+
+@dataclass(frozen=True)
+class LinkUtilization:
+    """One directed link's observed traffic."""
+
+    switch: str
+    port: int
+    xmit_packets: int
+    rcv_packets: int
+    xmit_discards: int
+
+
+class PerformanceManager:
+    """Polls and aggregates PMA counters across the subnet."""
+
+    def __init__(self, sm: SubnetManager) -> None:
+        self.sm = sm
+        self.sweeps = 0
+
+    def sweep(self) -> List[LinkUtilization]:
+        """Read every switch's counters (one PortInfo-class MAD each).
+
+        A real PerfMgr sends one PortCounters GMP per (switch, port); we
+        account one MAD per switch (the aggregate query) to keep the
+        management-traffic model lightweight but present.
+        """
+        out: List[LinkUtilization] = []
+        for sw in self.sm.topology.switches:
+            self.sm.transport.send(
+                Smp(
+                    SmpMethod.GET,
+                    SmpKind.PORT_INFO,
+                    sw.name,
+                    payload={"port": 0},
+                )
+            )
+            for port_num, counters in sorted(sw.counters.items()):
+                out.append(
+                    LinkUtilization(
+                        switch=sw.name,
+                        port=port_num,
+                        xmit_packets=counters.xmit_packets,
+                        rcv_packets=counters.rcv_packets,
+                        xmit_discards=counters.xmit_discards,
+                    )
+                )
+        self.sweeps += 1
+        return out
+
+    def hot_links(self, *, top: int = 5) -> List[LinkUtilization]:
+        """The *top* busiest egress ports by transmitted packets."""
+        if top < 1:
+            raise ReproError("top must be >= 1")
+        return sorted(
+            self.sweep(), key=lambda u: u.xmit_packets, reverse=True
+        )[:top]
+
+    def discard_hotspots(self) -> List[LinkUtilization]:
+        """Every port that dropped traffic, busiest first."""
+        return sorted(
+            (u for u in self.sweep() if u.xmit_discards > 0),
+            key=lambda u: u.xmit_discards,
+            reverse=True,
+        )
+
+    def utilization_skew(self) -> float:
+        """max/mean transmitted packets over used egress ports (1.0 = flat)."""
+        xmits = [u.xmit_packets for u in self.sweep() if u.xmit_packets > 0]
+        if not xmits:
+            return 0.0
+        mean = sum(xmits) / len(xmits)
+        return max(xmits) / mean if mean else 0.0
+
+    def reset_all(self) -> None:
+        """Clear every switch's counters (a PerfMgr reset sweep)."""
+        for sw in self.sm.topology.switches:
+            for counters in sw.counters.values():
+                counters.reset()

@@ -1,0 +1,321 @@
+"""Routing engine infrastructure.
+
+A routing engine consumes a :class:`RoutingRequest` (compact switch graph +
+endpoint terminals) and produces :class:`RoutingTables`: one output port per
+(switch, destination LID). The subnet manager then diffs these against the
+switches' current LFTs to derive the SubnSet(LFT) SMPs to send.
+
+The helpers here are shared across engines and are written against the CSR
+arrays of :class:`~repro.fabric.topology.SwitchFabricView` so the hot loops
+are NumPy-vectorized (see DESIGN.md performance notes).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import LFT_UNSET
+from repro.errors import RoutingError, UnreachableLidError
+from repro.fabric.topology import SwitchFabricView, Terminal, Topology
+
+__all__ = [
+    "RoutingRequest",
+    "RoutingTables",
+    "RoutingAlgorithm",
+    "bfs_distances",
+    "all_pairs_switch_distances",
+    "equal_cost_candidates",
+]
+
+
+@dataclass
+class RoutingRequest:
+    """Everything a routing engine needs to compute paths.
+
+    ``terminals`` lists every endpoint LID with its attachment switch/port;
+    ``switch_lids`` maps switch self-LIDs to switch indices. ``level`` (when
+    the topology was built by a fat-tree builder) maps switch index -> tree
+    level for engines that exploit structure (ftree, Up*/Down* root choice).
+    """
+
+    view: SwitchFabricView
+    terminals: List[Terminal]
+    switch_lids: Dict[int, int]
+    top_lid: int
+    level: Optional[Dict[int, int]] = None
+    root_indices: List[int] = field(default_factory=list)
+    #: Builder parameters (e.g. mesh rows/cols) for structure-aware engines.
+    hints: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_topology(
+        cls,
+        topology: Topology,
+        *,
+        built: Optional[object] = None,
+    ) -> "RoutingRequest":
+        """Snapshot *topology* into a request.
+
+        *built* may be a :class:`~repro.fabric.builders.fattree.BuiltTopology`
+        whose level/root metadata is translated to dense switch indices.
+        """
+        terminals = topology.terminals()
+        switch_lids = topology.switch_lids()
+        lids = [t.lid for t in terminals] + list(switch_lids)
+        if not lids:
+            raise RoutingError("no LIDs assigned; run LID assignment first")
+        level = None
+        roots: List[int] = []
+        hints: Dict[str, int] = {}
+        if built is not None:
+            # Builder metadata may reference switches that have since been
+            # removed (failures); skip those.
+            level = {
+                topology.node(name).index: lvl
+                for name, lvl in built.level.items()
+                if name in topology
+            }
+            roots = [sw.index for sw in built.roots if sw.index >= 0]
+            hints = dict(getattr(built, "params", {}) or {})
+        return cls(
+            view=topology.fabric_view(),
+            terminals=terminals,
+            switch_lids=switch_lids,
+            top_lid=max(lids),
+            level=level,
+            root_indices=roots,
+            hints=hints,
+        )
+
+    @property
+    def num_switches(self) -> int:
+        """Switch count (the paper's ``n``)."""
+        return self.view.num_switches
+
+    @property
+    def num_lids(self) -> int:
+        """Total consumed LIDs."""
+        return len(self.terminals) + len(self.switch_lids)
+
+    def terminals_by_switch(self) -> Dict[int, List[Terminal]]:
+        """Group endpoint terminals by their attachment switch index."""
+        groups: Dict[int, List[Terminal]] = {}
+        for t in self.terminals:
+            groups.setdefault(t.switch_index, []).append(t)
+        return groups
+
+
+@dataclass
+class RoutingTables:
+    """The routing function R: (switch, dest LID) -> output port.
+
+    ``ports`` has shape ``(num_switches, top_lid + 1)``; unroutable entries
+    hold :data:`~repro.constants.LFT_UNSET`. ``compute_seconds`` is the
+    engine's path-computation time — the paper's ``PCt`` (Fig. 7).
+    """
+
+    algorithm: str
+    ports: np.ndarray
+    compute_seconds: float = 0.0
+    num_vls: int = 1
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_switches(self) -> int:
+        """Number of switch rows."""
+        return self.ports.shape[0]
+
+    @property
+    def top_lid(self) -> int:
+        """Largest representable LID."""
+        return self.ports.shape[1] - 1
+
+    def port_for(self, switch_index: int, lid: int) -> int:
+        """Output port on *switch_index* for destination *lid*."""
+        if lid > self.top_lid:
+            return LFT_UNSET
+        return int(self.ports[switch_index, lid])
+
+    def trace_path(
+        self,
+        request: RoutingRequest,
+        src_switch: int,
+        dest_lid: int,
+        *,
+        max_hops: int = 256,
+    ) -> List[int]:
+        """Follow the routing from *src_switch* to *dest_lid*.
+
+        Returns the list of switch indices visited (starting at
+        *src_switch*). Raises :class:`UnreachableLidError` on unprogrammed
+        entries and :class:`RoutingError` on loops. Used by the reference
+        validity checker and the skyline analysis.
+        """
+        # Map (switch, out_port) -> neighbour switch.
+        view = request.view
+        term_at = {
+            (t.switch_index, t.switch_port): t.lid for t in request.terminals
+        }
+        dest_switch = request.switch_lids.get(dest_lid)
+        path = [src_switch]
+        cur = src_switch
+        for _ in range(max_hops):
+            if dest_switch is not None and cur == dest_switch:
+                return path
+            out = self.port_for(cur, dest_lid)
+            if out == LFT_UNSET:
+                raise UnreachableLidError(
+                    f"switch {cur} has no route for LID {dest_lid}"
+                )
+            if out == 0 and dest_switch == cur:
+                return path
+            if term_at.get((cur, out)) is not None:
+                # Delivered off the fabric; verify it is the right endpoint.
+                lids_here = {
+                    t.lid
+                    for t in request.terminals
+                    if (t.switch_index, t.switch_port) == (cur, out)
+                }
+                if dest_lid in lids_here:
+                    return path
+                raise RoutingError(
+                    f"LID {dest_lid} delivered to wrong endpoint at switch"
+                    f" {cur} port {out}"
+                )
+            nxt = None
+            lo, hi = view.indptr[cur], view.indptr[cur + 1]
+            for k in range(lo, hi):
+                if int(view.out_port[k]) == out:
+                    nxt = int(view.peer[k])
+                    break
+            if nxt is None:
+                raise RoutingError(
+                    f"switch {cur} port {out} for LID {dest_lid} leads nowhere"
+                )
+            cur = nxt
+            path.append(cur)
+        raise RoutingError(
+            f"routing loop for LID {dest_lid} starting at switch {src_switch}:"
+            f" {path[:12]}..."
+        )
+
+    def validate(self, request: RoutingRequest) -> None:
+        """Reference checker: every LID reachable from every switch, loop-free.
+
+        Deliberately slow and obvious; used in tests, never in benchmarks.
+        """
+        all_lids = [t.lid for t in request.terminals] + list(request.switch_lids)
+        for src in range(request.num_switches):
+            for lid in all_lids:
+                self.trace_path(request, src, lid)
+
+
+class RoutingAlgorithm(abc.ABC):
+    """Base class for routing engines."""
+
+    #: Registry/display name, e.g. "minhop".
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compute(self, request: RoutingRequest) -> RoutingTables:
+        """Compute the routing function for *request*."""
+
+    def timed_compute(self, request: RoutingRequest) -> RoutingTables:
+        """Run :meth:`compute`, stamping ``compute_seconds`` (PCt)."""
+        t0 = time.perf_counter()
+        tables = self.compute(request)
+        tables.compute_seconds = time.perf_counter() - t0
+        return tables
+
+    def _empty_tables(self, request: RoutingRequest) -> np.ndarray:
+        return np.full(
+            (request.num_switches, request.top_lid + 1),
+            LFT_UNSET,
+            dtype=np.int16,
+        )
+
+    def _program_local_entries(
+        self, ports: np.ndarray, request: RoutingRequest
+    ) -> None:
+        """Fill the entries every engine agrees on.
+
+        Terminal LIDs exit at their attachment ports on their own leaf
+        switch; a switch's own LID maps to port 0 (the management port).
+        """
+        for t in request.terminals:
+            ports[t.switch_index, t.lid] = t.switch_port
+        for lid, sw in request.switch_lids.items():
+            ports[sw, lid] = 0
+
+
+def bfs_distances(view: SwitchFabricView, source: int) -> np.ndarray:
+    """Hop distances from *source* to every switch (frontier-vectorized BFS)."""
+    n = view.num_switches
+    dist = np.full(n, -1, dtype=np.int32)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    d = 0
+    while frontier.size:
+        starts = view.indptr[frontier]
+        ends = view.indptr[frontier + 1]
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Expand CSR slices: absolute edge indices for the whole frontier.
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        idx = np.repeat(starts, counts) + (np.arange(total) - offsets)
+        nbrs = view.peer[idx]
+        fresh = nbrs[dist[nbrs] < 0]
+        if fresh.size == 0:
+            break
+        d += 1
+        dist[fresh] = d
+        # Deduplicate the next frontier without a sort: every switch at
+        # distance d was just stamped, so select them by value.
+        frontier = np.flatnonzero(dist == d)
+    return dist
+
+
+def all_pairs_switch_distances(view: SwitchFabricView) -> np.ndarray:
+    """Dense (n x n) switch hop-distance matrix."""
+    n = view.num_switches
+    out = np.empty((n, n), dtype=np.int32)
+    for s in range(n):
+        out[s] = bfs_distances(view, s)
+    return out
+
+
+def equal_cost_candidates(
+    view: SwitchFabricView, dist_to_dest: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-switch minimal next-hop ports toward one destination switch.
+
+    Given the distance column ``dist_to_dest`` (hops from every switch to
+    the destination), returns ``(cand_ports, cand_counts)`` where row ``s``
+    of ``cand_ports`` holds the output ports of all neighbours one hop
+    closer to the destination (padded with -1) and ``cand_counts[s]`` how
+    many there are. The destination switch itself has zero candidates.
+
+    Fully vectorized over the CSR edge arrays.
+    """
+    n = view.num_switches
+    degrees = np.diff(view.indptr)
+    edge_src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    good = dist_to_dest[view.peer] == dist_to_dest[edge_src] - 1
+    good &= dist_to_dest[edge_src] > 0
+    idx = np.nonzero(good)[0]  # ascending => grouped by source switch
+    srcs = edge_src[idx]
+    counts = np.bincount(srcs, minlength=n)
+    maxc = int(counts.max()) if idx.size else 0
+    cand = np.full((n, max(maxc, 1)), -1, dtype=np.int32)
+    if idx.size:
+        first = np.cumsum(counts) - counts
+        pos = np.arange(idx.size) - first[srcs]
+        cand[srcs, pos] = view.out_port[idx]
+    return cand, counts.astype(np.int32)

@@ -1,0 +1,135 @@
+"""Dimension-ordered routing (DOR) for meshes and tori.
+
+Routes first along the X dimension, then along Y. On a *mesh* the induced
+channel dependencies are acyclic (the classic XY-routing result), so DOR is
+deadlock free there; on a *torus* the wraparound links reintroduce cycles —
+a textbook pair of cases the deadlock-analysis tests exploit alongside the
+paper's section VI-C discussion.
+
+The engine expects the row-major switch ordering produced by
+:func:`repro.fabric.builders.generic.build_mesh_2d` /
+:func:`~repro.fabric.builders.generic.build_torus_2d` and takes the grid
+dimensions from the builder hints carried in the routing request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.sm.routing.base import (
+    RoutingAlgorithm,
+    RoutingRequest,
+    RoutingTables,
+)
+
+__all__ = ["DimensionOrderedRouting"]
+
+
+class DimensionOrderedRouting(RoutingAlgorithm):
+    """XY routing on 2D meshes/tori built by the generic builders."""
+
+    name = "dor"
+
+    def __init__(self, *, torus: Optional[bool] = None) -> None:
+        #: Force torus (wraparound-aware) distance; autodetected when None.
+        self.torus = torus
+
+    def compute(self, request: RoutingRequest) -> RoutingTables:
+        coords, rows, cols = self._coordinates(request)
+        wraps = self._has_wraparound(request, coords, rows, cols)
+        torus = self.torus if self.torus is not None else wraps
+        if torus and not wraps:
+            raise RoutingError("torus mode requested on a mesh")
+
+        # (switch, neighbour) -> out port, from the CSR view.
+        port_to: Dict[Tuple[int, int], int] = {}
+        view = request.view
+        for s in range(request.num_switches):
+            for nb, out in view.neighbors(s):
+                port_to[(s, nb)] = out
+        index_of = {rc: idx for idx, rc in coords.items()}
+
+        ports = self._empty_tables(request)
+        self._program_local_entries(ports, request)
+
+        dests: List[Tuple[int, int]] = [
+            (t.lid, t.switch_index) for t in request.terminals
+        ] + list((lid, sw) for lid, sw in request.switch_lids.items())
+
+        for lid, dest_sw in dests:
+            dr, dc = coords[dest_sw]
+            for s in range(request.num_switches):
+                if s == dest_sw:
+                    continue
+                r, c = coords[s]
+                if c != dc:
+                    nc = self._step(c, dc, cols, torus)
+                    nxt = index_of[(r, nc)]
+                elif r != dr:
+                    nr = self._step(r, dr, rows, torus)
+                    nxt = index_of[(nr, c)]
+                else:  # pragma: no cover - unreachable (s == dest handled)
+                    continue
+                try:
+                    ports[s, lid] = port_to[(s, nxt)]
+                except KeyError:
+                    raise RoutingError(
+                        f"no cable from {coords[s]} toward {coords[nxt]};"
+                        " not a full mesh/torus"
+                    ) from None
+        return RoutingTables(
+            algorithm=self.name,
+            ports=ports,
+            metadata={"rows": rows, "cols": cols, "torus": torus},
+        )
+
+    @staticmethod
+    def _step(cur: int, dest: int, size: int, torus: bool) -> int:
+        """Next coordinate along one dimension (shortest way on a torus)."""
+        if not torus:
+            return cur + 1 if dest > cur else cur - 1
+        forward = (dest - cur) % size
+        backward = (cur - dest) % size
+        if forward <= backward:
+            return (cur + 1) % size
+        return (cur - 1) % size
+
+    def _coordinates(
+        self, request: RoutingRequest
+    ) -> Tuple[Dict[int, Tuple[int, int]], int, int]:
+        """Derive coordinates from the builders' row-major index order.
+
+        The mesh/torus builders register switches row by row, so dense
+        index = row * cols + col; the dimensions come from the builder's
+        hints carried in the request.
+        """
+        n = request.num_switches
+        rows = int(request.hints.get("rows", 0))
+        cols = int(request.hints.get("cols", 0))
+        if rows <= 0 or cols <= 0:
+            raise RoutingError(
+                "dor needs rows/cols hints; build the topology with"
+                " build_mesh_2d/build_torus_2d and pass built= to the request"
+            )
+        if rows * cols != n:
+            raise RoutingError(
+                f"hints say {rows}x{cols} but the fabric has {n} switches"
+            )
+        coords = {idx: divmod(idx, cols) for idx in range(n)}
+        return coords, rows, cols
+
+    @staticmethod
+    def _has_wraparound(
+        request: RoutingRequest,
+        coords: Dict[int, Tuple[int, int]],
+        rows: int,
+        cols: int,
+    ) -> bool:
+        for s in range(request.num_switches):
+            r, c = coords[s]
+            for nb, _ in request.view.neighbors(s):
+                nr, nc = coords[nb]
+                if abs(nr - r) > 1 or abs(nc - c) > 1:
+                    return True
+        return False

@@ -1,0 +1,153 @@
+"""Fat-tree routing — the structure-exploiting engine (OpenSM's ftree).
+
+Uses the tree levels recorded by the fat-tree builders: traffic to a
+destination LID goes *down* along the unique down-path wherever the current
+switch is an ancestor of the destination's leaf, and *up* otherwise, with
+the up port chosen by destination index (``lid % num_up_ports``) so that
+consecutive LIDs fan out over distinct spines. That destination-indexed
+spreading is what gives the prepopulated vSwitch scheme its LMC-like
+multipathing (paper section V-A).
+
+Because the down-paths are discovered by a short upward walk from each leaf
+(O(ancestors) per leaf) instead of all-pairs BFS, this engine is the fastest
+of the four — matching its position in the paper's Fig. 7.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.sm.routing.base import (
+    RoutingAlgorithm,
+    RoutingRequest,
+    RoutingTables,
+    bfs_distances,
+    equal_cost_candidates,
+)
+
+__all__ = ["FatTreeRouting"]
+
+
+class FatTreeRouting(RoutingAlgorithm):
+    """Up/down fat-tree routing with destination-indexed up-port choice."""
+
+    name = "ftree"
+
+    def compute(self, request: RoutingRequest) -> RoutingTables:
+        if request.level is None:
+            raise RoutingError(
+                "ftree needs tree levels; build the topology with a fat-tree"
+                " builder (or use minhop/dfsssp for unstructured fabrics)"
+            )
+        view = request.view
+        n = request.num_switches
+        level = np.full(n, -1, dtype=np.int32)
+        for idx, lvl in request.level.items():
+            level[idx] = lvl
+        if (level < 0).any():
+            raise RoutingError("every switch needs a level for ftree")
+
+        ports = self._empty_tables(request)
+        self._program_local_entries(ports, request)
+
+        # Per-switch up ports (to any higher-level neighbour), sorted for
+        # determinism; up_adj additionally keeps (peer, reverse port) pairs
+        # so the per-leaf ancestor walks touch only up edges.
+        up_ports: List[List[int]] = [[] for _ in range(n)]
+        up_adj: List[List[tuple]] = [[] for _ in range(n)]
+        degrees = np.diff(view.indptr)
+        edge_src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        going_up = level[view.peer] > level[edge_src]
+        for k in np.nonzero(going_up)[0]:
+            s = int(edge_src[k])
+            up_ports[s].append(int(view.out_port[k]))
+            up_adj[s].append((int(view.peer[k]), int(view.in_port[k])))
+        for lst in up_ports:
+            lst.sort()
+        max_up = max((len(u) for u in up_ports), default=0)
+        up_matrix = np.full((n, max(max_up, 1)), -1, dtype=np.int32)
+        up_counts = np.zeros(n, dtype=np.int32)
+        for s, lst in enumerate(up_ports):
+            up_counts[s] = len(lst)
+            up_matrix[s, : len(lst)] = lst
+
+        rows = np.arange(n)
+        # LIDs handled structurally, grouped by destination leaf: every
+        # terminal, plus the self-LIDs of level-0 switches (routing toward a
+        # leaf switch is identical to routing toward a host below it — the
+        # leaf's own LFT entry is port 0, set by _program_local_entries).
+        leaf_groups: Dict[int, List[int]] = {}
+        for t in request.terminals:
+            leaf_groups.setdefault(t.switch_index, []).append(t.lid)
+        upper_switch_lids: Dict[int, List[int]] = {}
+        for lid, dest_sw in request.switch_lids.items():
+            if level[dest_sw] == 0:
+                leaf_groups.setdefault(dest_sw, []).append(lid)
+            else:
+                upper_switch_lids.setdefault(dest_sw, []).append(lid)
+
+        for leaf_idx, lid_list in leaf_groups.items():
+            down_col = self._down_ports_toward(up_adj, n, leaf_idx)
+            down_mask = down_col >= 0
+            up_mask = ~down_mask & (up_counts > 0) & (rows != leaf_idx)
+            bad = ~down_mask & (up_counts == 0) & (rows != leaf_idx)
+            if bad.any():
+                raise RoutingError(
+                    f"switch {int(np.nonzero(bad)[0][0])} can reach leaf"
+                    f" {leaf_idx} neither up nor down; not a fat-tree?"
+                )
+            ur = rows[up_mask]
+            dr = rows[down_mask]
+            lids = np.array(lid_list, dtype=np.int64)
+            # All of this leaf's LIDs in one 2D fancy-index per direction:
+            # down entries are LID-independent; up entries spread by
+            # lid % up_count per switch.
+            if dr.size:
+                ports[np.ix_(dr, lids)] = down_col[dr][:, None]
+            if ur.size:
+                sel = lids[None, :] % up_counts[ur][:, None]
+                ports[np.ix_(ur, lids)] = up_matrix[ur[:, None], sel]
+
+        # Upper-level switch self-LIDs: equal-cost BFS columns (management
+        # traffic is not bandwidth critical). Only aggregation/core switches
+        # need a BFS — this is where ftree undercuts MinHop's all-pairs.
+        for dest_sw, lids in upper_switch_lids.items():
+            dist = bfs_distances(view, dest_sw)
+            if (dist < 0).any():
+                raise RoutingError("switch graph is disconnected")
+            cand, counts = equal_cost_candidates(view, dist)
+            mask = counts > 0
+            sel = rows[mask]
+            cnt = counts[mask]
+            for lid in lids:
+                ports[sel, lid] = cand[sel, lid % cnt]
+
+        return RoutingTables(
+            algorithm=self.name,
+            ports=ports,
+            metadata={"levels": level},
+        )
+
+    @staticmethod
+    def _down_ports_toward(
+        up_adj: List[List[tuple]], n: int, leaf_idx: int
+    ) -> np.ndarray:
+        """For every ancestor of *leaf_idx*, the down port toward it.
+
+        Walks up from the leaf along the precomputed up-edge adjacency;
+        each newly reached higher-level switch records the (reverse) port
+        through which it was reached. Non-ancestors keep -1.
+        """
+        down = np.full(n, -1, dtype=np.int32)
+        q = deque([leaf_idx])
+        while q:
+            cur = q.popleft()
+            for nb, in_port in up_adj[cur]:
+                if down[nb] < 0:
+                    down[nb] = in_port
+                    q.append(nb)
+        return down

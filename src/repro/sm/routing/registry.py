@@ -1,0 +1,49 @@
+"""Routing engine registry — name-based lookup like OpenSM's ``routing_engine``
+configuration option."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import RoutingError
+from repro.sm.routing.base import RoutingAlgorithm
+from repro.sm.routing.dfsssp import DFSSSPRouting
+from repro.sm.routing.dor import DimensionOrderedRouting
+from repro.sm.routing.fattree import FatTreeRouting
+from repro.sm.routing.lash import LashRouting
+from repro.sm.routing.minhop import MinHopRouting
+from repro.sm.routing.updn import UpDownRouting
+
+__all__ = ["available_engines", "create_engine", "register_engine"]
+
+_FACTORIES: Dict[str, Callable[[], RoutingAlgorithm]] = {
+    "minhop": MinHopRouting,
+    "ftree": FatTreeRouting,
+    "updn": UpDownRouting,
+    "dfsssp": DFSSSPRouting,
+    "dor": DimensionOrderedRouting,
+    "lash": LashRouting,
+}
+
+
+def available_engines() -> List[str]:
+    """Names accepted by :func:`create_engine`."""
+    return sorted(_FACTORIES)
+
+
+def create_engine(name: str, **kwargs) -> RoutingAlgorithm:
+    """Instantiate a routing engine by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise RoutingError(
+            f"unknown routing engine {name!r}; available: {available_engines()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def register_engine(name: str, factory: Callable[[], RoutingAlgorithm]) -> None:
+    """Register a custom engine (used by tests and extensions)."""
+    if name in _FACTORIES:
+        raise RoutingError(f"engine {name!r} already registered")
+    _FACTORIES[name] = factory

@@ -1,0 +1,170 @@
+"""Up*/Down* routing.
+
+Classic deadlock-free routing for irregular fabrics: switches are ranked by
+BFS from a root, every cable is oriented (its end closer to the root is the
+"up" end), and a legal path makes zero or more *up* moves followed by zero
+or more *down* moves — once a packet has gone down it may never go up again
+(paper section VI-C). The resulting channel dependency graph is acyclic, so
+the routing is deadlock free by construction; the deadlock tests use this
+engine as the known-good baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.sm.routing.base import (
+    RoutingAlgorithm,
+    RoutingRequest,
+    RoutingTables,
+    bfs_distances,
+)
+
+__all__ = ["UpDownRouting"]
+
+_INF = 1 << 30
+
+
+class UpDownRouting(RoutingAlgorithm):
+    """BFS-ranked Up*/Down* with destination-indexed balancing."""
+
+    name = "updn"
+
+    def __init__(self, root_index: Optional[int] = None) -> None:
+        self.root_index = root_index
+
+    def compute(self, request: RoutingRequest) -> RoutingTables:
+        view = request.view
+        n = request.num_switches
+        root = self._pick_root(request)
+        rank = bfs_distances(view, root)
+        if (rank < 0).any():
+            raise RoutingError("switch graph is disconnected")
+
+        ports = self._empty_tables(request)
+        self._program_local_entries(ports, request)
+
+        # Orientation key: (rank, index); the smaller key is the up end.
+        key = rank.astype(np.int64) * n + np.arange(n)
+
+        # Destination switch -> LIDs terminating there.
+        dest_groups: Dict[int, List[int]] = {}
+        for t in request.terminals:
+            dest_groups.setdefault(t.switch_index, []).append(t.lid)
+        for lid, sw in request.switch_lids.items():
+            dest_groups.setdefault(sw, []).append(lid)
+
+        order_up = np.argsort(key)  # root-most first: the up-move DAG order
+        for dest_sw, lids in dest_groups.items():
+            cand, counts = self._legal_candidates(view, key, order_up, dest_sw)
+            for lid in lids:
+                for s in range(n):
+                    c = counts[s]
+                    if c > 0:
+                        ports[s, lid] = cand[s][lid % c]
+
+        return RoutingTables(
+            algorithm=self.name,
+            ports=ports,
+            metadata={"rank": rank, "root": root},
+        )
+
+    def _pick_root(self, request: RoutingRequest) -> int:
+        if self.root_index is not None:
+            if not 0 <= self.root_index < request.num_switches:
+                raise RoutingError(f"bad root index {self.root_index}")
+            return self.root_index
+        if request.root_indices:
+            return request.root_indices[0]
+        return 0
+
+    def _legal_candidates(
+        self,
+        view,
+        key: np.ndarray,
+        order_up: np.ndarray,
+        dest: int,
+    ) -> Tuple[List[List[int]], np.ndarray]:
+        """Destination-based legal next hops toward *dest* for every switch.
+
+        Because an LFT cannot encode "I already went down", per-switch
+        choices must be *globally consistent*: a switch may only send a
+        packet down into a neighbour that itself keeps going down. The
+        construction therefore partitions the switches:
+
+        * the **down region** — switches with a down-only path to *dest*
+          (``d_down < inf``). Members always route down along shortest
+          down-only paths, so any packet entering the region descends to
+          the destination;
+        * everyone else routes **up**, minimizing the distance to the
+          region over the acyclic up-move DAG. Up moves strictly approach
+          the root, which always belongs to the region, so entry is
+          guaranteed.
+
+        The result is up*/down*-legal end to end (the property the
+        deadlock tests verify), at the cost of occasionally longer paths
+        than the phase-aware optimum — the standard price of LFT-encoded
+        Up*/Down*.
+        """
+        n = view.num_switches
+        d_down = np.full(n, _INF, dtype=np.int64)
+        d_down[dest] = 0
+        # Down-only distances: reverse BFS from dest along up-moves (a down
+        # move s->x means key[x] > key[s], so its reverse is an up move).
+        q = deque([dest])
+        while q:
+            cur = q.popleft()
+            lo, hi = view.indptr[cur], view.indptr[cur + 1]
+            for k in range(lo, hi):
+                nb = int(view.peer[k])
+                # nb -> cur must be a down move: key[cur] > key[nb].
+                if key[cur] > key[nb] and d_down[nb] > d_down[cur] + 1:
+                    d_down[nb] = d_down[cur] + 1
+                    q.append(nb)
+
+        # Up-phase distances for non-region switches: steps to reach the
+        # down region going only up, plus the descent. Processed root-most
+        # first so up-neighbours are final before their dependants.
+        d_up = np.full(n, _INF, dtype=np.int64)
+        for s in order_up:
+            if d_down[s] < _INF:
+                d_up[s] = d_down[s]  # already in the region
+                continue
+            lo, hi = view.indptr[s], view.indptr[s + 1]
+            best = _INF
+            for k in range(lo, hi):
+                nb = int(view.peer[k])
+                if key[nb] < key[s] and d_up[nb] < _INF:
+                    best = min(best, d_up[nb] + 1)
+            d_up[s] = best
+
+        cand: List[List[int]] = [[] for _ in range(n)]
+        counts = np.zeros(n, dtype=np.int64)
+        for s in range(n):
+            if s == dest:
+                continue
+            lo, hi = view.indptr[s], view.indptr[s + 1]
+            in_region = d_down[s] < _INF
+            for k in range(lo, hi):
+                nb = int(view.peer[k])
+                p = int(view.out_port[k])
+                if in_region:
+                    # Region members only ever go down, along shortest
+                    # down-only paths (which stay inside the region).
+                    if key[nb] > key[s] and d_down[nb] + 1 == d_down[s]:
+                        cand[s].append(p)
+                else:
+                    # Everyone else goes up toward the region.
+                    if key[nb] < key[s] and d_up[nb] + 1 == d_up[s]:
+                        cand[s].append(p)
+            if not cand[s]:
+                raise RoutingError(
+                    f"no legal Up*/Down* next hop at switch {s} toward {dest}"
+                )
+            cand[s].sort()
+            counts[s] = len(cand[s])
+        return cand, counts

@@ -1,0 +1,215 @@
+"""The subnet manager: OpenSM's role in the reproduction.
+
+Ties together discovery, LID assignment, routing and LFT distribution, and
+offers the *traditional* full-reconfiguration baseline the paper compares
+against (section VI-A): recompute all paths, redistribute all LFT blocks —
+``RC_t = PC_t + LFTD_t`` (equation (1)/(3)).
+
+The vSwitch-specific fast path (swap/copy single entries, equation (4)/(5))
+deliberately does NOT live here: it is the paper's contribution and is
+implemented in :mod:`repro.core.reconfig`, driving this SM's transport and
+tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.errors import RoutingError
+from repro.fabric.topology import Topology
+from repro.mad.transport import SmpTransport
+from repro.sm.discovery import DiscoveryReport, discover_subnet
+from repro.sm.lft_distribution import DistributionReport, LftDistributor
+from repro.sm.lid_manager import LidManager
+from repro.sm.routing.base import RoutingAlgorithm, RoutingRequest, RoutingTables
+from repro.sm.routing.registry import create_engine
+
+__all__ = ["ConfigureReport", "SubnetManager"]
+
+
+@dataclass
+class ConfigureReport:
+    """Cost breakdown of one (re)configuration — the paper's RC_t."""
+
+    path_compute_seconds: float = 0.0  # PC_t
+    distribution: DistributionReport = field(default_factory=DistributionReport)
+    discovery: Optional[DiscoveryReport] = None
+
+    @property
+    def lft_smps(self) -> int:
+        """SubnSet(LFT) SMPs sent (the n*m term)."""
+        return self.distribution.smps_sent
+
+    @property
+    def total_seconds_serial(self) -> float:
+        """RC_t with serial SMP issue (equation (3))."""
+        return self.path_compute_seconds + self.distribution.serial_time
+
+    @property
+    def total_seconds_pipelined(self) -> float:
+        """RC_t with the SM's LFT pipelining (section VI-B)."""
+        return self.path_compute_seconds + self.distribution.pipelined_time
+
+
+class SubnetManager:
+    """An OpenSM-like subnet manager bound to one topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        engine: Union[str, RoutingAlgorithm] = "minhop",
+        built: Optional[object] = None,
+        transport: Optional[SmpTransport] = None,
+        pipeline_window: int = 8,
+        lft_smp_directed: bool = True,
+        fallback_engine: Optional[str] = None,
+    ) -> None:
+        self.topology = topology
+        self.built = built
+        self.engine: RoutingAlgorithm = (
+            create_engine(engine) if isinstance(engine, str) else engine
+        )
+        #: Engine to retry with when the primary cannot route the fabric —
+        #: OpenSM's behaviour when e.g. ftree meets a degraded non-tree.
+        self.fallback_engine: Optional[RoutingAlgorithm] = (
+            create_engine(fallback_engine) if fallback_engine else None
+        )
+        self.transport = transport or SmpTransport(topology)
+        self.lid_manager = LidManager(topology)
+        self.distributor = LftDistributor(
+            topology,
+            self.transport,
+            pipeline_window=pipeline_window,
+            directed=lft_smp_directed,
+        )
+        self.current_tables: Optional[RoutingTables] = None
+        self.last_request: Optional[RoutingRequest] = None
+
+    # -- configuration steps -------------------------------------------------
+
+    def discover(self) -> DiscoveryReport:
+        """Directed-route sweep of the fabric."""
+        return discover_subnet(self.topology, self.transport)
+
+    def assign_lids(self) -> Dict[str, int]:
+        """Base LID assignment for switches and HCAs."""
+        return self.lid_manager.assign_base_lids()
+
+    def compute_routing(self) -> RoutingTables:
+        """Run the engine; stores and returns the tables (PCt stamped).
+
+        Falls back to :attr:`fallback_engine` (when configured) if the
+        primary engine raises a :class:`~repro.errors.RoutingError`.
+        """
+        request = RoutingRequest.from_topology(self.topology, built=self.built)
+        try:
+            tables = self.engine.timed_compute(request)
+        except RoutingError:
+            if self.fallback_engine is None:
+                raise
+            tables = self.fallback_engine.timed_compute(request)
+            tables.metadata["fallback_from"] = self.engine.name
+        self.current_tables = tables
+        self.last_request = request
+        return tables
+
+    def distribute(self, *, force_full: bool = False) -> DistributionReport:
+        """Send the current tables to the switches."""
+        if self.current_tables is None:
+            raise RoutingError("no routing computed yet")
+        return self.distributor.distribute(
+            self.current_tables, force_full=force_full
+        )
+
+    # -- high-level flows -------------------------------------------------------
+
+    def initial_configure(self, *, with_discovery: bool = True) -> ConfigureReport:
+        """Bring a fresh subnet up: discover, assign LIDs, route, distribute."""
+        report = ConfigureReport()
+        if with_discovery:
+            report.discovery = self.discover()
+        self.assign_lids()
+        tables = self.compute_routing()
+        report.path_compute_seconds = tables.compute_seconds
+        report.distribution = self.distribute()
+        return report
+
+    def full_reconfigure(self) -> ConfigureReport:
+        """The traditional baseline: recompute everything, resend every block.
+
+        This is what a LID change would trigger without the paper's
+        mechanism — the several-minutes path the vSwitch reconfiguration
+        eliminates.
+        """
+        report = ConfigureReport()
+        tables = self.compute_routing()
+        report.path_compute_seconds = tables.compute_seconds
+        report.distribution = self.distribute(force_full=True)
+        return report
+
+    def incremental_reroute(self) -> ConfigureReport:
+        """Recompute paths but send only changed blocks (diff distribution)."""
+        report = ConfigureReport()
+        tables = self.compute_routing()
+        report.path_compute_seconds = tables.compute_seconds
+        report.distribution = self.distribute(force_full=False)
+        return report
+
+    def handle_link_failure(self, link) -> ConfigureReport:
+        """React to a failed inter-switch cable.
+
+        The SM unplugs the cable, re-sweeps (heavy-sweep style), recomputes
+        paths and distributes only the changed LFT blocks. This is the
+        *legitimate* use of reconfiguration the paper contrasts with VM
+        migration: a topology change genuinely requires path recomputation,
+        a moved LID does not.
+
+        Raises :class:`~repro.errors.TopologyError` (from validation) if
+        the failure partitions the switch fabric.
+        """
+        link.disconnect()
+        self.transport.invalidate_distances()
+        self.topology.invalidate_fabric_view()
+        self.topology.validate()
+        report = ConfigureReport()
+        report.discovery = self.discover()
+        tables = self.compute_routing()
+        report.path_compute_seconds = tables.compute_seconds
+        report.distribution = self.distribute()
+        return report
+
+    def handle_switch_failure(self, switch) -> ConfigureReport:
+        """React to a dead (non-leaf) switch: remove it and reroute.
+
+        The switch's LID is released, its cables unplugged, the remaining
+        fabric validated (a partition aborts), and a fresh routing
+        distributed. Raises :class:`~repro.errors.TopologyError` if the
+        switch hosts HCAs (leaf failures strand hosts — a virtualization-
+        layer problem, not a routing one).
+        """
+        if switch.lid is not None and self.topology.port_of_lid(switch.lid):
+            self.lid_manager.release_lid(switch.lid)
+            switch.lid = None
+        self.topology.remove_switch(switch)
+        self.transport.invalidate_distances()
+        self.topology.validate()
+        report = ConfigureReport()
+        report.discovery = self.discover()
+        tables = self.compute_routing()
+        report.path_compute_seconds = tables.compute_seconds
+        report.distribution = self.distribute()
+        return report
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def num_switches(self) -> int:
+        """The paper's ``n``."""
+        return self.topology.num_switches
+
+    @property
+    def lids_consumed(self) -> int:
+        """Currently assigned LIDs."""
+        return self.lid_manager.lids_consumed

@@ -1,0 +1,103 @@
+"""Fabric event traps: how the SM learns that something broke.
+
+Switches report port-state changes to the master SM with Trap MADs (IBA
+traps 128/129-style). The event manager records the traps, debounces the
+two reports a single cable failure produces (one from each end), and
+triggers the SM's reaction — the *legitimate* heavy reconfiguration the
+paper contrasts with migration-triggered ones.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ReproError
+from repro.fabric.link import Link
+from repro.fabric.node import Switch
+from repro.sm.subnet_manager import ConfigureReport, SubnetManager
+
+__all__ = ["TrapType", "TrapRecord", "FabricEventManager"]
+
+
+class TrapType(enum.Enum):
+    """Modelled trap numbers (IBA 13.4.9)."""
+
+    LINK_STATE_DOWN = 128
+    LINK_STATE_UP = 129
+
+
+@dataclass(frozen=True)
+class TrapRecord:
+    """One trap notice received by the SM."""
+
+    seq: int
+    trap: TrapType
+    reporter: str  # switch that noticed
+    port: int
+
+
+class FabricEventManager:
+    """Receives fabric traps and drives the SM's reaction."""
+
+    def __init__(self, sm: SubnetManager) -> None:
+        self.sm = sm
+        self.traps: List[TrapRecord] = []
+        self._seq = itertools.count(1)
+        #: Reconfigurations performed in reaction to traps.
+        self.reactions: List[ConfigureReport] = []
+
+    # -- trap ingestion -------------------------------------------------------
+
+    def _record(self, trap: TrapType, reporter: str, port: int) -> TrapRecord:
+        rec = TrapRecord(
+            seq=next(self._seq), trap=trap, reporter=reporter, port=port
+        )
+        self.traps.append(rec)
+        return rec
+
+    def traps_of(self, trap: TrapType) -> List[TrapRecord]:
+        """All received traps of one type, in arrival order."""
+        return [t for t in self.traps if t.trap is trap]
+
+    # -- events ------------------------------------------------------------------
+
+    def link_down(self, link: Link) -> ConfigureReport:
+        """A cable died: both switch ends trap, the SM reroutes once.
+
+        Raises :class:`~repro.errors.TopologyError` if the failure would
+        partition the switch fabric (the SM refuses and the cable must be
+        fixed instead).
+        """
+        ends = [p for p in link.ends if isinstance(p.node, Switch)]
+        if not ends:
+            raise ReproError("link_down models inter-switch cables only")
+        for port in ends:
+            self._record(TrapType.LINK_STATE_DOWN, port.node.name, port.num)
+        report = self.sm.handle_link_failure(link)
+        self.reactions.append(report)
+        return report
+
+    def link_up(self, a, port_a: int, b, port_b: int) -> ConfigureReport:
+        """A cable was (re)connected: traps, then re-sweep and reroute."""
+        link = self.sm.topology.connect(a, port_a, b, port_b)
+        for port in link.ends:
+            if isinstance(port.node, Switch):
+                self._record(
+                    TrapType.LINK_STATE_UP, port.node.name, port.num
+                )
+        self.sm.transport.invalidate_distances()
+        report = ConfigureReport()
+        report.discovery = self.sm.discover()
+        tables = self.sm.compute_routing()
+        report.path_compute_seconds = tables.compute_seconds
+        report.distribution = self.sm.distribute()
+        self.reactions.append(report)
+        return report
+
+    @property
+    def reaction_count(self) -> int:
+        """How many reconfigurations traps have triggered."""
+        return len(self.reactions)

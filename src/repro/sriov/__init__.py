@@ -1,0 +1,20 @@
+"""SR-IOV architectures: Shared Port (current hardware) and vSwitch (the
+paper's proposal)."""
+
+from repro.sriov.base import (
+    Function,
+    FunctionState,
+    PhysicalFunction,
+    VirtualFunction,
+)
+from repro.sriov.shared_port import SharedPortHCA
+from repro.sriov.vswitch import VSwitchHCA
+
+__all__ = [
+    "Function",
+    "FunctionState",
+    "PhysicalFunction",
+    "VirtualFunction",
+    "SharedPortHCA",
+    "VSwitchHCA",
+]

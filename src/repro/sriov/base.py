@@ -1,0 +1,112 @@
+"""SR-IOV function model: physical and virtual functions.
+
+SR-IOV lets one physical HCA appear as many lightweight instances: the
+hypervisor drives the fully-featured *Physical Function* (PF) and assigns
+*Virtual Functions* (VFs) to VMs as passthrough devices (paper section
+II-A2). How the functions share the HCA's IB identity is what separates the
+two architectures of section IV — Shared Port and vSwitch — implemented in
+the sibling modules.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import SriovError
+from repro.fabric.addressing import GID, GUID, make_gid
+from repro.fabric.node import HCA, QueuePair
+
+__all__ = ["FunctionState", "Function", "PhysicalFunction", "VirtualFunction"]
+
+
+class FunctionState(enum.Enum):
+    """Lifecycle of a virtual function."""
+
+    FREE = "free"  # not assigned to any VM
+    ACTIVE = "active"  # passthrough-attached to a running VM
+    DETACHED = "detached"  # reserved (e.g. VM mid-migration), not usable
+
+
+class Function:
+    """Common state of PFs and VFs."""
+
+    def __init__(self, hca: HCA, name: str, guid: GUID) -> None:
+        self.hca = hca
+        self.name = name
+        self.guid = guid
+        #: LID is None until the active LID scheme assigns one.
+        self.lid: Optional[int] = None
+
+    @property
+    def gid(self) -> GID:
+        """The function's GID — always derived from its current GUID."""
+        return make_gid(self.guid)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name} lid={self.lid}>"
+
+
+class PhysicalFunction(Function):
+    """The hypervisor-owned, fully featured function."""
+
+    def __init__(self, hca: HCA, guid: GUID) -> None:
+        super().__init__(hca, f"{hca.name}/PF", guid)
+        # The PF owns the real management QPs.
+        self.qp0: QueuePair = hca.qp0
+        self.qp1: QueuePair = hca.qp1
+
+    @property
+    def can_run_sm(self) -> bool:
+        """A PF always has working QP0 access, so it can host an SM."""
+        return self.qp0.smi_allowed
+
+
+class VirtualFunction(Function):
+    """A passthrough instance assignable to one VM."""
+
+    def __init__(
+        self,
+        hca: HCA,
+        index: int,
+        guid: GUID,
+        *,
+        qp0_proxied: bool,
+    ) -> None:
+        super().__init__(hca, f"{hca.name}/VF{index}", guid)
+        self.index = index
+        self.state = FunctionState.FREE
+        self.vm_name: Optional[str] = None
+        # Shared Port exposes QP0 to VFs but discards their SMPs; vSwitch
+        # gives each VF a genuine QP0 of its own (section IV).
+        self.qp0 = QueuePair(0, owner=self.name, smi_allowed=not qp0_proxied)
+        self.qp1 = QueuePair(1, owner=self.name, smi_allowed=True)
+
+    @property
+    def is_free(self) -> bool:
+        """True iff no VM holds this VF."""
+        return self.state is FunctionState.FREE
+
+    @property
+    def can_run_sm(self) -> bool:
+        """Whether a VM on this VF could host an SM (vSwitch yes, Shared
+        Port no — paper section IV-A)."""
+        return self.qp0.smi_allowed
+
+    def attach(self, vm_name: str) -> None:
+        """Passthrough-attach this VF to a VM."""
+        if self.state is not FunctionState.FREE:
+            raise SriovError(f"{self.name} is {self.state.value}, not free")
+        self.state = FunctionState.ACTIVE
+        self.vm_name = vm_name
+
+    def detach(self) -> None:
+        """Detach from the current VM (step 1 of the migration flow)."""
+        if self.state is not FunctionState.ACTIVE:
+            raise SriovError(f"{self.name} is not attached")
+        self.state = FunctionState.DETACHED
+
+    def release(self) -> None:
+        """Return the VF to the free pool."""
+        self.state = FunctionState.FREE
+        self.vm_name = None

@@ -1,0 +1,101 @@
+"""The SR-IOV Shared Port architecture (paper section IV-A, Fig. 1).
+
+The HCA appears as a single port: **one LID** shared by the PF and all VFs,
+one shared QP space, but per-function GIDs. Consequences the model exposes:
+
+* a VM's LID is the hypervisor's LID — migrating the VM *changes* its LID;
+* all co-resident VMs share that LID, so migrating one (with its LID, as
+  the paper's emulation must) breaks connectivity for the others — the
+  reason the emulation in section VII-B runs at most one VM per node;
+* VFs get a proxied QP0 that discards SMPs, so no SM can run inside a VM.
+
+This is the architecture current hardware implements and the baseline the
+vSwitch proposal is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.constants import DEFAULT_NUM_VFS, MAX_NUM_VFS
+from repro.errors import SriovError
+from repro.fabric.addressing import GuidAllocator
+from repro.fabric.node import HCA
+from repro.sriov.base import PhysicalFunction, VirtualFunction
+
+__all__ = ["SharedPortHCA"]
+
+
+class SharedPortHCA:
+    """An SR-IOV HCA under the Shared Port model."""
+
+    def __init__(
+        self,
+        hca: HCA,
+        guids: GuidAllocator,
+        *,
+        num_vfs: int = DEFAULT_NUM_VFS,
+    ) -> None:
+        if not 0 < num_vfs <= MAX_NUM_VFS:
+            raise SriovError(f"num_vfs must be in 1..{MAX_NUM_VFS}")
+        self.hca = hca
+        self.pf = PhysicalFunction(hca, guids.allocate_physical())
+        self.vfs: List[VirtualFunction] = [
+            VirtualFunction(hca, i, guids.allocate_virtual(), qp0_proxied=True)
+            for i in range(1, num_vfs + 1)
+        ]
+
+    # -- the shared LID ---------------------------------------------------
+
+    @property
+    def lid(self) -> Optional[int]:
+        """The single LID shared by PF and every VF."""
+        return self.hca.port(1).lid
+
+    @lid.setter
+    def lid(self, value: Optional[int]) -> None:
+        self.hca.port(1).lid = value
+        self.pf.lid = value
+        for vf in self.vfs:
+            vf.lid = value
+
+    def function_lids(self) -> Dict[str, Optional[int]]:
+        """Every function's LID — all identical by construction."""
+        out: Dict[str, Optional[int]] = {self.pf.name: self.pf.lid}
+        for vf in self.vfs:
+            out[vf.name] = vf.lid
+        return out
+
+    # -- VF lifecycle -------------------------------------------------------
+
+    def free_vfs(self) -> List[VirtualFunction]:
+        """VFs not attached to any VM."""
+        return [vf for vf in self.vfs if vf.is_free]
+
+    def attach_vm(self, vm_name: str) -> VirtualFunction:
+        """Attach a VM to the first free VF."""
+        for vf in self.vfs:
+            if vf.is_free:
+                vf.attach(vm_name)
+                vf.lid = self.lid  # shared by definition
+                return vf
+        raise SriovError(f"no free VF on {self.hca.name}")
+
+    def active_vms(self) -> List[str]:
+        """Names of VMs currently holding VFs."""
+        return [vf.vm_name for vf in self.vfs if vf.vm_name is not None]
+
+    def vms_sharing_lid_with(self, vf: VirtualFunction) -> List[str]:
+        """Other VMs whose connectivity depends on *vf*'s LID.
+
+        Under Shared Port every co-resident VM shares the LID, so a LID
+        migration for one VM breaks all of these (the paper's emulation
+        constraint).
+        """
+        if vf not in self.vfs:
+            raise SriovError(f"{vf.name} does not belong to {self.hca.name}")
+        return [
+            other.vm_name
+            for other in self.vfs
+            if other is not vf and other.vm_name is not None
+        ]

@@ -1,0 +1,114 @@
+"""The SR-IOV vSwitch architecture (paper section IV-B, Fig. 2).
+
+Each VF is a complete vHCA: its own full set of IB addresses (LID, vGUID,
+GID) and a dedicated QP space. To the rest of the subnet the HCA looks like
+a small switch (the *vSwitch*) with the PF and the VFs hanging off it; the
+vSwitch itself shares the PF's LID (section V-A: "the vSwitch does not need
+to occupy an additional LID as it can share the LID with the PF").
+
+Whether VF LIDs exist from boot or appear when VMs start is the policy of
+the two LID schemes in :mod:`repro.core.lid_schemes`; this class only holds
+the mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.constants import DEFAULT_NUM_VFS, MAX_NUM_VFS
+from repro.errors import SriovError
+from repro.fabric.addressing import GUID, GuidAllocator
+from repro.fabric.node import HCA, Port
+from repro.sriov.base import FunctionState, PhysicalFunction, VirtualFunction
+
+__all__ = ["VSwitchHCA"]
+
+
+class VSwitchHCA:
+    """An SR-IOV HCA under the vSwitch model."""
+
+    def __init__(
+        self,
+        hca: HCA,
+        guids: GuidAllocator,
+        *,
+        num_vfs: int = DEFAULT_NUM_VFS,
+    ) -> None:
+        if not 0 < num_vfs <= MAX_NUM_VFS:
+            raise SriovError(f"num_vfs must be in 1..{MAX_NUM_VFS}")
+        self.hca = hca
+        self.pf = PhysicalFunction(hca, guids.allocate_physical())
+        self.vfs: List[VirtualFunction] = [
+            VirtualFunction(hca, i, guids.allocate_virtual(), qp0_proxied=False)
+            for i in range(1, num_vfs + 1)
+        ]
+        self._guids = guids
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def uplink_port(self) -> Port:
+        """The physical port all functions share (the vSwitch uplink)."""
+        return self.hca.port(1)
+
+    @property
+    def pf_lid(self) -> Optional[int]:
+        """The PF's LID (shared with the vSwitch itself)."""
+        return self.pf.lid
+
+    @property
+    def num_vfs(self) -> int:
+        """VFs carved out of this HCA."""
+        return len(self.vfs)
+
+    def function_lids(self) -> Dict[str, Optional[int]]:
+        """LID of every function — distinct per function here."""
+        out: Dict[str, Optional[int]] = {self.pf.name: self.pf.lid}
+        for vf in self.vfs:
+            out[vf.name] = vf.lid
+        return out
+
+    def lids_in_use(self) -> List[int]:
+        """All LIDs currently held by this HCA's functions."""
+        lids = [f.lid for f in [self.pf, *self.vfs] if f.lid is not None]
+        return sorted(lids)
+
+    # -- VF lifecycle -----------------------------------------------------------
+
+    def vf(self, index: int) -> VirtualFunction:
+        """VF by its 1-based index."""
+        for vf in self.vfs:
+            if vf.index == index:
+                return vf
+        raise SriovError(f"{self.hca.name} has no VF{index}")
+
+    def free_vfs(self) -> List[VirtualFunction]:
+        """VFs not held by a VM."""
+        return [vf for vf in self.vfs if vf.is_free]
+
+    def first_free_vf(self) -> VirtualFunction:
+        """First available VF slot (an available VM slot, section V-A)."""
+        for vf in self.vfs:
+            if vf.is_free:
+                return vf
+        raise SriovError(f"no free VF on {self.hca.name}")
+
+    def active_vfs(self) -> List[VirtualFunction]:
+        """VFs passthrough-attached to running VMs."""
+        return [vf for vf in self.vfs if vf.state is FunctionState.ACTIVE]
+
+    def set_vguid(self, vf: VirtualFunction, vguid: GUID) -> None:
+        """Program an alias GUID onto a VF (effect of the vGUID SMP).
+
+        This is what happens at the destination hypervisor before a
+        migrated VM is re-attached (section V-C step a / section VII-B
+        step 4): the VF takes over the GUID — and hence GID — the VM
+        carried with it.
+        """
+        if vf not in self.vfs:
+            raise SriovError(f"{vf.name} does not belong to {self.hca.name}")
+        vf.guid = vguid
+
+    def can_host_sm_in_vm(self) -> bool:
+        """vSwitch VFs own a real QP0, so an SM can run inside a VM."""
+        return all(vf.can_run_sm for vf in self.vfs)

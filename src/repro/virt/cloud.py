@@ -1,0 +1,275 @@
+"""The cloud manager — the OpenStack stand-in of the emulation testbed.
+
+Owns the fleet of hypervisors on one IB subnet, drives the subnet manager
+and the active LID scheme, schedules VM placement, and triggers live
+migrations through the :class:`~repro.core.migration.LiveMigrationOrchestrator`
+(section VII-B: "We modified OpenStack to allow IB SR-IOV VFs to be used by
+VMs and when a live migration is triggered the following four steps are
+executed ...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.errors import VirtError
+from repro.fabric.addressing import GuidAllocator
+from repro.fabric.node import HCA
+from repro.fabric.topology import Topology
+from repro.sm.subnet_manager import ConfigureReport, SubnetManager
+from repro.sriov.vswitch import VSwitchHCA
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.sa_cache import SubnetAdministrator
+from repro.virt.vm import VirtualMachine, VmState
+
+__all__ = ["CloudManager", "PlacementPolicy"]
+
+
+@dataclass
+class PlacementPolicy:
+    """VM scheduling policy.
+
+    * ``first-fit`` — registration order;
+    * ``spread`` — most free VFs first;
+    * ``pack`` — fewest free VFs that still fit;
+    * ``leaf-affinity`` — prefer hypervisors on leaves that already host
+      VMs. Keeping tenants leaf-local makes future migrations intra-leaf —
+      the section VI-D case where reconfiguration touches a single switch
+      and arbitrarily many migrations can run concurrently.
+    """
+
+    name: str = "first-fit"
+
+    def choose(self, candidates: List[Hypervisor]) -> Hypervisor:
+        """Pick a hypervisor among those with capacity."""
+        if not candidates:
+            raise VirtError("no hypervisor has a free VF")
+        if self.name == "spread":
+            return max(candidates, key=lambda h: h.free_vf_count)
+        if self.name == "pack":
+            return min(candidates, key=lambda h: h.free_vf_count)
+        if self.name == "first-fit":
+            return candidates[0]
+        if self.name == "leaf-affinity":
+            return self._leaf_affinity(candidates)
+        raise VirtError(f"unknown placement policy {self.name!r}")
+
+    @staticmethod
+    def _leaf_affinity(candidates: List[Hypervisor]) -> Hypervisor:
+        def leaf_of(h: Hypervisor):
+            peer = h.uplink_port.remote
+            return peer.node if peer is not None else None
+
+        # Population per leaf across the candidate set's leaves.
+        population: Dict[object, int] = {}
+        for h in candidates:
+            population.setdefault(leaf_of(h), 0)
+        for h in candidates:
+            population[leaf_of(h)] += h.vm_count
+        # Fullest already-populated leaf wins; empty leaves only when no
+        # populated leaf has room. Ties: most free VFs (headroom).
+        return max(
+            candidates,
+            key=lambda h: (
+                population[leaf_of(h)] > 0,
+                population[leaf_of(h)],
+                h.free_vf_count,
+            ),
+        )
+
+
+class CloudManager:
+    """One vHPC cloud: hypervisors + VMs on an IB subnet."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        sm: Optional[SubnetManager] = None,
+        built: Optional[object] = None,
+        lid_scheme: str = "prepopulated",
+        routing_engine: str = "minhop",
+        num_vfs: int = 16,
+        placement: Union[str, PlacementPolicy] = "first-fit",
+        destination_routed_smps: bool = False,
+    ) -> None:
+        # Imported here (not at module top) to keep the package import
+        # graph acyclic: core.migration needs virt.hypervisor.
+        from repro.core.lid_schemes import (
+            DynamicLidScheme,
+            PrepopulatedLidScheme,
+        )
+        from repro.core.migration import LiveMigrationOrchestrator
+
+        self.topology = topology
+        self.sm = sm or SubnetManager(topology, engine=routing_engine, built=built)
+        self.guids = GuidAllocator()
+        self.sa = SubnetAdministrator()
+        self.num_vfs = num_vfs
+        self.placement = (
+            PlacementPolicy(placement) if isinstance(placement, str) else placement
+        )
+        if lid_scheme == "prepopulated":
+            self.scheme = PrepopulatedLidScheme(
+                self.sm, destination_routed=destination_routed_smps
+            )
+        elif lid_scheme == "dynamic":
+            self.scheme = DynamicLidScheme(
+                self.sm, destination_routed=destination_routed_smps
+            )
+        else:
+            raise VirtError(f"unknown LID scheme {lid_scheme!r}")
+        self.orchestrator = LiveMigrationOrchestrator(self.sm, self.scheme)
+        self.orchestrator.listeners.append(self._on_migrated)
+        self.hypervisors: Dict[str, Hypervisor] = {}
+        self.vms: Dict[str, VirtualMachine] = {}
+        self._vm_serial = 0
+
+    # -- fleet construction ---------------------------------------------------
+
+    def adopt_hca_as_hypervisor(
+        self, hca: HCA, *, num_vfs: Optional[int] = None
+    ) -> Hypervisor:
+        """Turn an existing (cabled) HCA into a vSwitch hypervisor."""
+        if hca.name in self.hypervisors:
+            raise VirtError(f"{hca.name} is already a hypervisor")
+        vsw = VSwitchHCA(hca, self.guids, num_vfs=num_vfs or self.num_vfs)
+        hyp = Hypervisor(hca.name, vsw)
+        self.hypervisors[hca.name] = hyp
+        self.scheme.register_hypervisor(vsw)
+        return hyp
+
+    def adopt_all_hcas(self) -> List[Hypervisor]:
+        """Turn every HCA of the topology into a hypervisor."""
+        return [
+            self.adopt_hca_as_hypervisor(h)
+            for h in self.topology.hcas
+            if h.name not in self.hypervisors
+        ]
+
+    def bring_up_subnet(self) -> ConfigureReport:
+        """Full subnet bring-up: LIDs (base + scheme), routing, LFTs."""
+        report = ConfigureReport()
+        report.discovery = self.sm.discover()
+        self.sm.assign_lids()
+        self.scheme.initialize()
+        tables = self.sm.compute_routing()
+        report.path_compute_seconds = tables.compute_seconds
+        report.distribution = self.sm.distribute()
+        return report
+
+    # -- VM lifecycle -------------------------------------------------------------
+
+    def boot_vm(
+        self, name: Optional[str] = None, *, on: Optional[str] = None
+    ) -> VirtualMachine:
+        """Create and place one VM (scheduler-chosen node unless ``on``)."""
+        if name is None:
+            self._vm_serial += 1
+            name = f"vm{self._vm_serial}"
+        if name in self.vms:
+            raise VirtError(f"VM {name!r} already exists")
+        if on is not None:
+            hyp = self._hypervisor(on)
+            if not hyp.has_capacity():
+                raise VirtError(f"{on} has no free VF")
+        else:
+            hyp = self.placement.choose(
+                [h for h in self.hypervisors.values() if h.has_capacity()]
+            )
+        vm = VirtualMachine(name, self.guids.allocate_virtual())
+        boot = self.scheme.boot_vm(hyp.vswitch, name)
+        vf = hyp.vswitch.vf(int(boot.vf_name.rsplit("VF", 1)[1]))
+        hyp.host_vm(vm, vf)
+        self.vms[name] = vm
+        self.sa.register(vm.gid, boot.lid)
+        return vm
+
+    def stop_vm(self, name: str) -> None:
+        """Shut a VM down and release its VF (and LID, scheme permitting)."""
+        vm = self._vm(name)
+        hyp = self._hypervisor(vm.hypervisor_name)
+        vf = vm.detach_vf()
+        vf.detach()
+        self.scheme.shutdown_vm(hyp.vswitch, vf)
+        hyp.evict_vm(vm)
+        vm.state = VmState.STOPPED
+        self.sa.unregister(vm.gid)
+        del self.vms[name]
+
+    def live_migrate(self, vm_name: str, dest_name: str):
+        """Live-migrate one VM; returns the MigrationReport."""
+        vm = self._vm(vm_name)
+        src = self._hypervisor(vm.hypervisor_name)
+        dest = self._hypervisor(dest_name)
+        return self.orchestrator.migrate(vm, src, dest)
+
+    def evacuate(self, hypervisor_name: str):
+        """Drain a hypervisor for maintenance: migrate every VM elsewhere.
+
+        The flexibility argument of sections V-B/VI: spare VFs on other
+        nodes make disaster recovery and maintenance possible without
+        downtime. Returns the list of MigrationReports.
+        """
+        hyp = self._hypervisor(hypervisor_name)
+        reports = []
+        for vm in list(hyp.running_vms()):
+            candidates = [
+                h
+                for h in self.hypervisors.values()
+                if h is not hyp and h.has_capacity()
+            ]
+            dest = self.placement.choose(candidates)
+            reports.append(self.orchestrator.migrate(vm, hyp, dest))
+        return reports
+
+    def _on_migrated(self, report) -> None:
+        # vSwitch migration keeps the LID, so the SA record stays correct;
+        # re-register anyway to model the SM's post-migration update.
+        vm = self.vms[report.vm_name]
+        self.sa.register(vm.gid, report.vm_lid)
+
+    # -- queries -----------------------------------------------------------------
+
+    def _vm(self, name: str) -> VirtualMachine:
+        try:
+            return self.vms[name]
+        except KeyError:
+            raise VirtError(f"unknown VM {name!r}") from None
+
+    def _hypervisor(self, name: Optional[str]) -> Hypervisor:
+        if name is None:
+            raise VirtError("VM is not placed on any hypervisor")
+        try:
+            return self.hypervisors[name]
+        except KeyError:
+            raise VirtError(f"unknown hypervisor {name!r}") from None
+
+    @property
+    def total_capacity(self) -> int:
+        """Total VM slots (VFs) in the cloud."""
+        return sum(h.vswitch.num_vfs for h in self.hypervisors.values())
+
+    @property
+    def running_vm_count(self) -> int:
+        """VMs currently running."""
+        return sum(
+            1 for vm in self.vms.values() if vm.state is VmState.RUNNING
+        )
+
+    def fragmentation(self) -> float:
+        """Fraction of hypervisors that are partially (not fully) used.
+
+        The paper motivates migration-based optimization of fragmented
+        networks (sections V-A/V-B); this is the metric the consolidation
+        example drives down.
+        """
+        partial = 0
+        used = 0
+        for h in self.hypervisors.values():
+            if h.vm_count > 0:
+                used += 1
+                if h.free_vf_count > 0:
+                    partial += 1
+        return partial / used if used else 0.0

@@ -1,0 +1,80 @@
+"""Hypervisors: compute nodes with an SR-IOV vSwitch HCA.
+
+Mirrors the paper's testbed compute nodes (section VII-A): each hypervisor
+owns one HCA whose PF it drives, and hands VFs to VMs. The LID policy is
+delegated to the active :class:`~repro.core.lid_schemes.LidScheme`; the
+hypervisor only tracks placement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import VirtError
+from repro.fabric.node import HCA, Port
+from repro.sriov.base import VirtualFunction
+from repro.sriov.vswitch import VSwitchHCA
+from repro.virt.vm import VirtualMachine, VmState
+
+__all__ = ["Hypervisor"]
+
+
+class Hypervisor:
+    """One compute node hosting VMs behind a vSwitch-enabled HCA."""
+
+    def __init__(self, name: str, vswitch: VSwitchHCA) -> None:
+        self.name = name
+        self.vswitch = vswitch
+        self.vms: Dict[str, VirtualMachine] = {}
+
+    @property
+    def hca(self) -> HCA:
+        """The underlying physical HCA."""
+        return self.vswitch.hca
+
+    @property
+    def uplink_port(self) -> Port:
+        """The HCA port shared by all functions."""
+        return self.vswitch.uplink_port
+
+    @property
+    def pf_lid(self) -> Optional[int]:
+        """The hypervisor's own LID."""
+        return self.vswitch.pf_lid
+
+    @property
+    def free_vf_count(self) -> int:
+        """Available VM slots (an available VM slot == an available VF)."""
+        return len(self.vswitch.free_vfs())
+
+    @property
+    def vm_count(self) -> int:
+        """VMs currently placed here."""
+        return len(self.vms)
+
+    def has_capacity(self) -> bool:
+        """True iff at least one VF is free."""
+        return self.free_vf_count > 0
+
+    def host_vm(self, vm: VirtualMachine, vf: VirtualFunction) -> None:
+        """Record that *vm* now runs here on *vf*."""
+        if vm.name in self.vms:
+            raise VirtError(f"{vm.name} already on {self.name}")
+        self.vms[vm.name] = vm
+        vm.attach_vf(vf, self.name)
+
+    def evict_vm(self, vm: VirtualMachine) -> None:
+        """Forget *vm* (it stopped or migrated away)."""
+        if vm.name not in self.vms:
+            raise VirtError(f"{vm.name} is not on {self.name}")
+        del self.vms[vm.name]
+
+    def running_vms(self) -> List[VirtualMachine]:
+        """VMs in RUNNING state."""
+        return [vm for vm in self.vms.values() if vm.state is VmState.RUNNING]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Hypervisor {self.name}: {self.vm_count} VMs,"
+            f" {self.free_vf_count} free VFs>"
+        )

@@ -1,0 +1,119 @@
+"""Subnet Administration path-record queries and the caching scheme.
+
+Background substrate from the authors' companion work (the paper's
+reference [10], "A Novel Query Caching Scheme for Dynamic InfiniBand
+Subnets"): when a VM migrates, every peer that loses connectivity normally
+storms the SM with SA PathRecord queries to rediscover the VM's address.
+With vSwitch migration the VM *keeps* all three addresses, so a local cache
+keyed by GID stays valid and the reconnect needs no SA round-trip at all.
+
+The model exposes both behaviours so examples and benchmarks can quantify
+the query-storm reduction:
+
+* uncached peers query the SA on every reconnect;
+* cached peers consult :class:`SaPathCache`; entries are updated in place
+  on migration events (LID may change location but not value — so under
+  the vSwitch schemes entries remain valid and hit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import VirtError
+from repro.fabric.addressing import GID
+
+__all__ = ["PathRecord", "SaQueryStats", "SubnetAdministrator", "SaPathCache"]
+
+
+@dataclass(frozen=True)
+class PathRecord:
+    """The subset of an SA PathRecord that matters here."""
+
+    dgid: GID
+    dlid: int
+
+    def __post_init__(self) -> None:
+        if self.dlid <= 0:
+            raise VirtError(f"invalid DLID {self.dlid} in path record")
+
+
+@dataclass
+class SaQueryStats:
+    """SA load accounting."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def queries_saved(self) -> int:
+        """Round-trips the cache absorbed."""
+        return self.cache_hits
+
+
+class SubnetAdministrator:
+    """The SA: answers PathRecord queries from its GID -> LID registry."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, PathRecord] = {}
+        self.stats = SaQueryStats()
+
+    def register(self, gid: GID, lid: int) -> None:
+        """Publish (or update) the path record for one endpoint."""
+        self._records[gid.as_int] = PathRecord(dgid=gid, dlid=lid)
+
+    def unregister(self, gid: GID) -> None:
+        """Remove an endpoint's record."""
+        self._records.pop(gid.as_int, None)
+
+    def query(self, dgid: GID) -> PathRecord:
+        """One SA PathRecord round-trip (counted)."""
+        self.stats.queries += 1
+        try:
+            return self._records[dgid.as_int]
+        except KeyError:
+            raise VirtError(f"SA has no path record for {dgid}") from None
+
+
+class SaPathCache:
+    """A peer-side cache of path records (reference [10]'s mechanism)."""
+
+    def __init__(self, sa: SubnetAdministrator) -> None:
+        self.sa = sa
+        self._cache: Dict[int, PathRecord] = {}
+        self.stats = SaQueryStats()
+
+    def resolve(self, dgid: GID) -> PathRecord:
+        """Resolve a destination, hitting the SA only on cache miss."""
+        rec = self._cache.get(dgid.as_int)
+        if rec is not None:
+            self.stats.cache_hits += 1
+            return rec
+        self.stats.cache_misses += 1
+        rec = self.sa.query(dgid)
+        self._cache[dgid.as_int] = rec
+        return rec
+
+    def invalidate(self, dgid: GID) -> None:
+        """Drop one entry (what a Shared Port LID change forces)."""
+        self._cache.pop(dgid.as_int, None)
+
+    def entry_still_valid(self, dgid: GID) -> bool:
+        """Does the cached record match the SA's current truth?
+
+        Under vSwitch migration the VM keeps LID+GID, so this stays True
+        and reconnects need zero SA queries; under Shared Port the LID
+        changed and the entry is stale.
+        """
+        rec = self._cache.get(dgid.as_int)
+        if rec is None:
+            return False
+        truth = self.sa._records.get(dgid.as_int)
+        return truth is not None and truth.dlid == rec.dlid
+
+    @property
+    def size(self) -> int:
+        """Cached entries."""
+        return len(self._cache)

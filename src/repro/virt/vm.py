@@ -1,0 +1,76 @@
+"""Virtual machines as seen by the IB layer.
+
+A VM owns the *addresses* the paper cares about: its vGUID (and hence GID)
+always travels with it; whether its LID travels too is exactly what
+distinguishes the vSwitch architecture (it does) from Shared Port (it
+cannot).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import VirtError
+from repro.fabric.addressing import GID, GUID, make_gid
+from repro.sriov.base import VirtualFunction
+
+__all__ = ["VmState", "VirtualMachine"]
+
+
+class VmState(enum.Enum):
+    """VM lifecycle states."""
+
+    RUNNING = "running"
+    MIGRATING = "migrating"
+    STOPPED = "stopped"
+
+
+class VirtualMachine:
+    """One tenant VM with a dedicated set of IB addresses."""
+
+    def __init__(self, name: str, vguid: GUID) -> None:
+        self.name = name
+        self.vguid = vguid
+        self.state = VmState.STOPPED
+        self.hypervisor_name: Optional[str] = None
+        self.vf: Optional[VirtualFunction] = None
+        #: Number of completed live migrations (telemetry).
+        self.migrations = 0
+
+    @property
+    def gid(self) -> GID:
+        """The VM's GID — derived from the vGUID, so it follows the VM."""
+        return make_gid(self.vguid)
+
+    @property
+    def lid(self) -> Optional[int]:
+        """The VM's LID — the LID of the VF it currently holds."""
+        return self.vf.lid if self.vf is not None else None
+
+    @property
+    def is_running(self) -> bool:
+        """True while placed and not mid-migration."""
+        return self.state is VmState.RUNNING
+
+    def attach_vf(self, vf: VirtualFunction, hypervisor_name: str) -> None:
+        """Record the passthrough attachment (the VF is already claimed)."""
+        if self.vf is not None:
+            raise VirtError(f"{self.name} already holds {self.vf.name}")
+        self.vf = vf
+        self.hypervisor_name = hypervisor_name
+        self.state = VmState.RUNNING
+
+    def detach_vf(self) -> VirtualFunction:
+        """Drop the VF reference (step 1 of the migration flow)."""
+        if self.vf is None:
+            raise VirtError(f"{self.name} holds no VF")
+        vf = self.vf
+        self.vf = None
+        return vf
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<VM {self.name} state={self.state.value}"
+            f" lid={self.lid} on={self.hypervisor_name}>"
+        )

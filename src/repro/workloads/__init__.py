@@ -1,0 +1,27 @@
+"""Workload generators: VM churn, migration patterns, traffic placement."""
+
+from repro.workloads.churn import ChurnReport, ChurnWorkload
+from repro.workloads.migration_patterns import (
+    ANY,
+    INTER_POD,
+    INTRA_LEAF,
+    INTRA_POD,
+    MigrationPlanner,
+)
+from repro.workloads.scenario import Scenario, ScenarioSummary
+from repro.workloads.traffic import LinkLoadReport, all_to_all_flows, link_loads
+
+__all__ = [
+    "ChurnReport",
+    "ChurnWorkload",
+    "MigrationPlanner",
+    "INTRA_LEAF",
+    "INTRA_POD",
+    "INTER_POD",
+    "ANY",
+    "Scenario",
+    "ScenarioSummary",
+    "LinkLoadReport",
+    "all_to_all_flows",
+    "link_loads",
+]

@@ -1,0 +1,100 @@
+"""VM churn workloads: the "several VMs booted every minute" regime.
+
+Drives a :class:`~repro.virt.cloud.CloudManager` with randomized boot/stop
+events and accounts what the active LID scheme paid for them — the paper's
+section V-B overhead ("Each time a VM is created, the LFTs of all the
+physical switches in the subnet will need to be updated ... One SMP per
+switch") versus prepopulation's zero-SMP boots.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import VirtError
+from repro.virt.cloud import CloudManager
+
+__all__ = ["ChurnReport", "ChurnWorkload"]
+
+
+@dataclass
+class ChurnReport:
+    """Outcome of one churn run."""
+
+    boots: int = 0
+    stops: int = 0
+    rejected_boots: int = 0
+    boot_lft_smps: List[int] = field(default_factory=list)
+
+    @property
+    def total_boot_smps(self) -> int:
+        """LFT SMPs spent on VM creation across the run."""
+        return sum(self.boot_lft_smps)
+
+    @property
+    def mean_boot_smps(self) -> float:
+        """Average LFT SMPs per VM boot."""
+        return (
+            self.total_boot_smps / len(self.boot_lft_smps)
+            if self.boot_lft_smps
+            else 0.0
+        )
+
+
+class ChurnWorkload:
+    """Random boot/stop driver with a target utilization."""
+
+    def __init__(
+        self,
+        cloud: CloudManager,
+        *,
+        seed: int = 0,
+        target_utilization: float = 0.5,
+    ) -> None:
+        if not 0.0 < target_utilization <= 1.0:
+            raise VirtError("target_utilization must be in (0, 1]")
+        self.cloud = cloud
+        self.rng = random.Random(seed)
+        self.target_utilization = target_utilization
+
+    def run(self, steps: int) -> ChurnReport:
+        """Perform *steps* boot-or-stop events.
+
+        Boots are favoured below the target utilization, stops above it, so
+        the cloud hovers around the target while continuously churning.
+        """
+        report = ChurnReport()
+        for _ in range(steps):
+            cap = self.cloud.total_capacity
+            running = self.cloud.running_vm_count
+            utilization = running / cap if cap else 1.0
+            boot_bias = 0.9 if utilization < self.target_utilization else 0.1
+            if running == 0 or self.rng.random() < boot_bias:
+                self._boot(report)
+            else:
+                self._stop(report)
+        return report
+
+    def _boot(self, report: ChurnReport) -> None:
+        candidates = [
+            h for h in self.cloud.hypervisors.values() if h.has_capacity()
+        ]
+        if not candidates:
+            report.rejected_boots += 1
+            return
+        before = self.cloud.sm.transport.stats.lft_update_smps
+        self.cloud.boot_vm()
+        after = self.cloud.sm.transport.stats.lft_update_smps
+        report.boots += 1
+        report.boot_lft_smps.append(after - before)
+
+    def _stop(self, report: ChurnReport) -> None:
+        names = [
+            name for name, vm in self.cloud.vms.items() if vm.is_running
+        ]
+        if not names:
+            return
+        self.cloud.stop_vm(self.rng.choice(names))
+        report.stops += 1

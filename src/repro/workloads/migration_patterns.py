@@ -1,0 +1,135 @@
+"""Migration pattern generators: how far, topologically, do VMs move?
+
+Section VI-D of the paper ties the number of switches needing updates (n')
+to the interconnection distance of a migration: intra-leaf moves need one
+switch; cross-pod moves may touch many. These generators pick
+source/destination hypervisor pairs by distance class so the skyline
+ablation (experiment E6) can sweep it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import VirtError
+from repro.fabric.builders.fattree import BuiltTopology
+from repro.fabric.node import Switch
+from repro.virt.cloud import CloudManager
+from repro.virt.hypervisor import Hypervisor
+
+__all__ = ["DistanceClass", "MigrationPlanner"]
+
+#: Recognized migration distance classes.
+DistanceClass = str
+INTRA_LEAF: DistanceClass = "intra-leaf"
+INTRA_POD: DistanceClass = "intra-pod"
+INTER_POD: DistanceClass = "inter-pod"
+ANY: DistanceClass = "any"
+
+
+class MigrationPlanner:
+    """Picks (vm, destination) pairs by topological distance class."""
+
+    def __init__(
+        self,
+        cloud: CloudManager,
+        built: BuiltTopology,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.cloud = cloud
+        self.built = built
+        self.rng = random.Random(seed)
+
+    # -- structure queries ------------------------------------------------------
+
+    def leaf_of(self, hyp: Hypervisor) -> Switch:
+        """The leaf switch a hypervisor hangs off."""
+        peer = hyp.uplink_port.remote
+        if peer is None or not isinstance(peer.node, Switch):
+            raise VirtError(f"{hyp.name} is not cabled to a switch")
+        return peer.node
+
+    def pod_of(self, hyp: Hypervisor) -> int:
+        """The pod index of a hypervisor's leaf (-1 for 2-level trees)."""
+        return self.built.pod.get(self.leaf_of(hyp).name, -1)
+
+    def classify(self, src: Hypervisor, dest: Hypervisor) -> DistanceClass:
+        """The distance class of a candidate migration."""
+        if self.leaf_of(src) is self.leaf_of(dest):
+            return INTRA_LEAF
+        src_pod, dest_pod = self.pod_of(src), self.pod_of(dest)
+        if src_pod >= 0 and src_pod == dest_pod:
+            return INTRA_POD
+        return INTER_POD
+
+    # -- planning ------------------------------------------------------------------
+
+    def candidate_destinations(
+        self, src: Hypervisor, distance: DistanceClass
+    ) -> List[Hypervisor]:
+        """Hypervisors with capacity at the requested distance from *src*."""
+        out = []
+        for hyp in self.cloud.hypervisors.values():
+            if hyp is src or not hyp.has_capacity():
+                continue
+            if distance == ANY or self.classify(src, hyp) == distance:
+                out.append(hyp)
+        return out
+
+    def plan_one(
+        self, distance: DistanceClass
+    ) -> Optional[Tuple[str, str]]:
+        """One (vm_name, dest_hypervisor_name) pair, or None if impossible."""
+        vms = [vm for vm in self.cloud.vms.values() if vm.is_running]
+        self.rng.shuffle(vms)
+        for vm in vms:
+            src = self.cloud.hypervisors[vm.hypervisor_name]
+            dests = self.candidate_destinations(src, distance)
+            if dests:
+                return vm.name, self.rng.choice(dests).name
+        return None
+
+    def plan_batch(
+        self, distance: DistanceClass, count: int
+    ) -> List[Tuple[str, str]]:
+        """Up to *count* distinct-VM migration pairs of one distance class.
+
+        Destination capacity consumed by earlier plans in the batch is
+        reserved, so the whole batch is executable back to back.
+        """
+        plans: List[Tuple[str, str]] = []
+        used_vms: set = set()
+        reserved: Dict[str, int] = {}
+        vms = [vm for vm in self.cloud.vms.values() if vm.is_running]
+        self.rng.shuffle(vms)
+        for vm in vms:
+            if len(plans) >= count:
+                break
+            if vm.name in used_vms:
+                continue
+            src = self.cloud.hypervisors[vm.hypervisor_name]
+            dests = [
+                d
+                for d in self.candidate_destinations(src, distance)
+                if d.free_vf_count - reserved.get(d.name, 0) > 0
+            ]
+            if dests:
+                dest = self.rng.choice(dests)
+                plans.append((vm.name, dest.name))
+                used_vms.add(vm.name)
+                reserved[dest.name] = reserved.get(dest.name, 0) + 1
+        return plans
+
+    def execute(self, plans: List[Tuple[str, str]]) -> Dict[str, List[int]]:
+        """Run planned migrations; returns per-class n' observations."""
+        observed: Dict[str, List[int]] = {}
+        for vm_name, dest_name in plans:
+            vm = self.cloud.vms[vm_name]
+            src = self.cloud.hypervisors[vm.hypervisor_name]
+            dest = self.cloud.hypervisors[dest_name]
+            klass = self.classify(src, dest)
+            report = self.cloud.live_migrate(vm_name, dest_name)
+            observed.setdefault(klass, []).append(report.switches_updated)
+        return observed

@@ -1,0 +1,108 @@
+"""Traffic placement analysis: does a routing function balance load?
+
+Section V-A claims prepopulated LIDs enable LMC-like multipathing and
+better balancing, while section V-B concedes dynamic assignment
+"compromises on the traffic balancing" (every VM shares its PF's path).
+These helpers make that trade-off measurable: place a set of flows on a
+routing function and report per-link loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import LFT_UNSET
+from repro.errors import RoutingError
+from repro.sm.routing.base import RoutingRequest, RoutingTables
+
+__all__ = ["LinkLoadReport", "link_loads", "all_to_all_flows"]
+
+
+@dataclass
+class LinkLoadReport:
+    """Per-link flow counts plus balance statistics."""
+
+    loads: Dict[Tuple[int, int], int]  # (switch_index, out_port) -> flows
+
+    @property
+    def values(self) -> np.ndarray:
+        """Load vector over used links."""
+        if not self.loads:
+            return np.zeros(0, dtype=np.int64)
+        return np.asarray(list(self.loads.values()), dtype=np.int64)
+
+    @property
+    def max_load(self) -> int:
+        """Hottest link."""
+        v = self.values
+        return int(v.max()) if v.size else 0
+
+    @property
+    def mean_load(self) -> float:
+        """Mean over used links."""
+        v = self.values
+        return float(v.mean()) if v.size else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean ratio — 1.0 is perfectly balanced."""
+        return self.max_load / self.mean_load if self.mean_load else 0.0
+
+
+def all_to_all_flows(lids: Sequence[int]) -> List[Tuple[int, int]]:
+    """Ordered all-to-all flow set over the given endpoint LIDs."""
+    return [(a, b) for a in lids for b in lids if a != b]
+
+
+def link_loads(
+    tables: RoutingTables,
+    request: RoutingRequest,
+    flows: Sequence[Tuple[int, int]],
+) -> LinkLoadReport:
+    """Walk every flow through the routing and count per-link usage.
+
+    Flows start at the source LID's attachment switch and follow the LFT
+    entries for the destination LID until delivery. Only inter-switch hops
+    are counted (the host links carry exactly one endpoint's traffic and
+    cannot be balanced).
+    """
+    attach: Dict[int, int] = {
+        t.lid: t.switch_index for t in request.terminals
+    }
+    # (switch, out_port) -> neighbour switch, inter-switch ports only.
+    view = request.view
+    degrees = np.diff(view.indptr)
+    edge_src = np.repeat(
+        np.arange(view.num_switches, dtype=np.int64), degrees
+    )
+    p2p: Dict[Tuple[int, int], int] = {
+        (int(edge_src[k]), int(view.out_port[k])): int(view.peer[k])
+        for k in range(len(view.peer))
+    }
+    loads: Dict[Tuple[int, int], int] = {}
+    for src_lid, dst_lid in flows:
+        try:
+            cur = attach[src_lid]
+        except KeyError:
+            raise RoutingError(f"source LID {src_lid} has no attachment")
+        guard = 0
+        while True:
+            out = tables.port_for(cur, dst_lid)
+            if out == LFT_UNSET:
+                raise RoutingError(
+                    f"no route at switch {cur} for LID {dst_lid}"
+                )
+            nxt = p2p.get((cur, out))
+            if nxt is None:
+                break  # delivered off-fabric
+            loads[(cur, out)] = loads.get((cur, out), 0) + 1
+            cur = nxt
+            guard += 1
+            if guard > view.num_switches + 1:
+                raise RoutingError(
+                    f"loop while placing flow {src_lid}->{dst_lid}"
+                )
+    return LinkLoadReport(loads=loads)

@@ -1,0 +1,73 @@
+"""Tests for k/r calibration from transport observations."""
+
+import pytest
+
+from repro.analysis.calibration import calibrate
+from repro.errors import ReproError
+from repro.fabric.presets import scaled_fattree
+from repro.mad.smp import Smp, SmpKind, SmpMethod
+from repro.mad.transport import SmpTransport
+
+
+@pytest.fixture
+def observed_transport(small_fattree):
+    topo = small_fattree.topology
+    tr = SmpTransport(topo, hop_latency=2e-6, dr_overhead=0.5e-6)
+    # Mixed directed / destination-routed probes to every switch.
+    for sw in topo.switches:
+        tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, sw.name, directed=True))
+        tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, sw.name, directed=False))
+    return tr
+
+
+class TestCalibration:
+    def test_recovers_configured_constants(self, observed_transport):
+        tr = observed_transport
+        fit = calibrate(tr.stats)
+        assert fit.k_per_hop == pytest.approx(2e-6, rel=1e-6)
+        assert fit.r_per_hop == pytest.approx(0.5e-6, rel=1e-6)
+        assert fit.samples == tr.stats.total_smps
+
+    def test_paper_level_k_matches_mean(self, observed_transport):
+        tr = observed_transport
+        fit = calibrate(tr.stats)
+        # k = k_hop * mean hops: equals the mean destination-routed latency.
+        dst_lat = [
+            l
+            for l, d in zip(tr.stats.latencies, tr.stats.directed_flags)
+            if not d
+        ]
+        assert fit.k == pytest.approx(sum(dst_lat) / len(dst_lat), rel=1e-6)
+
+    def test_lftd_prediction_consistent(self, observed_transport):
+        fit = calibrate(observed_transport.stats)
+        n, m = 12, 6
+        assert fit.lftd_time(n, m) == pytest.approx(n * m * (fit.k + fit.r))
+
+    def test_needs_both_routing_modes(self, small_fattree):
+        topo = small_fattree.topology
+        tr = SmpTransport(topo)
+        for sw in topo.switches:
+            tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, sw.name))
+        with pytest.raises(ReproError):
+            calibrate(tr.stats)
+
+    def test_needs_observations(self, small_fattree):
+        tr = SmpTransport(small_fattree.topology)
+        with pytest.raises(ReproError):
+            calibrate(tr.stats)
+
+    def test_delta_window_calibratable(self, observed_transport, small_fattree):
+        # Calibration works on a delta window too (e.g. only the SMPs of
+        # one reconfiguration).
+        tr = observed_transport
+        before = tr.stats.snapshot()
+        topo = small_fattree.topology
+        for sw in topo.switches[:4]:
+            tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, sw.name, directed=True))
+            tr.send(
+                Smp(SmpMethod.GET, SmpKind.NODE_INFO, sw.name, directed=False)
+            )
+        fit = calibrate(tr.stats.delta_since(before))
+        assert fit.samples == 8
+        assert fit.k_per_hop == pytest.approx(2e-6, rel=1e-6)

@@ -1,0 +1,54 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.figures import Fig7Series
+from repro.analysis.plots import ascii_bars, render_fig7_chart
+from repro.errors import ReproError
+
+
+class TestAsciiBars:
+    def test_zero_renders_pinned_bar(self):
+        out = ascii_bars({"vswitch": 0.0, "minhop": 1.0})
+        line = next(l for l in out.splitlines() if l.startswith("vswitch"))
+        assert "|" in line and "#" not in line
+
+    def test_log_scaling_orders_bars(self):
+        out = ascii_bars({"a": 0.001, "b": 1.0, "c": 1000.0})
+        lengths = {
+            l.split()[0]: l.count("#") for l in out.splitlines()
+        }
+        assert lengths["a"] < lengths["b"] < lengths["c"]
+
+    def test_linear_mode(self):
+        out = ascii_bars({"half": 5.0, "full": 10.0}, log=False, width=20)
+        lengths = {l.split()[0]: l.count("#") for l in out.splitlines()}
+        assert lengths["full"] == 2 * lengths["half"]
+
+    def test_values_printed(self):
+        out = ascii_bars({"x": 0.125}, unit="ms")
+        assert "0.125ms" in out
+
+    def test_labels_aligned(self):
+        out = ascii_bars({"ab": 1.0, "abcdef": 2.0})
+        starts = {l.index("#") for l in out.splitlines()}
+        assert len(starts) == 1
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_bars({"x": 1.0}, width=3)
+        with pytest.raises(ReproError):
+            ascii_bars({"x": -1.0})
+
+    def test_empty(self):
+        assert "no data" in ascii_bars({})
+
+
+class TestFig7Chart:
+    def test_groups_per_topology(self):
+        s1 = Fig7Series("a", 36, 12, {"minhop": 0.1, "vswitch-reconfig": 0.0})
+        s2 = Fig7Series("b", 72, 18, {"minhop": 0.2, "vswitch-reconfig": 0.0})
+        out = render_fig7_chart([s1, s2])
+        assert "a (36 nodes, 12 switches)" in out
+        assert "b (72 nodes, 18 switches)" in out
+        assert out.count("vswitch-reconfig") == 2

@@ -1,0 +1,50 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.analysis.report import generate_report
+from repro.cli import main
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report_text(self):
+        return generate_report(paper_scale=False)
+
+    def test_contains_all_sections(self, report_text):
+        for heading in (
+            "Table I",
+            "Fig. 7",
+            "Per-migration reconfiguration",
+            "Motivation",
+        ):
+            assert heading in report_text
+
+    def test_table1_numbers_present(self, report_text):
+        for token in ("336960", "3240", "99.04%"):
+            assert token in report_text
+
+    def test_vswitch_zero_pct(self, report_text):
+        assert "vswitch-reconfig" in report_text
+        assert "0.0000s" in report_text
+
+    def test_motivation_numbers(self, report_text):
+        # Shared Port breaks 6 peer connections, vSwitch zero.
+        lines = [
+            l
+            for l in report_text.splitlines()
+            if "Shared Port" in l or "vSwitch (this paper)" in l
+        ]
+        assert any("6" in l for l in lines if "Shared Port" in l)
+        assert any(" 0" in l for l in lines if "vSwitch (this paper)" in l)
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "out.md"
+        text = generate_report(paper_scale=False, output=str(path))
+        assert path.read_text() == text
+
+    def test_cli_report(self, tmp_path, capsys):
+        path = tmp_path / "cli.md"
+        assert main(["report", "--output", str(path)]) == 0
+        assert "report written" in capsys.readouterr().out
+        assert path.exists()

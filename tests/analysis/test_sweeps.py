@@ -1,0 +1,67 @@
+"""Tests for the capacity and cost sweeps (section V-A arithmetic)."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    subnet_cost_sweep,
+    vf_capacity_sweep,
+)
+from repro.constants import UNICAST_LID_COUNT
+from repro.errors import ReproError
+
+
+class TestVfCapacity:
+    def test_paper_16_vf_point(self):
+        point = next(
+            p for p in vf_capacity_sweep() if p.vfs_per_hypervisor == 16
+        )
+        # Section V-A: floor(49151/17) = 2891 hypervisors, 46256 VMs.
+        assert point.max_hypervisors == 2891
+        assert point.max_vms == 46256
+        assert point.lids_per_hypervisor == 17
+
+    def test_hypervisor_count_decreases_with_vfs(self):
+        points = vf_capacity_sweep()
+        hyps = [p.max_hypervisors for p in points]
+        assert hyps == sorted(hyps, reverse=True)
+
+    def test_vm_capacity_grows_with_vfs(self):
+        # More VFs per node: fewer nodes, but more total VM slots.
+        points = vf_capacity_sweep((1, 16, 126))
+        vms = [p.max_vms for p in points]
+        assert vms == sorted(vms)
+
+    def test_utilization_near_full(self):
+        for p in vf_capacity_sweep():
+            assert 0.97 < p.lid_utilization <= 1.0
+
+    def test_budget_respected(self):
+        for p in vf_capacity_sweep():
+            assert (
+                p.max_hypervisors * p.lids_per_hypervisor <= UNICAST_LID_COUNT
+            )
+
+    def test_invalid_vfs_rejected(self):
+        with pytest.raises(ReproError):
+            vf_capacity_sweep((0,))
+
+
+class TestSubnetCostSweep:
+    def test_default_matches_table1(self):
+        rows = subnet_cost_sweep()
+        assert [r.min_smps_full_reconfig for r in rows] == [
+            216,
+            594,
+            104004,
+            336960,
+        ]
+
+    def test_prepopulated_vfs_inflate_blocks(self):
+        bare = subnet_cost_sweep(((324, 36),))[0]
+        padded = subnet_cost_sweep(((324, 36),), extra_lids_per_node=16)[0]
+        # 324 nodes x 16 VFs = 5184 extra LIDs -> many more blocks/SMPs.
+        assert padded.lids == bare.lids + 16 * 324
+        assert padded.min_smps_full_reconfig > 4 * bare.min_smps_full_reconfig
+        # But the vSwitch migration bound is unchanged: it never depends on
+        # the number of LIDs, only on the switch count.
+        assert padded.max_smps_swap == bare.max_smps_swap

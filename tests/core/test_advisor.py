@@ -1,0 +1,86 @@
+"""Tests for the migration advisor."""
+
+import pytest
+
+from repro.core.advisor import MigrationAdvisor
+from repro.errors import ReproError
+from repro.fabric.presets import scaled_fattree
+from tests.conftest import make_cloud
+
+
+@pytest.fixture
+def lopsided_cloud():
+    """All VMs crammed onto one hypervisor: an obvious hotspot."""
+    cloud = make_cloud(scaled_fattree("2l-small"), num_vfs=4)
+    for _ in range(4):
+        cloud.boot_vm(on="l0h0")
+    return cloud
+
+
+class TestLoadView:
+    def test_hotspot_visible(self, lopsided_cloud):
+        advisor = MigrationAdvisor(lopsided_cloud)
+        loads = advisor.uplink_load()
+        assert loads["l0h0"] == max(loads.values())
+        assert loads["l5h5"] == 0
+
+    def test_empty_cloud(self, prepopulated_cloud):
+        advisor = MigrationAdvisor(prepopulated_cloud)
+        loads = advisor.uplink_load()
+        assert all(v == 0 for v in loads.values())
+
+
+class TestProposals:
+    def test_proposal_moves_off_hotspot(self, lopsided_cloud):
+        advisor = MigrationAdvisor(lopsided_cloud)
+        (prop,) = advisor.propose()
+        assert prop.source == "l0h0"
+        assert prop.destination != "l0h0"
+        assert prop.predicted_switches >= 0
+        assert prop.predicted_max_smps >= prop.predicted_switches
+        assert "hottest" in prop.reason
+
+    def test_multiple_proposals_distinct_vms(self, lopsided_cloud):
+        advisor = MigrationAdvisor(lopsided_cloud)
+        props = advisor.propose(count=3)
+        names = [p.vm_name for p in props]
+        assert len(names) == len(set(names))
+
+    def test_apply_executes_through_cloud(self, lopsided_cloud):
+        cloud = lopsided_cloud
+        advisor = MigrationAdvisor(cloud)
+        (prop,) = advisor.propose()
+        report = advisor.apply(prop)
+        assert report.vm_name == prop.vm_name
+        assert cloud.vms[prop.vm_name].hypervisor_name == prop.destination
+        # Post-apply, the hotspot is cooler.
+        assert advisor.uplink_load()["l0h0"] < 4 * 3 * 2
+
+    def test_cooling_converges(self, lopsided_cloud):
+        cloud = lopsided_cloud
+        advisor = MigrationAdvisor(cloud)
+        before = max(advisor.uplink_load().values())
+        for _ in range(3):
+            props = advisor.propose()
+            if not props:
+                break
+            advisor.apply(props[0])
+        after = max(advisor.uplink_load().values())
+        assert after < before
+
+    def test_count_validation(self, lopsided_cloud):
+        with pytest.raises(ReproError):
+            MigrationAdvisor(lopsided_cloud).propose(count=0)
+
+    def test_no_proposals_without_traffic(self, prepopulated_cloud):
+        advisor = MigrationAdvisor(prepopulated_cloud)
+        assert advisor.propose() == []
+
+    def test_dynamic_scheme_supported(self, small_fattree):
+        cloud = make_cloud(small_fattree, lid_scheme="dynamic", num_vfs=4)
+        for _ in range(3):
+            cloud.boot_vm(on="l1h1")
+        advisor = MigrationAdvisor(cloud)
+        (prop,) = advisor.propose()
+        report = advisor.apply(prop)
+        assert report.mode == "copy"

@@ -1,0 +1,121 @@
+"""Tests for the analytic cost model — equations (1)-(5) and Table I."""
+
+import pytest
+
+from repro.core.cost_model import (
+    PAPER_TABLE1_INPUTS,
+    Table1Row,
+    improvement_percent,
+    lftd_time,
+    paper_table1,
+    table1_row,
+    traditional_rc_time,
+    vswitch_rc_time,
+    worst_case_blocks_example,
+)
+from repro.errors import ReproError
+
+
+class TestEquations:
+    def test_eq2_lftd(self):
+        # LFTDt = n * m * (k + r)
+        assert lftd_time(10, 5, 2.0, 1.0) == pytest.approx(150.0)
+
+    def test_eq3_traditional(self):
+        assert traditional_rc_time(100.0, 10, 5, 2.0, 1.0) == pytest.approx(250.0)
+
+    def test_eq4_vswitch_with_directed_routing(self):
+        assert vswitch_rc_time(
+            3, 2, 2.0, 1.0, destination_routed=False
+        ) == pytest.approx(18.0)
+
+    def test_eq5_destination_routing_drops_r(self):
+        assert vswitch_rc_time(3, 2, 2.0, 1.0) == pytest.approx(12.0)
+
+    def test_vswitch_far_cheaper_in_large_subnets(self):
+        # vSwitch RCt << RCt (section VI-B).
+        n, m, k, r = 1620, 208, 1e-4, 5e-5
+        pct = 67.0  # ftree at 11664 nodes
+        assert vswitch_rc_time(n, 2, k) < 0.01 * traditional_rc_time(
+            pct, n, m, k, r
+        )
+
+    def test_m_prime_restricted(self):
+        with pytest.raises(ReproError):
+            vswitch_rc_time(1, 3, 1.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ReproError):
+            lftd_time(-1, 1, 1.0, 1.0)
+        with pytest.raises(ReproError):
+            lftd_time(1, 1, -1.0, 1.0)
+        with pytest.raises(ReproError):
+            traditional_rc_time(-1.0, 1, 1, 1.0, 1.0)
+
+
+class TestTable1:
+    # The exact rows printed in the paper.
+    PAPER_ROWS = {
+        324: (36, 360, 6, 216, 1, 72),
+        648: (54, 702, 11, 594, 1, 108),
+        5832: (972, 6804, 107, 104004, 1, 1944),
+        11664: (1620, 13284, 208, 336960, 1, 3240),
+    }
+
+    @pytest.mark.parametrize("nodes,switches", PAPER_TABLE1_INPUTS)
+    def test_rows_match_paper_exactly(self, nodes, switches):
+        row = table1_row(nodes, switches)
+        exp_sw, exp_lids, exp_blocks, exp_full, exp_min, exp_max = (
+            self.PAPER_ROWS[nodes]
+        )
+        assert row.switches == exp_sw
+        assert row.lids == exp_lids
+        assert row.min_lft_blocks_per_switch == exp_blocks
+        assert row.min_smps_full_reconfig == exp_full
+        assert row.min_smps_vswitch == exp_min
+        assert row.max_smps_swap == exp_max
+
+    def test_paper_table1_returns_all_rows(self):
+        rows = paper_table1()
+        assert [r.nodes for r in rows] == [324, 648, 5832, 11664]
+
+    def test_copy_worst_case_half_of_swap(self):
+        row = table1_row(324, 36)
+        assert row.max_smps_copy == row.max_smps_swap // 2
+
+    def test_best_case_is_subnet_size_agnostic(self):
+        # "The best case scenario ... will only send one SMP."
+        for nodes, switches in PAPER_TABLE1_INPUTS:
+            assert table1_row(nodes, switches).min_smps_vswitch == 1
+
+    def test_extra_lids_add_blocks(self):
+        base = table1_row(324, 36)
+        padded = table1_row(324, 36, extra_lids=5000)
+        assert padded.lids == base.lids + 5000
+        assert padded.min_lft_blocks_per_switch > base.min_lft_blocks_per_switch
+
+    def test_lid_space_overflow_rejected(self):
+        with pytest.raises(ReproError):
+            table1_row(49000, 1000)
+
+    def test_as_paper_columns(self):
+        cols = table1_row(324, 36).as_paper_columns()
+        assert cols["Min SMPs Full RC"] == 216
+        assert cols["Max SMPs LID Swap/Copy"] == 72
+
+
+class TestImprovements:
+    def test_paper_improvement_quotes(self):
+        # Section VII-C: 66.7% for 324 nodes, 99.04% for 11664 nodes.
+        assert improvement_percent(216, 72) == pytest.approx(66.7, abs=0.05)
+        assert improvement_percent(336960, 3240) == pytest.approx(99.04, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            improvement_percent(0, 1)
+        with pytest.raises(ReproError):
+            improvement_percent(10, -1)
+
+    def test_worst_case_768_blocks(self):
+        # Section VII-C: topmost unicast LID forces 768 SMPs on one switch.
+        assert worst_case_blocks_example() == 768

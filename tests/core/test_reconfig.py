@@ -1,0 +1,207 @@
+"""Tests for the dynamic reconfigurer (Algorithm 1 primitives)."""
+
+import pytest
+
+from repro.constants import LFT_DROP_PORT
+from repro.errors import ReconfigError
+from repro.core.reconfig import VSwitchReconfigurer
+from repro.fabric.presets import scaled_fattree
+from repro.sm.subnet_manager import SubnetManager
+
+
+@pytest.fixture
+def configured():
+    """Small fat-tree, routed; two extra vSwitch-style LIDs on two hosts."""
+    built = scaled_fattree("2l-small")
+    sm = SubnetManager(built.topology, built=built)
+    sm.assign_lids()
+    topo = built.topology
+    # Two VF-style LIDs behind hosts on different leaves.
+    h_a = topo.hcas[0]  # leaf 0
+    h_b = topo.hcas[-1]  # leaf 5
+    lid_a = sm.lid_manager.assign_extra_lid(h_a.port(1))
+    lid_b = sm.lid_manager.assign_extra_lid(h_b.port(1))
+    sm.compute_routing()
+    sm.distribute()
+    return built, sm, h_a, h_b, lid_a, lid_b
+
+
+class TestSwap:
+    def test_swap_moves_routing(self, configured):
+        built, sm, h_a, h_b, lid_a, lid_b = configured
+        leaf_a = h_a.uplink_switch()
+        leaf_b = h_b.uplink_switch()
+        port_before = leaf_a.lft.get(lid_a)
+        rec = VSwitchReconfigurer(sm)
+        report = rec.swap_lids(lid_a, lid_b)
+        assert report.mode == "swap"
+        # On leaf_a the entry for lid_a now points where lid_b used to go.
+        assert leaf_a.lft.get(lid_b) == port_before
+
+    def test_swap_smps_bounded_by_two_per_switch(self, configured):
+        built, sm, *_, lid_a, lid_b = configured
+        rec = VSwitchReconfigurer(sm)
+        report = rec.swap_lids(lid_a, lid_b)
+        n = built.topology.num_switches
+        assert report.lft_smps <= 2 * n
+        assert report.switches_updated <= n
+        assert report.max_blocks_on_one_switch in (1, 2)
+
+    def test_swap_same_block_single_smp_per_switch(self, configured):
+        built, sm, h_a, h_b, lid_a, lid_b = configured
+        # lid_a/lid_b are consecutive small LIDs: same 64-block.
+        rec = VSwitchReconfigurer(sm)
+        report = rec.swap_lids(lid_a, lid_b)
+        assert report.max_blocks_on_one_switch == 1
+        assert report.lft_smps == report.switches_updated
+
+    def test_swap_is_balance_preserving_involution(self, configured):
+        built, sm, h_a, h_b, lid_a, lid_b = configured
+        snapshot = {
+            sw.name: sw.lft.as_array().copy()
+            for sw in built.topology.switches
+        }
+        rec = VSwitchReconfigurer(sm)
+        rec.swap_lids(lid_a, lid_b)
+        rec.swap_lids(lid_a, lid_b)
+        for sw in built.topology.switches:
+            assert (sw.lft.as_array() == snapshot[sw.name]).all()
+
+    def test_swap_keeps_tables_in_sync(self, configured):
+        built, sm, h_a, h_b, lid_a, lid_b = configured
+        rec = VSwitchReconfigurer(sm)
+        rec.swap_lids(lid_a, lid_b)
+        for sw in built.topology.switches:
+            assert sw.lft.get(lid_a) == sm.current_tables.port_for(sw.index, lid_a)
+            assert sw.lft.get(lid_b) == sm.current_tables.port_for(sw.index, lid_b)
+
+    def test_swap_self_rejected(self, configured):
+        _, sm, *_, lid_a, _ = configured
+        with pytest.raises(ReconfigError):
+            VSwitchReconfigurer(sm).swap_lids(lid_a, lid_a)
+
+    def test_swap_unknown_lid_rejected(self, configured):
+        _, sm, *_, lid_a, _ = configured
+        with pytest.raises(ReconfigError):
+            VSwitchReconfigurer(sm).swap_lids(lid_a, 40000)
+
+    def test_zero_path_computation(self, configured):
+        _, sm, *_, lid_a, lid_b = configured
+        report = VSwitchReconfigurer(sm).swap_lids(lid_a, lid_b)
+        assert report.path_compute_seconds == 0.0
+
+    def test_predict_matches_execution(self, configured):
+        _, sm, *_, lid_a, lid_b = configured
+        rec = VSwitchReconfigurer(sm)
+        n_prime, smps = rec.predict_swap(lid_a, lid_b)
+        report = rec.swap_lids(lid_a, lid_b)
+        assert report.switches_updated == n_prime
+        # Same-block swap: prediction smps == n' too.
+        assert report.lft_smps == smps
+
+
+class TestCopy:
+    def test_copy_inherits_template_path(self, configured):
+        built, sm, h_a, h_b, lid_a, lid_b = configured
+        rec = VSwitchReconfigurer(sm)
+        pf_lid = h_b.port(1).lid
+        report = rec.copy_path(pf_lid, lid_a)
+        assert report.mode == "copy"
+        for sw in built.topology.switches:
+            assert sw.lft.get(lid_a) == sw.lft.get(pf_lid)
+
+    def test_copy_one_smp_per_switch_max(self, configured):
+        built, sm, h_a, h_b, lid_a, lid_b = configured
+        rec = VSwitchReconfigurer(sm)
+        report = rec.copy_path(h_b.port(1).lid, lid_a)
+        n = built.topology.num_switches
+        assert report.lft_smps <= n
+        assert report.max_blocks_on_one_switch <= 1
+        assert report.lft_smps == report.switches_updated
+
+    def test_copy_to_fresh_lid_grows_tables(self, configured):
+        built, sm, h_a, h_b, lid_a, lid_b = configured
+        fresh = sm.lid_manager.assign_extra_lid(h_b.port(1), lid=200)
+        rec = VSwitchReconfigurer(sm)
+        rec.copy_path(h_b.port(1).lid, fresh)
+        assert sm.current_tables.port_for(0, fresh) == built.topology.switches[
+            0
+        ].lft.get(fresh)
+
+    def test_copy_identical_is_free(self, configured):
+        built, sm, h_a, h_b, lid_a, lid_b = configured
+        rec = VSwitchReconfigurer(sm)
+        pf_lid = h_b.port(1).lid
+        rec.copy_path(pf_lid, lid_a)
+        second = rec.copy_path(pf_lid, lid_a)
+        assert second.lft_smps == 0
+        assert second.switches_updated == 0
+
+    def test_copy_self_rejected(self, configured):
+        _, sm, *_, lid_a, _ = configured
+        with pytest.raises(ReconfigError):
+            VSwitchReconfigurer(sm).copy_path(lid_a, lid_a)
+
+    def test_predict_copy(self, configured):
+        built, sm, h_a, h_b, lid_a, lid_b = configured
+        rec = VSwitchReconfigurer(sm)
+        pf_lid = h_b.port(1).lid
+        n_prime, smps = rec.predict_copy(pf_lid, lid_a)
+        report = rec.copy_path(pf_lid, lid_a)
+        assert (report.switches_updated, report.lft_smps) == (n_prime, smps)
+
+
+class TestInvalidate:
+    def test_invalidate_drops_traffic(self, configured):
+        built, sm, *_, lid_a, _ = configured
+        report = VSwitchReconfigurer(sm).invalidate_lid(lid_a)
+        assert report.mode == "invalidate"
+        for sw in built.topology.switches:
+            assert sw.lft.get(lid_a) == LFT_DROP_PORT
+
+    def test_invalidate_costs_one_smp_per_switch(self, configured):
+        built, sm, *_, lid_a, _ = configured
+        report = VSwitchReconfigurer(sm).invalidate_lid(lid_a)
+        assert report.lft_smps == built.topology.num_switches
+
+
+class TestDestinationRouting:
+    def test_destination_routed_smps_cheaper(self, configured):
+        built, sm, h_a, h_b, lid_a, lid_b = configured
+        rec_dir = VSwitchReconfigurer(sm, destination_routed=False)
+        r1 = rec_dir.swap_lids(lid_a, lid_b)
+        rec_dst = VSwitchReconfigurer(sm, destination_routed=True)
+        r2 = rec_dst.swap_lids(lid_a, lid_b)  # swap back
+        # Same SMP counts, but the r term is gone (equation (5)).
+        assert r1.lft_smps == r2.lft_smps
+        assert r2.serial_time < r1.serial_time
+
+    def test_routing_mode_accounted(self, configured):
+        _, sm, *_, lid_a, lid_b = configured
+        VSwitchReconfigurer(sm, destination_routed=True).swap_lids(lid_a, lid_b)
+        assert sm.transport.stats.destination_routed_smps > 0
+
+
+class TestLimitedSweep:
+    def test_limit_requires_lids_inside_region(self, configured):
+        built, sm, h_a, h_b, lid_a, lid_b = configured
+        leaf_a = h_a.uplink_switch()
+        rec = VSwitchReconfigurer(sm)
+        # lid_b attaches at another leaf: restricting to leaf_a is unsafe.
+        with pytest.raises(ReconfigError):
+            rec.swap_lids(lid_a, lid_b, limit_switches={leaf_a.index})
+
+    def test_intra_leaf_limited_swap(self, configured):
+        built, sm, h_a, h_b, lid_a, lid_b = configured
+        topo = built.topology
+        # Put a second LID behind a *sibling* host on leaf 0.
+        sibling = topo.hcas[1]
+        assert sibling.uplink_switch() is h_a.uplink_switch()
+        lid_c = sm.lid_manager.assign_extra_lid(sibling.port(1))
+        sm.compute_routing()
+        sm.distribute()
+        leaf = h_a.uplink_switch()
+        rec = VSwitchReconfigurer(sm)
+        report = rec.swap_lids(lid_a, lid_c, limit_switches={leaf.index})
+        assert report.switches_updated == 1
+        assert report.lft_smps == 1

@@ -1,0 +1,178 @@
+"""Tests for IB addressing: LIDs, GUIDs, GIDs and their allocators."""
+
+import pytest
+
+from repro.constants import MAX_UNICAST_LID, MIN_UNICAST_LID, UNICAST_LID_COUNT
+from repro.errors import AddressingError, LidExhaustedError, LidInUseError
+from repro.fabric.addressing import (
+    DEFAULT_SUBNET_PREFIX,
+    GID,
+    GuidAllocator,
+    LidAllocator,
+    is_valid_unicast_lid,
+    make_gid,
+    theoretical_hypervisor_limit,
+    theoretical_vm_limit,
+)
+
+
+class TestUnicastRange:
+    def test_lid_space_size_matches_paper(self):
+        # Section II-B: 49151 usable unicast addresses (0x0001-0xBFFF).
+        assert UNICAST_LID_COUNT == 49151
+
+    def test_bounds(self):
+        assert is_valid_unicast_lid(MIN_UNICAST_LID)
+        assert is_valid_unicast_lid(MAX_UNICAST_LID)
+        assert not is_valid_unicast_lid(0)
+        assert not is_valid_unicast_lid(MAX_UNICAST_LID + 1)
+
+    def test_hex_constants(self):
+        assert MIN_UNICAST_LID == 0x0001
+        assert MAX_UNICAST_LID == 0xBFFF
+
+
+class TestGid:
+    def test_gid_combines_prefix_and_guid(self):
+        gid = GID(prefix=0xFE80_0000_0000_0000, guid=0xABCD)
+        assert gid.as_int == (0xFE80_0000_0000_0000 << 64) | 0xABCD
+
+    def test_make_gid_uses_default_prefix(self):
+        gid = make_gid(42)
+        assert gid.prefix == DEFAULT_SUBNET_PREFIX
+        assert gid.guid == 42
+
+    def test_gid_rejects_oversized_fields(self):
+        with pytest.raises(AddressingError):
+            GID(prefix=1 << 64, guid=0)
+        with pytest.raises(AddressingError):
+            GID(prefix=0, guid=1 << 64)
+
+    def test_gid_is_hashable_value_type(self):
+        assert make_gid(7) == make_gid(7)
+        assert len({make_gid(7), make_gid(7), make_gid(8)}) == 2
+
+    def test_str_is_ipv6_like(self):
+        text = str(make_gid(1))
+        assert text.count(":") == 7
+        assert text.startswith("fe80")
+
+
+class TestLidAllocator:
+    def test_sequential_allocation_starts_at_one(self):
+        alloc = LidAllocator()
+        assert [alloc.allocate() for _ in range(3)] == [1, 2, 3]
+
+    def test_release_and_recycle_lowest_first(self):
+        alloc = LidAllocator()
+        lids = [alloc.allocate() for _ in range(5)]
+        alloc.release(lids[1])
+        alloc.release(lids[3])
+        assert alloc.allocate() == lids[1]
+        assert alloc.allocate() == lids[3]
+
+    def test_assign_specific_lid(self):
+        alloc = LidAllocator()
+        assert alloc.assign(100) == 100
+        assert alloc.is_allocated(100)
+
+    def test_assign_taken_lid_raises(self):
+        alloc = LidAllocator()
+        alloc.assign(7)
+        with pytest.raises(LidInUseError):
+            alloc.assign(7)
+
+    def test_allocate_skips_explicitly_assigned(self):
+        alloc = LidAllocator()
+        alloc.assign(1)
+        alloc.assign(2)
+        assert alloc.allocate() == 3
+
+    def test_exhaustion(self):
+        alloc = LidAllocator(first=1, last=3)
+        for _ in range(3):
+            alloc.allocate()
+        with pytest.raises(LidExhaustedError):
+            alloc.allocate()
+
+    def test_release_unknown_raises(self):
+        alloc = LidAllocator()
+        with pytest.raises(AddressingError):
+            alloc.release(5)
+
+    def test_counts(self):
+        alloc = LidAllocator(first=1, last=10)
+        assert alloc.capacity == 10
+        alloc.allocate()
+        alloc.allocate()
+        assert alloc.allocated_count == 2
+        assert alloc.free_count == 8
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(AddressingError):
+            LidAllocator(first=0, last=10)
+        with pytest.raises(AddressingError):
+            LidAllocator(first=10, last=5)
+
+    def test_assign_outside_range_rejected(self):
+        alloc = LidAllocator(first=1, last=10)
+        with pytest.raises(AddressingError):
+            alloc.assign(11)
+
+    def test_allocated_iterates_sorted(self):
+        alloc = LidAllocator()
+        alloc.assign(9)
+        alloc.assign(3)
+        alloc.assign(5)
+        assert list(alloc.allocated()) == [3, 5, 9]
+
+
+class TestGuidAllocator:
+    def test_physical_and_virtual_pools_disjoint(self):
+        guids = GuidAllocator()
+        phys = {guids.allocate_physical() for _ in range(50)}
+        virt = {guids.allocate_virtual() for _ in range(50)}
+        assert not phys & virt
+
+    def test_uniqueness(self):
+        guids = GuidAllocator()
+        seen = set()
+        for _ in range(200):
+            g = guids.allocate_physical()
+            assert g not in seen
+            seen.add(g)
+
+    def test_is_virtual(self):
+        guids = GuidAllocator()
+        assert guids.is_virtual(guids.allocate_virtual())
+        assert not guids.is_virtual(guids.allocate_physical())
+
+    def test_was_issued(self):
+        guids = GuidAllocator()
+        g = guids.allocate_physical()
+        assert guids.was_issued(g)
+        assert not guids.was_issued(g + 999)
+
+    def test_issued_count(self):
+        guids = GuidAllocator()
+        guids.allocate_physical()
+        guids.allocate_virtual()
+        assert guids.issued_count == 2
+
+
+class TestTheoreticalLimits:
+    def test_paper_hypervisor_limit_with_16_vfs(self):
+        # Section V-A: floor(49151 / 17) = 2891 hypervisors.
+        assert theoretical_hypervisor_limit(16) == 2891
+
+    def test_paper_vm_limit_with_16_vfs(self):
+        # Section V-A: 2891 * 16 = 46256 VMs.
+        assert theoretical_vm_limit(16) == 46256
+
+    def test_zero_vfs(self):
+        assert theoretical_hypervisor_limit(0) == UNICAST_LID_COUNT
+        assert theoretical_vm_limit(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(AddressingError):
+            theoretical_hypervisor_limit(-1)

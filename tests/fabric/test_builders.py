@@ -1,0 +1,201 @@
+"""Tests for the fat-tree and generic topology builders plus paper presets."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.fabric.builders.fattree import (
+    build_three_level_fattree,
+    build_two_level_fattree,
+)
+from repro.fabric.builders.generic import (
+    build_mesh_2d,
+    build_random_regular,
+    build_ring,
+    build_single_switch,
+    build_torus_2d,
+)
+from repro.fabric.presets import (
+    PAPER_FATTREE_NODES,
+    PAPER_TABLE1_SHAPE,
+    SCALED_PROFILES,
+    paper_fattree,
+    scaled_fattree,
+)
+
+
+class TestTwoLevel:
+    def test_shape(self):
+        b = build_two_level_fattree(4, 3, 2, switch_radix=8)
+        t = b.topology
+        assert t.num_switches == 6
+        assert t.num_hcas == 12
+        # Every leaf connects to every spine.
+        view = t.fabric_view()
+        for leaf in b.leaves:
+            peers = {p for p, _ in view.neighbors(leaf.index)}
+            assert len(peers) == 2
+
+    def test_levels_and_roots(self):
+        b = build_two_level_fattree(4, 3, 2, switch_radix=8)
+        assert len(b.roots) == 2
+        assert all(b.level[r.name] == 1 for r in b.roots)
+        assert len(b.leaves) == 4
+
+    def test_radix_violation_leaf(self):
+        with pytest.raises(TopologyError):
+            build_two_level_fattree(4, 7, 2, switch_radix=8)
+
+    def test_radix_violation_spine(self):
+        with pytest.raises(TopologyError):
+            build_two_level_fattree(9, 3, 2, switch_radix=8)
+
+    def test_parallel_spine_links(self):
+        b = build_two_level_fattree(
+            2, 2, 2, switch_radix=8, links_per_spine_pair=2
+        )
+        view = b.topology.fabric_view()
+        assert view.degree(b.leaves[0].index) == 4  # 2 spines x 2 cables
+
+    def test_no_hosts_option(self):
+        b = build_two_level_fattree(4, 3, 2, switch_radix=8, attach_hosts=False)
+        assert b.topology.num_hcas == 0
+        # Host ports remain free for the cloud layer.
+        assert len(list(b.leaves[0].free_ports())) >= 3
+
+    def test_validates(self):
+        b = build_two_level_fattree(4, 3, 2, switch_radix=8)
+        b.topology.validate()
+
+
+class TestThreeLevel:
+    def test_shape_radix8(self):
+        # m=4: pods of 4 leaves + 4 aggs, 16 core switches, 4 hosts/leaf.
+        b = build_three_level_fattree(4, switch_radix=8)
+        t = b.topology
+        assert t.num_switches == 4 * 8 + 16
+        assert t.num_hcas == 4 * 4 * 4
+
+    def test_levels(self):
+        b = build_three_level_fattree(2, switch_radix=4)
+        levels = set(b.level.values())
+        assert levels == {0, 1, 2}
+        assert all(b.level[r.name] == 2 for r in b.roots)
+
+    def test_pod_metadata(self):
+        b = build_three_level_fattree(3, switch_radix=4)
+        pods = {b.pod[sw.name] for sw in b.topology.switches}
+        assert pods == {-1, 0, 1, 2}
+
+    def test_odd_radix_rejected(self):
+        with pytest.raises(TopologyError):
+            build_three_level_fattree(2, switch_radix=7)
+
+    def test_too_many_pods_rejected(self):
+        with pytest.raises(TopologyError):
+            build_three_level_fattree(9, switch_radix=8)
+
+    def test_validates(self):
+        b = build_three_level_fattree(3, switch_radix=8)
+        b.topology.validate()
+
+
+class TestPaperPresets:
+    @pytest.mark.parametrize("nodes", [324, 648])
+    def test_two_level_paper_counts(self, nodes):
+        b = paper_fattree(nodes)
+        switches, lids = PAPER_TABLE1_SHAPE[nodes]
+        assert b.topology.num_hcas == nodes
+        assert b.topology.num_switches == switches
+        assert b.topology.num_hcas + b.topology.num_switches == lids
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("nodes", [5832, 11664])
+    def test_three_level_paper_counts(self, nodes):
+        b = paper_fattree(nodes, attach_hosts=True)
+        switches, lids = PAPER_TABLE1_SHAPE[nodes]
+        assert b.topology.num_hcas == nodes
+        assert b.topology.num_switches == switches
+        assert b.topology.num_hcas + b.topology.num_switches == lids
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(TopologyError):
+            paper_fattree(1000)
+
+    def test_all_sizes_listed(self):
+        assert PAPER_FATTREE_NODES == (324, 648, 5832, 11664)
+
+
+class TestScaledPresets:
+    @pytest.mark.parametrize("profile", sorted(SCALED_PROFILES))
+    def test_profiles_build_and_validate(self, profile):
+        b = scaled_fattree(profile)
+        b.topology.validate()
+        assert b.topology.num_hcas > 0
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(TopologyError):
+            scaled_fattree("nope")
+
+    def test_scaled_mirror_structure(self):
+        # The scaled 2l twins keep the paper's leaves:spines ratios.
+        small = scaled_fattree("2l-small")
+        wide = scaled_fattree("2l-wide")
+        assert len(wide.leaves) == 2 * len(small.leaves)
+
+
+class TestGenericBuilders:
+    def test_single_switch(self):
+        b = build_single_switch(4)
+        assert b.topology.num_switches == 1
+        assert b.topology.num_hcas == 4
+        b.topology.validate()
+
+    def test_single_switch_overflow(self):
+        with pytest.raises(TopologyError):
+            build_single_switch(10, switch_radix=4)
+
+    def test_ring(self):
+        b = build_ring(5, 2)
+        assert b.topology.num_switches == 5
+        assert b.topology.num_hcas == 10
+        view = b.topology.fabric_view()
+        assert all(view.degree(i) == 2 for i in range(5))
+        b.topology.validate()
+
+    def test_ring_too_small(self):
+        with pytest.raises(TopologyError):
+            build_ring(2, 1)
+
+    def test_mesh(self):
+        b = build_mesh_2d(3, 4, 1)
+        assert b.topology.num_switches == 12
+        view = b.topology.fabric_view()
+        degrees = sorted(view.degree(i) for i in range(12))
+        assert degrees[0] == 2 and degrees[-1] == 4  # corners vs interior
+        b.topology.validate()
+
+    def test_torus_regular_degree(self):
+        b = build_torus_2d(3, 3, 1)
+        view = b.topology.fabric_view()
+        assert all(view.degree(i) == 4 for i in range(9))
+        b.topology.validate()
+
+    def test_torus_too_small(self):
+        with pytest.raises(TopologyError):
+            build_torus_2d(2, 3, 1)
+
+    def test_random_regular(self):
+        b = build_random_regular(8, 3, 1, seed=1)
+        view = b.topology.fabric_view()
+        assert all(view.degree(i) == 3 for i in range(8))
+        b.topology.validate()
+
+    def test_random_regular_parity_rejected(self):
+        with pytest.raises(TopologyError):
+            build_random_regular(5, 3, 1)
+
+    def test_random_regular_reproducible(self):
+        a = build_random_regular(8, 3, 1, seed=7)
+        b = build_random_regular(8, 3, 1, seed=7)
+        va, vb = a.topology.fabric_view(), b.topology.fabric_view()
+        assert (va.peer == vb.peer).all()

@@ -1,0 +1,98 @@
+"""Tests for the dragonfly builder and the topology-agnostic stack on it."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.fabric.builders.dragonfly import build_dragonfly
+from repro.sm.routing.base import RoutingRequest
+from repro.sm.routing.registry import create_engine
+from repro.sm.subnet_manager import SubnetManager
+from repro.virt.cloud import CloudManager
+
+
+class TestBuilder:
+    def test_shape(self):
+        b = build_dragonfly(4, 3, 2)
+        t = b.topology
+        assert t.num_switches == 12
+        assert t.num_hcas == 24
+        # links: hosts (24) + intra-group all-to-all (4*3) + globals (6).
+        assert len(t.links) == 24 + 12 + 6
+        t.validate()
+
+    def test_group_metadata(self):
+        b = build_dragonfly(3, 2, 1)
+        assert {b.pod[sw.name] for sw in b.topology.switches} == {0, 1, 2}
+
+    def test_intra_group_all_to_all(self):
+        b = build_dragonfly(2, 4, 1)
+        view = b.topology.fabric_view()
+        # Router g0r0 sees the 3 siblings plus >= 0 global peers.
+        peers = {p for p, _ in view.neighbors(0)}
+        assert {1, 2, 3} <= peers
+
+    def test_global_budget_enforced(self):
+        with pytest.raises(TopologyError):
+            build_dragonfly(6, 2, 1, global_links_per_router=2)
+        # 6 groups need 5 globals per group; 2 routers x 2 = 4 < 5.
+
+    def test_minimum_groups(self):
+        with pytest.raises(TopologyError):
+            build_dragonfly(1, 2, 1)
+
+
+class TestRoutingOnDragonfly:
+    @pytest.fixture(scope="class")
+    def request_(self):
+        b = build_dragonfly(4, 3, 2)
+        sm = SubnetManager(b.topology, built=b)
+        sm.assign_lids()
+        return b, RoutingRequest.from_topology(b.topology, built=b)
+
+    @pytest.mark.parametrize("engine", ["minhop", "updn", "dfsssp", "lash"])
+    def test_engine_valid(self, request_, engine):
+        _, req = request_
+        tables = create_engine(engine).compute(req)
+        tables.validate(req)
+
+    def test_diameter_is_small(self, request_):
+        # Dragonfly diameter 3: router -> global -> router within group.
+        _, req = request_
+        tables = create_engine("minhop").compute(req)
+        dist = tables.metadata["switch_distances"]
+        assert dist.max() <= 3
+
+
+class TestVSwitchOnDragonfly:
+    def test_migration_works_unmodified(self):
+        # The paper's reconfiguration is topology agnostic: the same cloud
+        # stack runs on a dragonfly without changes.
+        b = build_dragonfly(4, 3, 2)
+        cloud = CloudManager(
+            b.topology, built=b, lid_scheme="prepopulated", num_vfs=2
+        )
+        cloud.adopt_all_hcas()
+        cloud.bring_up_subnet()
+        vm = cloud.boot_vm(on="g0r0h0")
+        report = cloud.live_migrate(vm.name, "g3r2h1")
+        assert report.reconfig.path_compute_seconds == 0.0
+        assert 1 <= report.reconfig.lft_smps <= 2 * b.topology.num_switches
+        assert vm.lid == report.vm_lid
+
+    def test_intra_group_cheaper_than_inter_group(self):
+        b = build_dragonfly(4, 3, 2)
+        cloud = CloudManager(
+            b.topology, built=b, lid_scheme="dynamic", num_vfs=2
+        )
+        cloud.adopt_all_hcas()
+        cloud.bring_up_subnet()
+        from repro.core.skyline import minimal_update_set
+
+        vm = cloud.boot_vm(on="g0r0h0")
+        intra = minimal_update_set(
+            cloud.topology, vm.lid, cloud.hypervisors["g0r1h0"].uplink_port
+        )
+        inter = minimal_update_set(
+            cloud.topology, vm.lid, cloud.hypervisors["g2r1h0"].uplink_port
+        )
+        assert len(intra) <= len(inter)

@@ -1,0 +1,85 @@
+"""Tests for topology save/load round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.fabric.presets import scaled_fattree
+from repro.fabric.serialization import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.sm.routing.base import RoutingRequest
+from repro.sm.subnet_manager import SubnetManager
+
+
+@pytest.fixture
+def configured_fattree():
+    built = scaled_fattree("2l-small")
+    sm = SubnetManager(built.topology, built=built)
+    sm.initial_configure(with_discovery=False)
+    return built, sm
+
+
+class TestRoundTrip:
+    def test_structure_survives(self, configured_fattree):
+        built, sm = configured_fattree
+        doc = topology_to_dict(built.topology, built=built)
+        clone = topology_from_dict(doc)
+        t0, t1 = built.topology, clone.topology
+        assert t1.num_switches == t0.num_switches
+        assert t1.num_hcas == t0.num_hcas
+        assert len(t1.links) == len(t0.links)
+        assert t1.bound_lids() == t0.bound_lids()
+
+    def test_lids_and_lfts_survive(self, configured_fattree):
+        built, sm = configured_fattree
+        clone = topology_from_dict(topology_to_dict(built.topology, built=built))
+        for sw0, sw1 in zip(built.topology.switches, clone.topology.switches):
+            assert sw0.lid == sw1.lid
+            for lid in built.topology.bound_lids():
+                assert sw0.lft.get(lid) == sw1.lft.get(lid)
+
+    def test_builder_metadata_survives(self, configured_fattree):
+        built, sm = configured_fattree
+        clone = topology_from_dict(topology_to_dict(built.topology, built=built))
+        assert clone.level == built.level
+        assert clone.params == built.params
+        assert [r.name for r in clone.roots] == [r.name for r in built.roots]
+
+    def test_clone_is_routable(self, configured_fattree):
+        built, sm = configured_fattree
+        clone = topology_from_dict(topology_to_dict(built.topology, built=built))
+        sm2 = SubnetManager(clone.topology, built=clone, engine="ftree")
+        req = RoutingRequest.from_topology(clone.topology, built=clone)
+        tables = sm2.engine.compute(req)
+        tables.validate(req)
+
+    def test_file_round_trip(self, tmp_path, configured_fattree):
+        built, sm = configured_fattree
+        path = tmp_path / "subnet.json"
+        save_topology(str(path), built.topology, built=built)
+        clone = load_topology(str(path))
+        assert clone.topology.num_hcas == built.topology.num_hcas
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(TopologyError):
+            topology_from_dict({"format": 99})
+
+    def test_reconfig_state_preserved(self, configured_fattree):
+        # A post-migration fabric round-trips with the swapped entries.
+        from repro.core.reconfig import VSwitchReconfigurer
+
+        built, sm = configured_fattree
+        topo = built.topology
+        lid_a = sm.lid_manager.assign_extra_lid(topo.hcas[0].port(1))
+        lid_b = sm.lid_manager.assign_extra_lid(topo.hcas[-1].port(1))
+        sm.compute_routing()
+        sm.distribute()
+        VSwitchReconfigurer(sm).swap_lids(lid_a, lid_b)
+        clone = topology_from_dict(topology_to_dict(topo, built=built))
+        for sw0, sw1 in zip(topo.switches, clone.topology.switches):
+            assert sw0.lft.get(lid_a) == sw1.lft.get(lid_a)
+            assert sw0.lft.get(lid_b) == sw1.lft.get(lid_b)

@@ -1,0 +1,185 @@
+"""Tests for SMP transport: hop counting, latency, accounting, application."""
+
+import numpy as np
+import pytest
+
+from repro.constants import LFT_BLOCK_SIZE
+from repro.errors import TopologyError
+from repro.fabric.topology import Topology
+from repro.mad.smp import Smp, SmpKind, SmpMethod, make_set_lft_block
+from repro.mad.transport import SmpTransport
+
+
+def line_topology():
+    """h0 - s0 - s1 - s2 - h2 (SM on h0)."""
+    topo = Topology("line")
+    s0, s1, s2 = (topo.add_switch(f"s{i}", 4) for i in range(3))
+    h0, h2 = topo.add_hca("h0"), topo.add_hca("h2")
+    topo.connect(h0, 1, s0, 1)
+    topo.connect(s0, 2, s1, 1)
+    topo.connect(s1, 2, s2, 1)
+    topo.connect(s2, 2, h2, 1)
+    return topo
+
+
+class TestHops:
+    def test_hops_to_switches(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        assert tr.hops_to(topo.node("s0")) == 1
+        assert tr.hops_to(topo.node("s1")) == 2
+        assert tr.hops_to(topo.node("s2")) == 3
+
+    def test_hops_to_remote_hca(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        assert tr.hops_to(topo.node("h2")) == 4
+
+    def test_hops_to_self(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        assert tr.hops_to(topo.node("h0")) == 0
+
+    def test_sm_defaults_to_first_hca(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        assert tr.sm_node.name == "h0"
+
+    def test_move_sm_changes_distances(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        tr.set_sm_node(topo.node("h2"))
+        assert tr.hops_to(topo.node("s2")) == 1
+        assert tr.hops_to(topo.node("s0")) == 3
+
+
+class TestLatencyModel:
+    def test_directed_adds_r_per_hop(self):
+        topo = line_topology()
+        tr = SmpTransport(topo, hop_latency=1.0, dr_overhead=0.5)
+        res_dir = tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s1"))
+        res_dst = tr.send(
+            Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s1", directed=False)
+        )
+        assert res_dir.latency == pytest.approx(2 * 1.5)
+        assert res_dst.latency == pytest.approx(2 * 1.0)
+
+    def test_closer_switch_cheaper(self):
+        # Section VI-A footnote 4.
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        near = tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s0"))
+        far = tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s2"))
+        assert far.latency > near.latency
+
+
+class TestAccounting:
+    def test_counters(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s0"))
+        tr.send(make_set_lft_block("s1", 0, np.zeros(LFT_BLOCK_SIZE)))
+        assert tr.stats.total_smps == 2
+        assert tr.stats.lft_update_smps == 1
+        assert tr.stats.by_kind[SmpKind.LFT_BLOCK] == 1
+        assert tr.stats.by_target["s0"] == 1
+
+    def test_directed_vs_destination_counts(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s0"))
+        tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s0", directed=False))
+        assert tr.stats.directed_smps == 1
+        assert tr.stats.destination_routed_smps == 1
+
+    def test_snapshot_delta(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s0"))
+        before = tr.stats.snapshot()
+        tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s1"))
+        tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s2"))
+        delta = tr.stats.delta_since(before)
+        assert delta.total_smps == 2
+        assert len(delta.latencies) == 2
+
+    def test_mean_k(self):
+        topo = line_topology()
+        tr = SmpTransport(topo, hop_latency=1.0, dr_overhead=0.0)
+        tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s0"))  # 1 hop
+        tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s2"))  # 3 hops
+        assert tr.stats.mean_k() == pytest.approx(2.0)
+
+    def test_pipelined_time_bounds(self):
+        topo = line_topology()
+        tr = SmpTransport(topo, hop_latency=1.0, dr_overhead=0.0)
+        for _ in range(4):
+            tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s1"))  # 2.0 each
+        serial = tr.stats.serial_time
+        assert tr.stats.pipelined_time(1) == pytest.approx(serial)
+        assert tr.stats.pipelined_time(4) == pytest.approx(serial / 4)
+        # Never below the slowest single packet.
+        assert tr.stats.pipelined_time(100) == pytest.approx(2.0)
+
+    def test_pipeline_window_validation(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        with pytest.raises(TopologyError):
+            tr.stats.pipelined_time(0)
+
+
+class TestApplication:
+    def test_set_lft_programs_switch(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        entries = np.full(LFT_BLOCK_SIZE, 3, dtype=np.int16)
+        tr.send(make_set_lft_block("s1", 0, entries))
+        assert topo.node("s1").lft.get(10) == 3
+
+    def test_get_lft_reads_back(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        topo.node("s0").lft.set(5, 2)
+        res = tr.send(
+            Smp(SmpMethod.GET, SmpKind.LFT_BLOCK, "s0", payload={"block": 0})
+        )
+        assert res.data["entries"][5] == 2
+
+    def test_lft_smp_to_hca_rejected(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        with pytest.raises(TopologyError):
+            tr.send(make_set_lft_block("h2", 0, np.zeros(LFT_BLOCK_SIZE)))
+
+    def test_set_port_lid(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        tr.send(
+            Smp(
+                SmpMethod.SET,
+                SmpKind.PORT_INFO,
+                "h2",
+                payload={"port": 1, "lid": 77},
+            )
+        )
+        assert topo.node("h2").port(1).lid == 77
+
+    def test_get_node_info(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        res = tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s1"))
+        assert res.data["node_type"] == "switch"
+        assert res.data["num_ports"] == 4
+
+    def test_vguid_payload_carried_back(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        res = tr.send(
+            Smp(
+                SmpMethod.SET,
+                SmpKind.VGUID,
+                "h2",
+                payload={"vf": 1, "vguid": 0xBEEF},
+            )
+        )
+        assert res.data == {"vf": 1, "vguid": 0xBEEF}

@@ -1,0 +1,110 @@
+"""Tests for the 256-byte MAD wire encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constants import LFT_BLOCK_SIZE
+from repro.errors import ReproError
+from repro.mad.smp import Smp, SmpKind, SmpMethod, make_set_lft_block
+from repro.mad.wire import ATTR_PAYLOAD_SIZE, MAD_SIZE, decode_smp, encode_smp
+
+
+class TestSizeInvariants:
+    def test_every_mad_is_256_bytes(self):
+        smp = make_set_lft_block("sw0", 3, np.arange(64) % 200)
+        assert len(encode_smp(smp)) == MAD_SIZE
+
+    def test_lft_block_exactly_fills_payload(self):
+        # The architectural reason LFTs move in 64-LID blocks: one block of
+        # one-byte port entries is exactly one attribute payload.
+        assert LFT_BLOCK_SIZE * 1 == ATTR_PAYLOAD_SIZE
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ReproError):
+            decode_smp(b"\x00" * 100)
+
+
+class TestRoundTrip:
+    def test_set_lft_block(self):
+        entries = np.asarray([(i * 7) % 250 for i in range(64)], dtype=np.int16)
+        smp = make_set_lft_block("leaf3", 5, entries, directed=False)
+        decoded, tid = decode_smp(encode_smp(smp, tid=42))
+        assert tid == 42
+        assert decoded.method is SmpMethod.SET
+        assert decoded.kind is SmpKind.LFT_BLOCK
+        assert decoded.target == "leaf3"
+        assert decoded.directed is False
+        assert decoded.payload["block"] == 5
+        assert np.array_equal(decoded.payload["entries"], entries)
+
+    def test_get_lft_block(self):
+        smp = Smp(SmpMethod.GET, SmpKind.LFT_BLOCK, "sw", payload={"block": 9})
+        decoded, _ = decode_smp(encode_smp(smp))
+        assert decoded.method is SmpMethod.GET
+        assert decoded.payload["block"] == 9
+
+    def test_port_info(self):
+        smp = Smp(
+            SmpMethod.SET,
+            SmpKind.PORT_INFO,
+            "hca7",
+            payload={"port": 1, "lid": 777},
+        )
+        decoded, _ = decode_smp(encode_smp(smp))
+        assert decoded.payload == {"port": 1, "lid": 777}
+
+    def test_vguid(self):
+        smp = Smp(
+            SmpMethod.SET,
+            SmpKind.VGUID,
+            "hyp",
+            payload={"vf": 3, "vguid": 0x0000_0100_0000_BEEF},
+        )
+        decoded, _ = decode_smp(encode_smp(smp))
+        assert decoded.payload["vf"] == 3
+        assert decoded.payload["vguid"] == 0x0000_0100_0000_BEEF
+
+    def test_directed_flag_in_mgmt_class(self):
+        for directed in (True, False):
+            smp = Smp(
+                SmpMethod.GET, SmpKind.NODE_INFO, "x", directed=directed
+            )
+            decoded, _ = decode_smp(encode_smp(smp))
+            assert decoded.directed is directed
+
+    @given(
+        block=st.integers(min_value=0, max_value=767),
+        entries=st.lists(
+            st.integers(min_value=0, max_value=255), min_size=64, max_size=64
+        ),
+        tid=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    )
+    def test_lft_round_trip_property(self, block, entries, tid):
+        smp = make_set_lft_block(
+            "sw", block, np.asarray(entries, dtype=np.int16)
+        )
+        decoded, tid2 = decode_smp(encode_smp(smp, tid=tid))
+        assert tid2 == tid
+        assert decoded.payload["block"] == block
+        assert list(decoded.payload["entries"]) == entries
+
+
+class TestValidation:
+    def test_bad_tid(self):
+        smp = Smp(SmpMethod.GET, SmpKind.NODE_INFO, "x")
+        with pytest.raises(ReproError):
+            encode_smp(smp, tid=1 << 64)
+
+    def test_long_target_rejected(self):
+        smp = Smp(SmpMethod.GET, SmpKind.NODE_INFO, "y" * 80)
+        with pytest.raises(ReproError):
+            encode_smp(smp)
+
+    def test_garbage_class_rejected(self):
+        smp = Smp(SmpMethod.GET, SmpKind.NODE_INFO, "x")
+        wire = bytearray(encode_smp(smp))
+        wire[1] = 0x55  # unknown mgmt class
+        with pytest.raises(ReproError):
+            decode_smp(bytes(wire))

@@ -1,0 +1,150 @@
+"""Tests for link-failure handling and classic LMC assignment."""
+
+import pytest
+
+from repro.errors import AddressingError, LidExhaustedError, TopologyError
+from repro.fabric.addressing import LidAllocator
+from repro.fabric.builders.generic import build_ring
+from repro.fabric.node import Switch
+from repro.fabric.presets import scaled_fattree
+from repro.sm.lid_manager import LidManager
+from repro.sm.subnet_manager import SubnetManager
+from repro.sim.dataplane import DataPlaneSimulator
+
+
+class TestLinkFailure:
+    def _inter_switch_link(self, topo):
+        for link in topo.links:
+            if isinstance(link.a.node, Switch) and isinstance(
+                link.b.node, Switch
+            ):
+                return link
+        raise AssertionError("no inter-switch link")
+
+    def test_failure_triggers_recompute_and_diff(self, small_fattree):
+        sm = SubnetManager(
+            small_fattree.topology, built=small_fattree, engine="minhop"
+        )
+        sm.initial_configure(with_discovery=False)
+        link = self._inter_switch_link(small_fattree.topology)
+        report = sm.handle_link_failure(link)
+        assert report.path_compute_seconds > 0
+        assert report.lft_smps > 0  # some blocks genuinely changed
+
+    def test_traffic_flows_after_failure(self, small_fattree):
+        sm = SubnetManager(
+            small_fattree.topology, built=small_fattree, engine="minhop"
+        )
+        sm.initial_configure(with_discovery=False)
+        topo = small_fattree.topology
+        link = self._inter_switch_link(topo)
+        sm.handle_link_failure(link)
+        sim = DataPlaneSimulator(topo)
+        for dst in topo.hcas[1:13]:
+            sim.inject(topo.hcas[0].lid, dst.lid)
+        stats = sim.run()
+        assert stats.delivered == stats.injected
+
+    def test_partitioning_failure_rejected(self):
+        # A ring loses one link fine, but a 2-switch chain cannot.
+        from repro.fabric.topology import Topology
+
+        topo = Topology("chain")
+        a = topo.add_switch("a", 4)
+        b = topo.add_switch("b", 4)
+        ha = topo.add_hca("ha")
+        hb = topo.add_hca("hb")
+        topo.connect(a, 1, ha, 1)
+        topo.connect(b, 1, hb, 1)
+        bridge = topo.connect(a, 2, b, 2)
+        sm = SubnetManager(topo, engine="minhop")
+        sm.initial_configure(with_discovery=False)
+        with pytest.raises(TopologyError):
+            sm.handle_link_failure(bridge)
+
+    def test_ring_survives_single_failure(self):
+        built = build_ring(5, 1)
+        sm = SubnetManager(built.topology, engine="minhop")
+        sm.initial_configure(with_discovery=False)
+        link = self._inter_switch_link(built.topology)
+        report = sm.handle_link_failure(link)
+        topo = built.topology
+        sim = DataPlaneSimulator(topo)
+        for dst in topo.hcas[1:]:
+            sim.inject(topo.hcas[0].lid, dst.lid)
+        assert sim.run().delivered == len(topo.hcas) - 1
+
+
+class TestAlignedRuns:
+    def test_find_free_aligned_run(self):
+        alloc = LidAllocator()
+        alloc.assign(1)
+        alloc.assign(2)
+        start = alloc.find_free_aligned_run(4, 4)
+        assert start == 4
+        alloc.assign_range(start, 4)
+        assert alloc.find_free_aligned_run(4, 4) == 8
+
+    def test_assign_range_atomic(self):
+        alloc = LidAllocator()
+        alloc.assign(6)
+        with pytest.raises(AddressingError):
+            alloc.assign_range(4, 4)  # 6 is taken
+        # Nothing from the failed range leaked.
+        assert not alloc.is_allocated(4)
+        assert not alloc.is_allocated(5)
+
+    def test_exhaustion(self):
+        alloc = LidAllocator(first=1, last=7)
+        with pytest.raises(LidExhaustedError):
+            alloc.find_free_aligned_run(8, 8)
+
+    def test_validation(self):
+        alloc = LidAllocator()
+        with pytest.raises(AddressingError):
+            alloc.find_free_aligned_run(0, 4)
+
+
+class TestLmc:
+    def test_lmc_assigns_aligned_sequential_block(self, small_fattree):
+        topo = small_fattree.topology
+        lm = LidManager(topo)
+        port = topo.hcas[0].port(1)
+        lids = lm.assign_lmc_lids(port, lmc=2)
+        assert len(lids) == 4
+        assert lids == list(range(lids[0], lids[0] + 4))
+        assert lids[0] % 4 == 0
+        for lid in lids:
+            assert topo.port_of_lid(lid) is port
+
+    def test_lmc_zero_is_single_lid(self, small_fattree):
+        lm = LidManager(small_fattree.topology)
+        lids = lm.assign_lmc_lids(small_fattree.topology.hcas[0].port(1), 0)
+        assert len(lids) == 1
+
+    def test_lmc_bounds(self, small_fattree):
+        lm = LidManager(small_fattree.topology)
+        with pytest.raises(AddressingError):
+            lm.assign_lmc_lids(small_fattree.topology.hcas[0].port(1), 8)
+
+    def test_lmc_block_cannot_follow_a_vm(self, small_fattree):
+        """The section V-A contrast: classic LMC LIDs are anchored to the
+        aligned block, so per-VM migration with a sequential block is
+        impossible once a *single* LID must move — while the vSwitch
+        prepopulated scheme hands out non-sequential LIDs freely."""
+        topo = small_fattree.topology
+        lm = LidManager(topo)
+        port_a = topo.hcas[0].port(1)
+        port_b = topo.hcas[1].port(1)
+        lids = lm.assign_lmc_lids(port_a, lmc=2)
+        # Moving just one of the 4 LIDs to another port breaks the
+        # sequential-block invariant: the remaining LIDs of port_a no
+        # longer form a full 2^lmc block.
+        lm.move_lid(lids[1], port_b)
+        remaining = lm.lids_on_port(port_a)
+        assert len(remaining) == 3
+        base = remaining[0]
+        assert remaining != list(range(base, base + 4))
+        # The vSwitch scheme has no such invariant: any spread works.
+        extra = lm.assign_extra_lid(port_a, lid=200)
+        assert extra == 200

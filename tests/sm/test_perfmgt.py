@@ -1,0 +1,124 @@
+"""Tests for PMA counters and the performance manager."""
+
+import pytest
+
+from repro.errors import ReproError, TopologyError
+from repro.fabric.node import PortCounters, Switch
+from repro.fabric.presets import scaled_fattree
+from repro.sim.dataplane import DataPlaneSimulator
+from repro.sm.perfmgt import PerformanceManager
+from repro.sm.subnet_manager import SubnetManager
+from repro.workloads.traffic import all_to_all_flows
+
+
+@pytest.fixture
+def loaded_subnet(small_fattree):
+    sm = SubnetManager(small_fattree.topology, built=small_fattree)
+    sm.initial_configure(with_discovery=False)
+    topo = small_fattree.topology
+    sim = DataPlaneSimulator(topo, channel_credits=4)
+    lids = [h.lid for h in topo.hcas[:10]]
+    sim.inject_flows(all_to_all_flows(lids), spacing=1e-7)
+    sim.run()
+    return sm, sim
+
+
+class TestPortCounters:
+    def test_counters_increment_on_traffic(self, loaded_subnet):
+        sm, sim = loaded_subnet
+        total_xmit = sum(
+            c.xmit_packets
+            for sw in sm.topology.switches
+            for c in sw.counters.values()
+        )
+        assert total_xmit > 0
+
+    def test_xmit_equals_rcv_fabric_wide(self, loaded_subnet):
+        # Every inter-switch transmit is someone's receive.
+        sm, _ = loaded_subnet
+        xmit = sum(
+            c.xmit_packets
+            for sw in sm.topology.switches
+            for c in sw.counters.values()
+        )
+        rcv = sum(
+            c.rcv_packets
+            for sw in sm.topology.switches
+            for c in sw.counters.values()
+        )
+        assert xmit == rcv
+
+    def test_no_discards_on_clean_run(self, loaded_subnet):
+        sm, _ = loaded_subnet
+        discards = sum(
+            c.xmit_discards
+            for sw in sm.topology.switches
+            for c in sw.counters.values()
+        )
+        assert discards == 0
+
+    def test_bad_port_rejected(self):
+        sw = Switch("s", 4)
+        with pytest.raises(TopologyError):
+            sw.port_counters(9)
+
+    def test_reset(self):
+        c = PortCounters()
+        c.xmit_packets = 5
+        c.reset()
+        assert c.as_dict() == {
+            "xmit_packets": 0,
+            "rcv_packets": 0,
+            "xmit_discards": 0,
+        }
+
+
+class TestPerformanceManager:
+    def test_sweep_accounts_mads(self, loaded_subnet):
+        sm, _ = loaded_subnet
+        perf = PerformanceManager(sm)
+        before = sm.transport.stats.total_smps
+        rows = perf.sweep()
+        assert rows, "loaded fabric must show utilization"
+        assert (
+            sm.transport.stats.total_smps
+            == before + sm.topology.num_switches
+        )
+        assert perf.sweeps == 1
+
+    def test_hot_links_sorted(self, loaded_subnet):
+        sm, _ = loaded_subnet
+        perf = PerformanceManager(sm)
+        hot = perf.hot_links(top=3)
+        assert len(hot) == 3
+        assert hot[0].xmit_packets >= hot[1].xmit_packets >= hot[2].xmit_packets
+        with pytest.raises(ReproError):
+            perf.hot_links(top=0)
+
+    def test_discard_hotspots_after_invalidation(self, loaded_subnet):
+        from repro.core.reconfig import VSwitchReconfigurer
+
+        sm, _ = loaded_subnet
+        topo = sm.topology
+        victim = topo.hcas[-1].lid
+        VSwitchReconfigurer(sm).invalidate_lid(victim)
+        sim = DataPlaneSimulator(topo)
+        sim.inject(topo.hcas[0].lid, victim)
+        sim.run()
+        perf = PerformanceManager(sm)
+        spots = perf.discard_hotspots()
+        assert len(spots) >= 1
+        assert spots[0].xmit_discards >= 1
+
+    def test_utilization_skew_reasonable(self, loaded_subnet):
+        sm, _ = loaded_subnet
+        perf = PerformanceManager(sm)
+        skew = perf.utilization_skew()
+        assert skew >= 1.0
+        assert skew < 10.0  # minhop lid-mod keeps all-to-all fairly flat
+
+    def test_reset_all(self, loaded_subnet):
+        sm, _ = loaded_subnet
+        perf = PerformanceManager(sm)
+        perf.reset_all()
+        assert perf.utilization_skew() == 0.0

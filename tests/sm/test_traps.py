@@ -1,0 +1,89 @@
+"""Tests for fabric-event traps driving SM reactions."""
+
+import pytest
+
+from repro.errors import ReproError, TopologyError
+from repro.fabric.node import Switch
+from repro.fabric.presets import scaled_fattree
+from repro.sm.subnet_manager import SubnetManager
+from repro.sm.traps import FabricEventManager, TrapType
+
+
+@pytest.fixture
+def running_sm(small_fattree):
+    sm = SubnetManager(
+        small_fattree.topology, built=small_fattree, engine="minhop"
+    )
+    sm.initial_configure(with_discovery=False)
+    return sm
+
+
+def inter_switch_link(topo):
+    for link in topo.links:
+        if isinstance(link.a.node, Switch) and isinstance(link.b.node, Switch):
+            return link
+    raise AssertionError("no inter-switch link")
+
+
+class TestLinkDown:
+    def test_both_ends_trap(self, running_sm):
+        mgr = FabricEventManager(running_sm)
+        link = inter_switch_link(running_sm.topology)
+        mgr.link_down(link)
+        downs = mgr.traps_of(TrapType.LINK_STATE_DOWN)
+        assert len(downs) == 2
+        assert {t.reporter for t in downs} == {
+            link.a.node.name,
+            link.b.node.name,
+        }
+
+    def test_reaction_reroutes(self, running_sm):
+        mgr = FabricEventManager(running_sm)
+        link = inter_switch_link(running_sm.topology)
+        report = mgr.link_down(link)
+        assert report.path_compute_seconds > 0
+        assert report.lft_smps > 0
+        assert mgr.reaction_count == 1
+
+    def test_host_link_rejected(self, running_sm):
+        mgr = FabricEventManager(running_sm)
+        host_link = next(
+            l
+            for l in running_sm.topology.links
+            if not isinstance(l.a.node, Switch)
+            or not isinstance(l.b.node, Switch)
+        )
+        with pytest.raises(ReproError):
+            mgr.link_down(host_link)
+
+    def test_trap_sequence_numbers_increase(self, running_sm):
+        mgr = FabricEventManager(running_sm)
+        links = [
+            l
+            for l in running_sm.topology.links
+            if isinstance(l.a.node, Switch) and isinstance(l.b.node, Switch)
+        ]
+        mgr.link_down(links[0])
+        mgr.link_down(links[1])
+        seqs = [t.seq for t in mgr.traps]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestLinkUp:
+    def test_repair_cycle(self, running_sm):
+        mgr = FabricEventManager(running_sm)
+        link = inter_switch_link(running_sm.topology)
+        a, pa = link.a.node, link.a.num
+        b, pb = link.b.node, link.b.num
+        mgr.link_down(link)
+        report = mgr.link_up(a, pa, b, pb)
+        assert len(mgr.traps_of(TrapType.LINK_STATE_UP)) == 2
+        assert report.path_compute_seconds > 0
+        assert mgr.reaction_count == 2
+        # After repair the fabric view has its original edge count back.
+        degrees = [
+            running_sm.topology.fabric_view().degree(i)
+            for i in range(running_sm.topology.num_switches)
+        ]
+        assert min(degrees) >= 1

@@ -1,0 +1,159 @@
+"""Tests for the SR-IOV function models: Shared Port vs vSwitch semantics."""
+
+import pytest
+
+from repro.constants import MAX_NUM_VFS
+from repro.errors import SriovError
+from repro.fabric.addressing import GuidAllocator
+from repro.fabric.node import HCA
+from repro.sriov.base import FunctionState, VirtualFunction
+from repro.sriov.shared_port import SharedPortHCA
+from repro.sriov.vswitch import VSwitchHCA
+
+
+@pytest.fixture
+def guids():
+    return GuidAllocator()
+
+
+class TestFunctionLifecycle:
+    def test_attach_detach_release(self, guids):
+        vf = VirtualFunction(HCA("h"), 1, guids.allocate_virtual(), qp0_proxied=True)
+        assert vf.is_free
+        vf.attach("vm1")
+        assert vf.state is FunctionState.ACTIVE
+        assert vf.vm_name == "vm1"
+        vf.detach()
+        assert vf.state is FunctionState.DETACHED
+        vf.release()
+        assert vf.is_free and vf.vm_name is None
+
+    def test_double_attach_rejected(self, guids):
+        vf = VirtualFunction(HCA("h"), 1, guids.allocate_virtual(), qp0_proxied=True)
+        vf.attach("vm1")
+        with pytest.raises(SriovError):
+            vf.attach("vm2")
+
+    def test_detach_unattached_rejected(self, guids):
+        vf = VirtualFunction(HCA("h"), 1, guids.allocate_virtual(), qp0_proxied=True)
+        with pytest.raises(SriovError):
+            vf.detach()
+
+    def test_gid_follows_guid(self, guids):
+        vf = VirtualFunction(HCA("h"), 1, guids.allocate_virtual(), qp0_proxied=False)
+        old_gid = vf.gid
+        vf.guid = guids.allocate_virtual()
+        assert vf.gid != old_gid
+        assert vf.gid.guid == vf.guid
+
+
+class TestSharedPort:
+    def test_one_lid_for_everyone(self, guids):
+        sp = SharedPortHCA(HCA("h"), guids, num_vfs=4)
+        sp.lid = 9
+        lids = set(sp.function_lids().values())
+        assert lids == {9}
+
+    def test_distinct_gids(self, guids):
+        # Fig. 1: shared LID but per-function GIDs.
+        sp = SharedPortHCA(HCA("h"), guids, num_vfs=4)
+        gids = [sp.pf.gid] + [vf.gid for vf in sp.vfs]
+        assert len(set(gids)) == len(gids)
+
+    def test_vf_cannot_run_sm(self, guids):
+        # Section IV-A: SMPs from VFs toward QP0 are discarded.
+        sp = SharedPortHCA(HCA("h"), guids, num_vfs=2)
+        assert sp.pf.can_run_sm
+        assert all(not vf.can_run_sm for vf in sp.vfs)
+
+    def test_attach_uses_first_free(self, guids):
+        sp = SharedPortHCA(HCA("h"), guids, num_vfs=2)
+        vf1 = sp.attach_vm("vm1")
+        vf2 = sp.attach_vm("vm2")
+        assert vf1 is not vf2
+        with pytest.raises(SriovError):
+            sp.attach_vm("vm3")
+
+    def test_lid_sharing_breaks_comigrants(self, guids):
+        # The emulation constraint (section VII-B): migrating one VM's LID
+        # breaks every other VM on the node.
+        sp = SharedPortHCA(HCA("h"), guids, num_vfs=4)
+        sp.lid = 5
+        vf1 = sp.attach_vm("vm1")
+        sp.attach_vm("vm2")
+        sp.attach_vm("vm3")
+        assert sorted(sp.vms_sharing_lid_with(vf1)) == ["vm2", "vm3"]
+
+    def test_foreign_vf_rejected(self, guids):
+        sp = SharedPortHCA(HCA("h"), guids, num_vfs=2)
+        other = VirtualFunction(HCA("x"), 1, guids.allocate_virtual(), qp0_proxied=True)
+        with pytest.raises(SriovError):
+            sp.vms_sharing_lid_with(other)
+
+    def test_vf_count_bounds(self, guids):
+        with pytest.raises(SriovError):
+            SharedPortHCA(HCA("h"), guids, num_vfs=0)
+        with pytest.raises(SriovError):
+            SharedPortHCA(HCA("h"), guids, num_vfs=MAX_NUM_VFS + 1)
+
+
+class TestVSwitch:
+    def test_vfs_have_distinct_identities(self, guids):
+        # Fig. 2: each VF is a complete vHCA with its own addresses.
+        vsw = VSwitchHCA(HCA("h"), guids, num_vfs=4)
+        vsw.pf.lid = 1
+        for i, vf in enumerate(vsw.vfs):
+            vf.lid = 10 + i
+        lids = list(vsw.function_lids().values())
+        assert len(set(lids)) == len(lids)
+
+    def test_vswitch_shares_pf_lid(self, guids):
+        # Section V-A: the vSwitch does not occupy an extra LID.
+        vsw = VSwitchHCA(HCA("h"), guids, num_vfs=2)
+        vsw.pf.lid = 7
+        assert vsw.pf_lid == 7
+        assert 7 in vsw.lids_in_use()
+
+    def test_vm_on_vf_can_run_sm(self, guids):
+        # Section IV-B consequence: real QP0 per VF.
+        vsw = VSwitchHCA(HCA("h"), guids, num_vfs=2)
+        assert vsw.can_host_sm_in_vm()
+
+    def test_first_free_vf_order(self, guids):
+        vsw = VSwitchHCA(HCA("h"), guids, num_vfs=3)
+        a = vsw.first_free_vf()
+        a.attach("vm1")
+        b = vsw.first_free_vf()
+        assert b.index == a.index + 1
+
+    def test_exhaustion(self, guids):
+        vsw = VSwitchHCA(HCA("h"), guids, num_vfs=1)
+        vsw.first_free_vf().attach("vm")
+        with pytest.raises(SriovError):
+            vsw.first_free_vf()
+
+    def test_vf_lookup(self, guids):
+        vsw = VSwitchHCA(HCA("h"), guids, num_vfs=3)
+        assert vsw.vf(2).index == 2
+        with pytest.raises(SriovError):
+            vsw.vf(9)
+
+    def test_set_vguid(self, guids):
+        vsw = VSwitchHCA(HCA("h"), guids, num_vfs=2)
+        target = vsw.vf(1)
+        new_guid = guids.allocate_virtual()
+        vsw.set_vguid(target, new_guid)
+        assert target.guid == new_guid
+
+    def test_set_vguid_foreign_rejected(self, guids):
+        vsw = VSwitchHCA(HCA("h"), guids, num_vfs=2)
+        other = VirtualFunction(HCA("x"), 1, guids.allocate_virtual(), qp0_proxied=False)
+        with pytest.raises(SriovError):
+            vsw.set_vguid(other, 123)
+
+    def test_active_and_free_tracking(self, guids):
+        vsw = VSwitchHCA(HCA("h"), guids, num_vfs=3)
+        vsw.vf(1).attach("a")
+        vsw.vf(3).attach("b")
+        assert {vf.index for vf in vsw.active_vfs()} == {1, 3}
+        assert {vf.index for vf in vsw.free_vfs()} == {2}

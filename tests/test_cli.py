@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig7_flags(self):
+        args = build_parser().parse_args(
+            ["fig7", "--paper-scale", "--engines", "minhop"]
+        )
+        assert args.paper_scale and args.engines == "minhop"
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["migrate-demo"])
+        assert args.scheme == "prepopulated"
+        assert args.profile == "2l-small"
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        for token in ("216", "336960", "3240", "99.04%"):
+            assert token in out
+
+    def test_fig7_minhop_only(self, capsys):
+        assert main(["fig7", "--engines", "minhop"]) == 0
+        out = capsys.readouterr().out
+        assert "minhop" in out
+        assert "vswitch-reconfig" in out
+        assert "0.0000s" in out
+
+    def test_cost_model(self, capsys):
+        assert main(["cost-model"]) == 0
+        out = capsys.readouterr().out
+        assert "11664" in out and "ratio" in out
+
+    @pytest.mark.parametrize("scheme", ["prepopulated", "dynamic"])
+    def test_migrate_demo(self, capsys, scheme):
+        assert main(["migrate-demo", "--scheme", scheme]) == 0
+        out = capsys.readouterr().out
+        assert "PCt=0" in out
+        assert "LID kept=True" in out

@@ -1,0 +1,87 @@
+"""Package-level tests: public API surface, error hierarchy, constants."""
+
+import pytest
+
+import repro
+from repro import errors
+from repro.constants import (
+    LFT_BLOCK_SIZE,
+    LFT_BLOCKS_FULL_SUBNET,
+    LFT_DROP_PORT,
+    MAX_UNICAST_LID,
+    PAPER_SWITCH_RADIX,
+    UNICAST_LID_COUNT,
+)
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_subpackage_exports_resolve(self):
+        for pkg in (
+            repro.fabric,
+            repro.mad,
+            repro.sm,
+            repro.sriov,
+            repro.core,
+            repro.virt,
+            repro.sim,
+            repro.workloads,
+            repro.analysis,
+        ):
+            for name in pkg.__all__:
+                assert hasattr(pkg, name), f"{pkg.__name__}.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_docstrings_everywhere(self):
+        # Every public symbol re-exported at package level is documented.
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj.__module__ == "repro.errors"
+            ):
+                assert issubclass(obj, errors.ReproError)
+
+    def test_specific_parentage(self):
+        assert issubclass(errors.LidExhaustedError, errors.AddressingError)
+        assert issubclass(errors.MigrationError, errors.VirtError)
+        assert issubclass(errors.UnreachableLidError, errors.RoutingError)
+
+    def test_catchable_as_repro_error(self):
+        from repro.fabric.addressing import LidAllocator
+
+        alloc = LidAllocator(first=1, last=1)
+        alloc.allocate()
+        with pytest.raises(errors.ReproError):
+            alloc.allocate()
+
+
+class TestConstants:
+    def test_lid_space(self):
+        assert MAX_UNICAST_LID == 0xBFFF
+        assert UNICAST_LID_COUNT == 49151
+
+    def test_lft_block_invariants(self):
+        assert LFT_BLOCK_SIZE == 64
+        assert LFT_BLOCKS_FULL_SUBNET * LFT_BLOCK_SIZE >= MAX_UNICAST_LID + 1
+        assert LFT_BLOCKS_FULL_SUBNET == 768
+
+    def test_drop_port(self):
+        assert LFT_DROP_PORT == 255
+
+    def test_paper_radix(self):
+        assert PAPER_SWITCH_RADIX == 36

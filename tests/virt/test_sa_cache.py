@@ -1,0 +1,109 @@
+"""Tests for the SA path-record query model and the caching scheme
+(the paper's reference [10] background mechanism)."""
+
+import pytest
+
+from repro.errors import VirtError
+from repro.fabric.addressing import make_gid
+from repro.virt.sa_cache import PathRecord, SaPathCache, SubnetAdministrator
+
+
+class TestSubnetAdministrator:
+    def test_register_query(self):
+        sa = SubnetAdministrator()
+        gid = make_gid(1)
+        sa.register(gid, 10)
+        rec = sa.query(gid)
+        assert rec.dlid == 10
+        assert sa.stats.queries == 1
+
+    def test_unknown_gid_raises(self):
+        sa = SubnetAdministrator()
+        with pytest.raises(VirtError):
+            sa.query(make_gid(9))
+
+    def test_update_in_place(self):
+        sa = SubnetAdministrator()
+        gid = make_gid(1)
+        sa.register(gid, 10)
+        sa.register(gid, 20)
+        assert sa.query(gid).dlid == 20
+
+    def test_unregister(self):
+        sa = SubnetAdministrator()
+        gid = make_gid(1)
+        sa.register(gid, 10)
+        sa.unregister(gid)
+        with pytest.raises(VirtError):
+            sa.query(gid)
+
+    def test_invalid_record(self):
+        with pytest.raises(VirtError):
+            PathRecord(dgid=make_gid(1), dlid=0)
+
+
+class TestSaPathCache:
+    def test_first_resolve_misses_then_hits(self):
+        sa = SubnetAdministrator()
+        gid = make_gid(1)
+        sa.register(gid, 10)
+        cache = SaPathCache(sa)
+        cache.resolve(gid)
+        cache.resolve(gid)
+        cache.resolve(gid)
+        assert cache.stats.cache_misses == 1
+        assert cache.stats.cache_hits == 2
+        assert sa.stats.queries == 1  # only the miss reached the SA
+
+    def test_queries_saved(self):
+        sa = SubnetAdministrator()
+        gid = make_gid(1)
+        sa.register(gid, 10)
+        cache = SaPathCache(sa)
+        for _ in range(5):
+            cache.resolve(gid)
+        assert cache.stats.queries_saved == 4
+
+    def test_invalidate_forces_requery(self):
+        sa = SubnetAdministrator()
+        gid = make_gid(1)
+        sa.register(gid, 10)
+        cache = SaPathCache(sa)
+        cache.resolve(gid)
+        cache.invalidate(gid)
+        cache.resolve(gid)
+        assert sa.stats.queries == 2
+
+    def test_vswitch_migration_keeps_entry_valid(self):
+        # vSwitch migration: LID unchanged => cached record stays correct.
+        sa = SubnetAdministrator()
+        gid = make_gid(1)
+        sa.register(gid, 10)
+        cache = SaPathCache(sa)
+        cache.resolve(gid)
+        sa.register(gid, 10)  # re-registered at same LID after migration
+        assert cache.entry_still_valid(gid)
+
+    def test_shared_port_migration_invalidates(self):
+        # Shared Port: LID changes to the destination hypervisor's LID.
+        sa = SubnetAdministrator()
+        gid = make_gid(1)
+        sa.register(gid, 10)
+        cache = SaPathCache(sa)
+        cache.resolve(gid)
+        sa.register(gid, 99)  # LID changed
+        assert not cache.entry_still_valid(gid)
+
+    def test_size(self):
+        sa = SubnetAdministrator()
+        cache = SaPathCache(sa)
+        for i in range(3):
+            gid = make_gid(i + 1)
+            sa.register(gid, i + 1)
+            cache.resolve(gid)
+        assert cache.size == 3
+
+    def test_uncached_entry_invalid(self):
+        sa = SubnetAdministrator()
+        cache = SaPathCache(sa)
+        assert not cache.entry_still_valid(make_gid(5))
