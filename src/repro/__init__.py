@@ -21,7 +21,18 @@ Quickstart::
     print(report.total_smps, report.reconfig.switches_updated)
 """
 
-from repro import analysis, core, fabric, mad, sim, sm, sriov, virt, workloads
+from repro import (
+    analysis,
+    core,
+    fabric,
+    mad,
+    obs,
+    sim,
+    sm,
+    sriov,
+    virt,
+    workloads,
+)
 from repro.constants import (
     DEFAULT_NUM_VFS,
     LFT_BLOCK_SIZE,
@@ -88,6 +99,7 @@ __all__ = [
     "core",
     "fabric",
     "mad",
+    "obs",
     "sim",
     "sm",
     "sriov",

@@ -6,15 +6,26 @@
     python -m repro fig7 [--paper-scale]  # path-computation sweep
     python -m repro cost-model            # equations (1)-(5) sweep
     python -m repro migrate-demo          # end-to-end migration walkthrough
+    python -m repro trace RUN             # replay a recorded run
+    python -m repro metrics CMD [ARGS]    # run CMD, print the exposition
+
+Every run command accepts ``--record DIR`` to persist the observability
+timeline (``trace.jsonl``) and the metrics exposition (``metrics.prom`` +
+``metrics.json``) for later replay with ``repro trace DIR``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
+
+#: Commands that execute a run (and therefore support ``--record``), as
+#: opposed to ``trace``/``metrics`` which inspect one.
+RUN_COMMANDS = ("table1", "fig7", "cost-model", "report", "migrate-demo")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,7 +39,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="print the regenerated Table I")
+    def add_record(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--record",
+            metavar="DIR",
+            default=None,
+            help=(
+                "write the run's observability timeline and metrics"
+                " exposition into DIR (replay with 'repro trace DIR')"
+            ),
+        )
+
+    add_record(sub.add_parser("table1", help="print the regenerated Table I"))
 
     fig7 = sub.add_parser("fig7", help="run the Fig. 7 path-computation sweep")
     fig7.add_argument(
@@ -41,14 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="ftree,minhop,dfsssp,lash",
         help="comma-separated engine list",
     )
+    add_record(fig7)
 
-    sub.add_parser("cost-model", help="sweep equations (1)-(5)")
+    add_record(sub.add_parser("cost-model", help="sweep equations (1)-(5)"))
 
     report = sub.add_parser(
         "report", help="regenerate every artifact into one markdown report"
     )
     report.add_argument("--paper-scale", action="store_true")
     report.add_argument("--output", default=None, help="write to a file")
+    add_record(report)
 
     demo = sub.add_parser("migrate-demo", help="boot a cloud, migrate a VM")
     demo.add_argument(
@@ -57,6 +81,43 @@ def build_parser() -> argparse.ArgumentParser:
         default="prepopulated",
     )
     demo.add_argument("--profile", default="2l-small")
+    add_record(demo)
+
+    trace = sub.add_parser(
+        "trace", help="replay a recorded run's span tree and SMP timeline"
+    )
+    trace.add_argument(
+        "run", help="a --record directory or a trace.jsonl file"
+    )
+    trace.add_argument(
+        "--smps",
+        type=int,
+        default=50,
+        metavar="N",
+        help="show at most N SMP events in the timeline (default 50)",
+    )
+    trace.add_argument(
+        "--tree-only",
+        action="store_true",
+        help="print only the span tree, skip the merged timeline",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help=(
+            "run a built-in command, then print its Prometheus exposition"
+            " (or print a previously recorded one)"
+        ),
+    )
+    metrics.add_argument(
+        "target",
+        help="a built-in command to run, or a --record directory to print",
+    )
+    metrics.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to the wrapped command",
+    )
     return parser
 
 
@@ -119,6 +180,7 @@ def _cmd_cost_model() -> int:
 
 def _cmd_migrate_demo(scheme: str, profile: str) -> int:
     from repro.fabric.presets import scaled_fattree
+    from repro.obs import get_hub, render_span_tree
     from repro.virt.cloud import CloudManager
 
     built = scaled_fattree(profile)
@@ -145,21 +207,115 @@ def _cmd_migrate_demo(scheme: str, profile: str) -> int:
         f" n'={report.switches_updated}, SMPs={report.reconfig.lft_smps},"
         f" PCt=0, LID kept={vm.lid == report.vm_lid}"
     )
+    migration = get_hub().find_root("migration")
+    if migration is not None:
+        print()
+        print("span tree:")
+        print(render_span_tree([migration]))
+        n_prime = report.switches_updated
+        m_prime = report.reconfig.max_blocks_on_one_switch
+        recorded = migration.total_lft_smp_count()
+        print(
+            f"cross-check: span tree LFT SMP events={recorded},"
+            f" n'*m'={n_prime}*{m_prime}={n_prime * m_prime},"
+            f" reconfig report={report.reconfig.lft_smps}"
+        )
     return 0
+
+
+def _cmd_trace(run: str, *, max_smps: int, tree_only: bool) -> int:
+    from repro.errors import ReproError
+    from repro.obs import load_run, render_span_tree, render_timeline
+
+    path = Path(run)
+    if path.is_dir():
+        path = path / "trace.jsonl"
+    if not path.exists():
+        print(f"no recorded run at {run!r} (expected a trace.jsonl)", file=sys.stderr)
+        return 1
+    try:
+        loaded = load_run(path)
+    except ReproError as exc:
+        print(f"cannot replay {run!r}: {exc}", file=sys.stderr)
+        return 1
+    header = loaded.header
+    print(
+        f"run: {header.get('spans', len(loaded.roots))} spans,"
+        f" {header.get('smp_events', len(loaded.smp_events))} SMP events,"
+        f" sim time {float(header.get('sim_time', 0.0)) * 1e3:.3f}ms"
+    )
+    print()
+    print("span tree:")
+    print(render_span_tree(loaded.roots))
+    if not tree_only:
+        print()
+        print("timeline:")
+        print(
+            render_timeline(
+                loaded.roots, loaded.smp_events, max_smp_lines=max_smps
+            )
+        )
+    return 0
+
+
+def _cmd_metrics(target: str, rest: List[str]) -> int:
+    from repro.obs import get_hub
+
+    recorded = Path(target)
+    if recorded.is_dir():
+        recorded = recorded / "metrics.prom"
+    if recorded.exists():
+        print(recorded.read_text(encoding="utf-8"), end="")
+        return 0
+    if target not in RUN_COMMANDS:
+        print(
+            f"{target!r} is neither a recorded run nor one of"
+            f" {', '.join(RUN_COMMANDS)}",
+            file=sys.stderr,
+        )
+        return 1
+    rc = main([target, *rest])
+    print()
+    print(get_hub().metrics.render_prometheus(), end="")
+    return rc
+
+
+def _write_record(record_dir: str) -> None:
+    from repro.obs import export_run, get_hub
+
+    hub = get_hub()
+    out = Path(record_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    export_run(hub, out / "trace.jsonl")
+    (out / "metrics.prom").write_text(
+        hub.metrics.render_prometheus(), encoding="utf-8"
+    )
+    (out / "metrics.json").write_text(
+        hub.metrics.dump_json() + "\n", encoding="utf-8"
+    )
+    print(f"recorded run -> {out}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "trace":
+        return _cmd_trace(args.run, max_smps=args.smps, tree_only=args.tree_only)
+    if args.command == "metrics":
+        return _cmd_metrics(args.target, args.rest)
+
+    from repro.obs import reset_hub
+
+    reset_hub()
     if args.command == "table1":
-        return _cmd_table1()
-    if args.command == "fig7":
-        return _cmd_fig7(args.paper_scale, args.engines)
-    if args.command == "cost-model":
-        return _cmd_cost_model()
-    if args.command == "migrate-demo":
-        return _cmd_migrate_demo(args.scheme, args.profile)
-    if args.command == "report":
+        rc = _cmd_table1()
+    elif args.command == "fig7":
+        rc = _cmd_fig7(args.paper_scale, args.engines)
+    elif args.command == "cost-model":
+        rc = _cmd_cost_model()
+    elif args.command == "migrate-demo":
+        rc = _cmd_migrate_demo(args.scheme, args.profile)
+    elif args.command == "report":
         from repro.analysis.report import generate_report
 
         text = generate_report(
@@ -169,8 +325,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"report written to {args.output}")
         else:
             print(text)
-        return 0
-    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+        rc = 0
+    else:  # pragma: no cover
+        raise AssertionError(f"unhandled command {args.command}")
+    if args.record:
+        _write_record(args.record)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

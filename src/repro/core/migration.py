@@ -28,6 +28,7 @@ from repro.mad.smp import Smp, SmpKind, SmpMethod
 from repro.core.lid_schemes import LidScheme
 from repro.core.reconfig import ReconfigReport
 from repro.core.skyline import MigrationSkyline, plan_skyline
+from repro.obs.hub import get_hub, span
 from repro.sm.subnet_manager import SubnetManager
 from repro.virt.hypervisor import Hypervisor
 from repro.virt.vm import VirtualMachine, VmState
@@ -136,94 +137,126 @@ class LiveMigrationOrchestrator:
             dest_port=destination.uplink_port,
         )
 
-        # Step 1: detach the VF; the pre-copy starts.
-        vm.state = VmState.MIGRATING
-        src_vf = vm.detach_vf()
-        src_vf.detach()
-        copy_seconds = self.timing.copy_seconds(
-            vm_memory_bytes
-            if vm_memory_bytes is not None
-            else self.default_vm_memory_bytes
-        )
-
-        # Step 2+3a: the SM learns about the migration and updates the
-        # participating hypervisors' VF addresses — one SMP each, plus the
-        # vGUID transfer to the destination (sections V-C(a), VII-B step 3).
-        before = self.sm.transport.stats.snapshot()
-        self.sm.transport.send(
-            Smp(
-                SmpMethod.SET,
-                SmpKind.PORT_INFO,
-                source.hca.name,
-                payload={"port": 1, "vf": src_vf.index, "unset_lid": vm_lid},
-            )
-        )
-        self.sm.transport.send(
-            Smp(
-                SmpMethod.SET,
-                SmpKind.PORT_INFO,
-                destination.hca.name,
-                payload={"port": 1, "vf": dest_vf.index, "set_lid": vm_lid},
-            )
-        )
-        result = self.sm.transport.send(
-            Smp(
-                SmpMethod.SET,
-                SmpKind.VGUID,
-                destination.hca.name,
-                payload={"vf": dest_vf.index, "vguid": vm.vguid},
-            )
-        )
-        assert result.data is not None
-        destination.vswitch.set_vguid(dest_vf, result.data["vguid"])
-        address_update_smps = (
-            self.sm.transport.stats.snapshot().total_smps - before.total_smps
-        )
-
-        # Step 3b: the LFT updates (UPDATELFTBLOCKSONALLSWITCHES), or the
-        # leaf-only minimal variant when enabled and applicable.
-        limit = None
-        if self.minimal_intra_leaf and skyline.intra_leaf:
-            leaf = source.uplink_port.remote
-            assert leaf is not None
-            limit = {leaf.node.index}
-        reconfig = self.scheme.migrate_lid(
-            vm_lid,
-            source.vswitch,
-            src_vf,
-            destination.vswitch,
-            dest_vf,
-            limit_switches=limit,
-        )
-
-        # Step 4: attach the destination VF and finish bookkeeping.
-        src_vf.release()
-        source.evict_vm(vm)
-        dest_vf.attach(vm.name)
-        # The scheme already moved the LIDs; attach() must not clobber them.
-        destination.vms[vm.name] = vm
-        vm.vf = dest_vf
-        vm.hypervisor_name = destination.name
-        vm.state = VmState.RUNNING
-        vm.migrations += 1
-
-        downtime = (
-            self.timing.vf_detach_seconds
-            + self.timing.final_pause_seconds
-            + reconfig.total_seconds_serial
-            + self.timing.vf_attach_seconds
-        )
-        report = MigrationReport(
-            vm_name=vm.name,
+        with span(
+            "migration",
+            vm=vm.name,
             source=source.name,
             destination=destination.name,
-            vm_lid=vm_lid,
             mode=mode,
-            skyline=skyline,
-            reconfig=reconfig,
-            address_update_smps=address_update_smps,
-            copy_seconds=copy_seconds,
-            downtime_seconds=downtime,
+        ) as sp:
+            # Step 1: detach the VF; the pre-copy starts.
+            vm.state = VmState.MIGRATING
+            src_vf = vm.detach_vf()
+            src_vf.detach()
+            copy_seconds = self.timing.copy_seconds(
+                vm_memory_bytes
+                if vm_memory_bytes is not None
+                else self.default_vm_memory_bytes
+            )
+
+            # Step 2+3a: the SM learns about the migration and updates the
+            # participating hypervisors' VF addresses — one SMP each, plus the
+            # vGUID transfer to the destination (sections V-C(a), VII-B step 3).
+            before = self.sm.transport.stats.snapshot()
+            with span("address_update"):
+                self.sm.transport.send(
+                    Smp(
+                        SmpMethod.SET,
+                        SmpKind.PORT_INFO,
+                        source.hca.name,
+                        payload={
+                            "port": 1,
+                            "vf": src_vf.index,
+                            "unset_lid": vm_lid,
+                        },
+                    )
+                )
+                self.sm.transport.send(
+                    Smp(
+                        SmpMethod.SET,
+                        SmpKind.PORT_INFO,
+                        destination.hca.name,
+                        payload={
+                            "port": 1,
+                            "vf": dest_vf.index,
+                            "set_lid": vm_lid,
+                        },
+                    )
+                )
+                result = self.sm.transport.send(
+                    Smp(
+                        SmpMethod.SET,
+                        SmpKind.VGUID,
+                        destination.hca.name,
+                        payload={"vf": dest_vf.index, "vguid": vm.vguid},
+                    )
+                )
+            assert result.data is not None
+            destination.vswitch.set_vguid(dest_vf, result.data["vguid"])
+            address_update_smps = (
+                self.sm.transport.stats.snapshot().total_smps
+                - before.total_smps
+            )
+
+            # Step 3b: the LFT updates (UPDATELFTBLOCKSONALLSWITCHES), or the
+            # leaf-only minimal variant when enabled and applicable.
+            limit = None
+            if self.minimal_intra_leaf and skyline.intra_leaf:
+                leaf = source.uplink_port.remote
+                assert leaf is not None
+                limit = {leaf.node.index}
+            reconfig = self.scheme.migrate_lid(
+                vm_lid,
+                source.vswitch,
+                src_vf,
+                destination.vswitch,
+                dest_vf,
+                limit_switches=limit,
+            )
+
+            # Step 4: attach the destination VF and finish bookkeeping.
+            src_vf.release()
+            source.evict_vm(vm)
+            dest_vf.attach(vm.name)
+            # The scheme already moved the LIDs; attach() must not clobber
+            # them.
+            destination.vms[vm.name] = vm
+            vm.vf = dest_vf
+            vm.hypervisor_name = destination.name
+            vm.state = VmState.RUNNING
+            vm.migrations += 1
+
+            downtime = (
+                self.timing.vf_detach_seconds
+                + self.timing.final_pause_seconds
+                + reconfig.total_seconds_serial
+                + self.timing.vf_attach_seconds
+            )
+            report = MigrationReport(
+                vm_name=vm.name,
+                source=source.name,
+                destination=destination.name,
+                vm_lid=vm_lid,
+                mode=mode,
+                skyline=skyline,
+                reconfig=reconfig,
+                address_update_smps=address_update_smps,
+                copy_seconds=copy_seconds,
+                downtime_seconds=downtime,
+            )
+            sp.set_attributes(
+                total_smps=report.total_smps,
+                lft_smps=reconfig.lft_smps,
+                switches_updated=reconfig.switches_updated,
+                downtime_seconds=downtime,
+            )
+        metrics = get_hub().metrics
+        metrics.counter("repro_migrations_total", mode=mode).add(1)
+        metrics.gauge("repro_migration_downtime_seconds", mode=mode).set(
+            downtime
+        )
+        metrics.gauge("repro_migration_total_smps", mode=mode).set(
+            report.total_smps
         )
         for listener in self.listeners:
             listener(report)

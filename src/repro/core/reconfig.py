@@ -30,6 +30,7 @@ from repro.constants import LFT_BLOCK_SIZE, LFT_DROP_PORT
 from repro.errors import ReconfigError
 from repro.fabric.lft import lft_block_of
 from repro.mad.smp import make_set_lft_block
+from repro.obs.hub import get_hub, span
 from repro.sm.subnet_manager import SubnetManager
 
 __all__ = ["ReconfigReport", "VSwitchReconfigurer"]
@@ -110,15 +111,16 @@ class VSwitchReconfigurer:
             self._check_limit_safe((lid_a, lid_b), limit_switches)
         report = ReconfigReport(mode="swap")
         before = self.sm.transport.stats.snapshot()
-        for sw in self._switch_sweep(limit_switches):
-            pa, pb = sw.lft.get(lid_a), sw.lft.get(lid_b)
-            if pa == pb:
-                continue  # same forwarding port: this switch keeps balance
-            blocks = sorted({lft_block_of(lid_a), lft_block_of(lid_b)})
-            desired = sw.lft.clone()
-            desired.swap(lid_a, lid_b)
-            self._send_blocks(sw, desired, blocks, report)
-        self._finish(report, before)
+        with span("lft_swap", lid_a=lid_a, lid_b=lid_b):
+            for sw in self._switch_sweep(limit_switches):
+                pa, pb = sw.lft.get(lid_a), sw.lft.get(lid_b)
+                if pa == pb:
+                    continue  # same forwarding port: this switch keeps balance
+                blocks = sorted({lft_block_of(lid_a), lft_block_of(lid_b)})
+                desired = sw.lft.clone()
+                desired.swap(lid_a, lid_b)
+                self._send_blocks(sw, desired, blocks, report)
+            self._finish(report, before)
         self._record_swap(lid_a, lid_b, limit_switches)
         return report
 
@@ -144,14 +146,15 @@ class VSwitchReconfigurer:
         report = ReconfigReport(mode="copy")
         before = self.sm.transport.stats.snapshot()
         block = lft_block_of(target_lid)
-        for sw in self._switch_sweep(limit_switches):
-            src_port = sw.lft.get(template_lid)
-            if sw.lft.get(target_lid) == src_port:
-                continue
-            desired = sw.lft.clone()
-            desired.copy_entry(template_lid, target_lid)
-            self._send_blocks(sw, desired, [block], report)
-        self._finish(report, before)
+        with span("lft_copy", template_lid=template_lid, target_lid=target_lid):
+            for sw in self._switch_sweep(limit_switches):
+                src_port = sw.lft.get(template_lid)
+                if sw.lft.get(target_lid) == src_port:
+                    continue
+                desired = sw.lft.clone()
+                desired.copy_entry(template_lid, target_lid)
+                self._send_blocks(sw, desired, [block], report)
+            self._finish(report, before)
         self._record_copy(template_lid, target_lid, limit_switches)
         return report
 
@@ -181,36 +184,39 @@ class VSwitchReconfigurer:
             self._check_limit_safe((lid_a, lid_b), limit_switches)
         report = ReconfigReport(mode="safe-swap")
         before = self.sm.transport.stats.snapshot()
-        affected = [
-            sw
-            for sw in self._switch_sweep(limit_switches)
-            if sw.lft.get(lid_a) != sw.lft.get(lid_b)
-        ]
-        # Phase 1: invalidate the moving LIDs on the affected switches.
-        for sw in affected:
-            desired = sw.lft.clone()
-            desired.drop(lid_a)
-            desired.drop(lid_b)
-            blocks = sorted({lft_block_of(lid_a), lft_block_of(lid_b)})
-            self._send_blocks(sw, desired, blocks, report)
-        # Phase 2: program the swapped entries (recomputed per switch from
-        # the pre-invalidation ports captured in the SM's tables).
-        tbl = self.sm.current_tables
-        for sw in affected:
-            desired = sw.lft.clone()
-            if tbl is not None and max(lid_a, lid_b) <= tbl.top_lid:
-                pa = tbl.port_for(sw.index, lid_a)
-                pb = tbl.port_for(sw.index, lid_b)
-            else:  # pragma: no cover - tables always exist in practice
-                pa, pb = desired.get(lid_a), desired.get(lid_b)
-            desired.set(lid_a, pb)
-            desired.set(lid_b, pa)
-            blocks = sorted({lft_block_of(lid_a), lft_block_of(lid_b)})
-            self._send_blocks(sw, desired, blocks, report)
-        # blocks_per_switch was incremented per phase; n' is the number of
-        # distinct switches, not phase-entries.
-        report.switches_updated = len(affected)
-        self._finish(report, before)
+        with span("lft_safe_swap", lid_a=lid_a, lid_b=lid_b):
+            affected = [
+                sw
+                for sw in self._switch_sweep(limit_switches)
+                if sw.lft.get(lid_a) != sw.lft.get(lid_b)
+            ]
+            # Phase 1: invalidate the moving LIDs on the affected switches.
+            with span("invalidate_phase"):
+                for sw in affected:
+                    desired = sw.lft.clone()
+                    desired.drop(lid_a)
+                    desired.drop(lid_b)
+                    blocks = sorted({lft_block_of(lid_a), lft_block_of(lid_b)})
+                    self._send_blocks(sw, desired, blocks, report)
+            # Phase 2: program the swapped entries (recomputed per switch from
+            # the pre-invalidation ports captured in the SM's tables).
+            tbl = self.sm.current_tables
+            with span("swap_phase"):
+                for sw in affected:
+                    desired = sw.lft.clone()
+                    if tbl is not None and max(lid_a, lid_b) <= tbl.top_lid:
+                        pa = tbl.port_for(sw.index, lid_a)
+                        pb = tbl.port_for(sw.index, lid_b)
+                    else:  # pragma: no cover - tables always exist in practice
+                        pa, pb = desired.get(lid_a), desired.get(lid_b)
+                    desired.set(lid_a, pb)
+                    desired.set(lid_b, pa)
+                    blocks = sorted({lft_block_of(lid_a), lft_block_of(lid_b)})
+                    self._send_blocks(sw, desired, blocks, report)
+            # blocks_per_switch was incremented per phase; n' is the number of
+            # distinct switches, not phase-entries.
+            report.switches_updated = len(affected)
+            self._finish(report, before)
         self._record_swap(lid_a, lid_b, limit_switches)
         return report
 
@@ -221,13 +227,14 @@ class VSwitchReconfigurer:
         report = ReconfigReport(mode="invalidate")
         before = self.sm.transport.stats.snapshot()
         block = lft_block_of(lid)
-        for sw in self.sm.topology.switches:
-            if sw.lft.get(lid) == LFT_DROP_PORT:
-                continue
-            desired = sw.lft.clone()
-            desired.drop(lid)
-            self._send_blocks(sw, desired, [block], report)
-        self._finish(report, before)
+        with span("lft_invalidate", lid=lid):
+            for sw in self.sm.topology.switches:
+                if sw.lft.get(lid) == LFT_DROP_PORT:
+                    continue
+                desired = sw.lft.clone()
+                desired.drop(lid)
+                self._send_blocks(sw, desired, [block], report)
+            self._finish(report, before)
         if self.sm.current_tables is not None:
             tbl = self.sm.current_tables
             if lid <= tbl.top_lid:
@@ -311,6 +318,22 @@ class VSwitchReconfigurer:
         report.lft_smps = delta.lft_update_smps
         report.serial_time = delta.serial_time
         report.pipelined_time = delta.pipelined_time(self.pipeline_window)
+        metrics = get_hub().metrics
+        metrics.gauge("repro_vswitch_lft_smps", mode=report.mode).set(
+            report.lft_smps
+        )
+        metrics.gauge("repro_vswitch_switches_updated", mode=report.mode).set(
+            report.switches_updated
+        )
+        metrics.gauge("repro_vswitch_m_prime", mode=report.mode).set(
+            report.max_blocks_on_one_switch
+        )
+        metrics.gauge("repro_vswitch_serial_seconds", mode=report.mode).set(
+            report.serial_time
+        )
+        metrics.gauge("repro_vswitch_pipelined_seconds", mode=report.mode).set(
+            report.pipelined_time
+        )
 
     def _record_swap(
         self,

@@ -1,0 +1,101 @@
+"""Dragonfly builder: all-to-all router groups joined by global links.
+
+The classic Kim/Dally shape — every group is an all-to-all clique of
+routers, and every pair of groups is joined by exactly one global link
+whose endpoints rotate across each group's routers. Group membership is
+recorded in ``BuiltTopology.pod`` so group-aware analyses (and the
+migration cost comparison of intra- vs inter-group moves) can tell the
+groups apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import TopologyError
+from repro.fabric.builders.fattree import BuiltTopology
+from repro.fabric.node import Switch
+from repro.fabric.topology import Topology
+
+__all__ = ["build_dragonfly"]
+
+
+def build_dragonfly(
+    num_groups: int,
+    routers_per_group: int,
+    hosts_per_router: int,
+    *,
+    global_links_per_router: int = 1,
+    name: str = "dragonfly",
+) -> BuiltTopology:
+    """Build a dragonfly with one global link per group pair.
+
+    Each group must be able to terminate ``num_groups - 1`` global links
+    across its ``routers_per_group * global_links_per_router`` global
+    ports; builders reject configurations that cannot.
+    """
+    if num_groups < 2:
+        raise TopologyError(
+            f"a dragonfly needs >= 2 groups, got {num_groups}"
+        )
+    if routers_per_group < 1:
+        raise TopologyError("routers_per_group must be >= 1")
+    if hosts_per_router < 0:
+        raise TopologyError("hosts_per_router must be >= 0")
+    if global_links_per_router < 1:
+        raise TopologyError("global_links_per_router must be >= 1")
+    needed = num_groups - 1
+    capacity = routers_per_group * global_links_per_router
+    if needed > capacity:
+        raise TopologyError(
+            f"each group must terminate {needed} global links but only has"
+            f" {routers_per_group} routers x {global_links_per_router}"
+            f" global ports = {capacity}"
+        )
+
+    radix = (
+        hosts_per_router + (routers_per_group - 1) + global_links_per_router
+    )
+    topo = Topology(name)
+    pod: Dict[str, int] = {}
+    groups: List[List[Switch]] = []
+    for g in range(num_groups):
+        routers = [
+            topo.add_switch(f"g{g}r{r}", radix)
+            for r in range(routers_per_group)
+        ]
+        for sw in routers:
+            pod[sw.name] = g
+        groups.append(routers)
+
+    for g, routers in enumerate(groups):
+        for r, router in enumerate(routers):
+            for h in range(hosts_per_router):
+                hca = topo.add_hca(f"g{g}r{r}h{h}")
+                topo.connect(router, 1 + h, hca, 1)
+        # Intra-group all-to-all.
+        for r1 in range(routers_per_group):
+            for r2 in range(r1 + 1, routers_per_group):
+                topo.auto_connect(routers[r1], routers[r2])
+
+    # One global link per group pair; endpoints rotate through each
+    # group's routers so no router exceeds its global-port budget.
+    next_slot = [0] * num_groups
+    for a in range(num_groups):
+        for b in range(a + 1, num_groups):
+            router_a = groups[a][next_slot[a] // global_links_per_router]
+            router_b = groups[b][next_slot[b] // global_links_per_router]
+            next_slot[a] += 1
+            next_slot[b] += 1
+            topo.auto_connect(router_a, router_b)
+
+    return BuiltTopology(
+        topology=topo,
+        pod=pod,
+        params={
+            "num_groups": num_groups,
+            "routers_per_group": routers_per_group,
+            "hosts_per_router": hosts_per_router,
+            "global_links_per_router": global_links_per_router,
+        },
+    )

@@ -1,0 +1,229 @@
+"""Fat-tree builders — the paper's evaluation topologies.
+
+``build_two_level_fattree`` wires leaves to spines (the 324/648-node
+instances of Table I); ``build_three_level_fattree`` builds the standard
+pod-based k-ary fat-tree (the 5832/11664-node instances). Both record the
+structural metadata (levels, pods, roots) that the ftree and Up*/Down*
+routing engines and the migration planner exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import TopologyError
+from repro.fabric.node import Switch
+from repro.fabric.topology import Topology
+
+__all__ = [
+    "BuiltTopology",
+    "build_two_level_fattree",
+    "build_three_level_fattree",
+]
+
+
+@dataclass
+class BuiltTopology:
+    """A constructed topology plus the builder's structural metadata.
+
+    ``level`` maps switch name -> tree level (0 = leaf, rising toward the
+    roots); ``pod`` maps switch name -> pod/group index (-1 or absent for
+    switches outside any pod, e.g. core switches and all of a 2-level
+    tree); ``roots`` lists the top-level switches; ``params`` carries the
+    integer builder parameters (radix, grid dimensions, ...) that
+    structure-aware routing engines read as hints.
+    """
+
+    topology: Topology
+    level: Dict[str, int] = field(default_factory=dict)
+    pod: Dict[str, int] = field(default_factory=dict)
+    roots: List[Switch] = field(default_factory=list)
+    params: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def leaves(self) -> List[Switch]:
+        """Level-0 switches in dense-index order.
+
+        Falls back to the switches with HCAs attached when the builder
+        recorded no levels (generic topologies), so the attribute works for
+        every builder.
+        """
+        if self.level:
+            return [
+                sw
+                for sw in self.topology.switches
+                if self.level.get(sw.name) == 0
+            ]
+        return self.topology.leaf_switches()
+
+    def describe(self) -> str:
+        """One-line human summary of the built fabric."""
+        topo = self.topology
+        parts = [
+            f"{topo.name}: {topo.num_switches} switches,"
+            f" {topo.num_hcas} HCAs, {len(topo.links)} links"
+        ]
+        if self.level:
+            num_levels = max(self.level.values()) + 1
+            parts.append(f"{num_levels} levels")
+        if self.pod:
+            num_pods = len({p for p in self.pod.values() if p >= 0})
+            if num_pods:
+                parts.append(f"{num_pods} pods")
+        return ", ".join(parts)
+
+
+def _positive(value: int, what: str) -> None:
+    if value < 1:
+        raise TopologyError(f"{what} must be >= 1, got {value}")
+
+
+def build_two_level_fattree(
+    num_leaves: int,
+    hosts_per_leaf: int,
+    num_spines: int,
+    *,
+    switch_radix: int,
+    links_per_spine_pair: int = 1,
+    attach_hosts: bool = True,
+    name: str = "fattree-2l",
+) -> BuiltTopology:
+    """A two-level (leaf/spine) fat-tree.
+
+    Every leaf connects to every spine with ``links_per_spine_pair``
+    parallel cables. Hosts occupy leaf ports ``1..hosts_per_leaf`` (left
+    free when ``attach_hosts`` is False, so the cloud layer can populate
+    leaves later); uplinks use the ports above them.
+    """
+    _positive(num_leaves, "num_leaves")
+    _positive(hosts_per_leaf, "hosts_per_leaf")
+    _positive(num_spines, "num_spines")
+    _positive(links_per_spine_pair, "links_per_spine_pair")
+    leaf_ports = hosts_per_leaf + num_spines * links_per_spine_pair
+    if leaf_ports > switch_radix:
+        raise TopologyError(
+            f"leaf needs {leaf_ports} ports ({hosts_per_leaf} hosts +"
+            f" {num_spines}x{links_per_spine_pair} uplinks) but the radix"
+            f" is {switch_radix}"
+        )
+    spine_ports = num_leaves * links_per_spine_pair
+    if spine_ports > switch_radix:
+        raise TopologyError(
+            f"spine needs {spine_ports} ports ({num_leaves} leaves x"
+            f" {links_per_spine_pair} cables) but the radix is {switch_radix}"
+        )
+
+    topo = Topology(name)
+    leaves = [
+        topo.add_switch(f"leaf{i}", switch_radix) for i in range(num_leaves)
+    ]
+    spines = [
+        topo.add_switch(f"spine{i}", switch_radix) for i in range(num_spines)
+    ]
+    level = {sw.name: 0 for sw in leaves}
+    level.update({sw.name: 1 for sw in spines})
+
+    if attach_hosts:
+        for i, leaf in enumerate(leaves):
+            for j in range(hosts_per_leaf):
+                hca = topo.add_hca(f"l{i}h{j}")
+                topo.connect(leaf, 1 + j, hca, 1)
+
+    for i, leaf in enumerate(leaves):
+        for s in range(num_spines):
+            for c in range(links_per_spine_pair):
+                topo.connect(
+                    leaf,
+                    hosts_per_leaf + 1 + s * links_per_spine_pair + c,
+                    spines[s],
+                    i * links_per_spine_pair + 1 + c,
+                )
+
+    return BuiltTopology(
+        topology=topo,
+        level=level,
+        pod={},
+        roots=spines,
+        params={
+            "num_leaves": num_leaves,
+            "hosts_per_leaf": hosts_per_leaf,
+            "num_spines": num_spines,
+            "switch_radix": switch_radix,
+            "links_per_spine_pair": links_per_spine_pair,
+        },
+    )
+
+
+def build_three_level_fattree(
+    num_pods: int,
+    *,
+    switch_radix: int,
+    attach_hosts: bool = True,
+    name: str = "fattree-3l",
+) -> BuiltTopology:
+    """A three-level pod-based fat-tree (half-radix ``m = switch_radix/2``).
+
+    Each of the ``num_pods`` pods holds ``m`` leaves and ``m`` aggregation
+    switches in full bipartite wiring; aggregation switch ``a`` of every pod
+    uplinks to the core group ``a*m .. a*m+m-1`` of the ``m**2`` core
+    switches, so each core switch reaches every pod through one port (which
+    caps ``num_pods`` at the radix). Leaves host ``m`` HCAs each.
+    """
+    _positive(num_pods, "num_pods")
+    if switch_radix % 2:
+        raise TopologyError(
+            f"three-level fat-tree needs an even radix, got {switch_radix}"
+        )
+    m = switch_radix // 2
+    if m < 1:
+        raise TopologyError(f"radix {switch_radix} too small for a fat-tree")
+    if num_pods > switch_radix:
+        raise TopologyError(
+            f"{num_pods} pods exceed the {switch_radix} ports of a core"
+            " switch (one port per pod)"
+        )
+
+    topo = Topology(name)
+    level: Dict[str, int] = {}
+    pod: Dict[str, int] = {}
+    pod_leaves: List[List[Switch]] = []
+    pod_aggs: List[List[Switch]] = []
+    for p in range(num_pods):
+        leaves = [
+            topo.add_switch(f"p{p}leaf{i}", switch_radix) for i in range(m)
+        ]
+        aggs = [topo.add_switch(f"p{p}agg{i}", switch_radix) for i in range(m)]
+        for sw in leaves:
+            level[sw.name] = 0
+            pod[sw.name] = p
+        for sw in aggs:
+            level[sw.name] = 1
+            pod[sw.name] = p
+        pod_leaves.append(leaves)
+        pod_aggs.append(aggs)
+    cores = [topo.add_switch(f"core{j}", switch_radix) for j in range(m * m)]
+    for sw in cores:
+        level[sw.name] = 2
+        pod[sw.name] = -1
+
+    for p in range(num_pods):
+        for i, leaf in enumerate(pod_leaves[p]):
+            if attach_hosts:
+                for j in range(m):
+                    hca = topo.add_hca(f"p{p}l{i}h{j}")
+                    topo.connect(leaf, 1 + j, hca, 1)
+            # Full bipartite leaf <-> aggregation wiring within the pod.
+            for a, agg in enumerate(pod_aggs[p]):
+                topo.connect(leaf, m + 1 + a, agg, 1 + i)
+        for a, agg in enumerate(pod_aggs[p]):
+            for c in range(m):
+                topo.connect(agg, m + 1 + c, cores[a * m + c], 1 + p)
+
+    return BuiltTopology(
+        topology=topo,
+        level=level,
+        pod=pod,
+        roots=cores,
+        params={"num_pods": num_pods, "switch_radix": switch_radix},
+    )

@@ -1,0 +1,234 @@
+"""Generic topology builders: single switch, ring, mesh, torus, random.
+
+These are the non-fat-tree shapes used to exercise the topology-agnostic
+routing engines (minhop, Up*/Down*, DFSSSP, LASH, DOR) and to show that the
+vSwitch reconfiguration scheme is independent of the fabric's structure.
+Grid builders register switches in row-major order so dimension-ordered
+routing can recover coordinates from the dense switch index.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TopologyError
+from repro.fabric.builders.fattree import BuiltTopology
+from repro.fabric.topology import Topology
+
+__all__ = [
+    "build_single_switch",
+    "build_ring",
+    "build_mesh_2d",
+    "build_torus_2d",
+    "build_random_regular",
+]
+
+
+def build_single_switch(
+    num_hosts: int,
+    *,
+    switch_radix: Optional[int] = None,
+    name: str = "single-switch",
+) -> BuiltTopology:
+    """One crossbar switch with ``num_hosts`` HCAs — the smallest subnet."""
+    if num_hosts < 1:
+        raise TopologyError(f"num_hosts must be >= 1, got {num_hosts}")
+    radix = num_hosts if switch_radix is None else switch_radix
+    if num_hosts > radix:
+        raise TopologyError(
+            f"{num_hosts} hosts exceed the {radix}-port switch radix"
+        )
+    topo = Topology(name)
+    sw = topo.add_switch("sw0", radix)
+    for j in range(num_hosts):
+        hca = topo.add_hca(f"h{j}")
+        topo.connect(sw, 1 + j, hca, 1)
+    return BuiltTopology(topology=topo, params={"num_hosts": num_hosts})
+
+
+def build_ring(
+    num_switches: int,
+    hosts_per_switch: int,
+    *,
+    switch_radix: Optional[int] = None,
+    name: str = "ring",
+) -> BuiltTopology:
+    """A unidirectional cabling ring of ``num_switches`` switches.
+
+    Rings of fewer than three switches would need parallel cables between
+    the same pair of switches and are rejected.
+    """
+    if num_switches < 3:
+        raise TopologyError(
+            f"a ring needs >= 3 switches, got {num_switches}"
+        )
+    if hosts_per_switch < 0:
+        raise TopologyError("hosts_per_switch must be >= 0")
+    radix = (
+        hosts_per_switch + 2 if switch_radix is None else switch_radix
+    )
+    if hosts_per_switch + 2 > radix:
+        raise TopologyError(
+            f"ring switch needs {hosts_per_switch + 2} ports but the radix"
+            f" is {radix}"
+        )
+    topo = Topology(name)
+    switches = [
+        topo.add_switch(f"r{i}", radix) for i in range(num_switches)
+    ]
+    for i, sw in enumerate(switches):
+        for j in range(hosts_per_switch):
+            hca = topo.add_hca(f"r{i}h{j}")
+            topo.connect(sw, 1 + j, hca, 1)
+    for i, sw in enumerate(switches):
+        topo.connect(
+            sw,
+            hosts_per_switch + 1,
+            switches[(i + 1) % num_switches],
+            hosts_per_switch + 2,
+        )
+    return BuiltTopology(
+        topology=topo,
+        params={
+            "num_switches": num_switches,
+            "hosts_per_switch": hosts_per_switch,
+        },
+    )
+
+
+def _grid(
+    rows: int,
+    cols: int,
+    hosts_per_switch: int,
+    name: str,
+    *,
+    wrap: bool,
+) -> BuiltTopology:
+    if hosts_per_switch < 0:
+        raise TopologyError("hosts_per_switch must be >= 0")
+    h = hosts_per_switch
+    radix = h + 4
+    topo = Topology(name)
+    # Row-major registration: switch (r, c) gets dense index r*cols + c,
+    # which is what dimension-ordered routing assumes.
+    grid = [
+        [topo.add_switch(f"m{r}-{c}", radix) for c in range(cols)]
+        for r in range(rows)
+    ]
+    for r in range(rows):
+        for c in range(cols):
+            for j in range(h):
+                hca = topo.add_hca(f"m{r}-{c}h{j}")
+                topo.connect(grid[r][c], 1 + j, hca, 1)
+    # Ports above the hosts: h+1 east, h+2 west, h+3 south, h+4 north.
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols or wrap:
+                topo.connect(
+                    grid[r][c], h + 1, grid[r][(c + 1) % cols], h + 2
+                )
+            if r + 1 < rows or wrap:
+                topo.connect(
+                    grid[r][c], h + 3, grid[(r + 1) % rows][c], h + 4
+                )
+    return BuiltTopology(
+        topology=topo, params={"rows": rows, "cols": cols}
+    )
+
+
+def build_mesh_2d(
+    rows: int,
+    cols: int,
+    hosts_per_switch: int,
+    *,
+    name: str = "mesh2d",
+) -> BuiltTopology:
+    """A rows x cols 2D mesh (no wraparound; corners have degree 2)."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise TopologyError(
+            f"mesh needs at least a 1x2 grid, got {rows}x{cols}"
+        )
+    return _grid(rows, cols, hosts_per_switch, name, wrap=False)
+
+
+def build_torus_2d(
+    rows: int,
+    cols: int,
+    hosts_per_switch: int,
+    *,
+    name: str = "torus2d",
+) -> BuiltTopology:
+    """A rows x cols 2D torus — every switch has inter-switch degree 4.
+
+    Dimensions below 3 would wrap a link back onto an already-cabled pair
+    of switches, so they are rejected.
+    """
+    if rows < 3 or cols < 3:
+        raise TopologyError(
+            f"a torus needs >= 3 switches per dimension, got {rows}x{cols}"
+        )
+    return _grid(rows, cols, hosts_per_switch, name, wrap=True)
+
+
+def build_random_regular(
+    num_switches: int,
+    degree: int,
+    hosts_per_switch: int,
+    *,
+    seed: int = 0,
+    name: str = "random-regular",
+) -> BuiltTopology:
+    """A connected random ``degree``-regular switch graph (Jellyfish-style).
+
+    Deterministic for a given ``seed``. ``num_switches * degree`` must be
+    even (handshake lemma) and ``degree < num_switches``.
+    """
+    import networkx as nx
+
+    if num_switches < 2:
+        raise TopologyError(f"need >= 2 switches, got {num_switches}")
+    if degree < 1 or degree >= num_switches:
+        raise TopologyError(
+            f"degree must be in [1, {num_switches - 1}], got {degree}"
+        )
+    if (num_switches * degree) % 2:
+        raise TopologyError(
+            f"no {degree}-regular graph on {num_switches} switches exists"
+            " (odd degree sum)"
+        )
+    if hosts_per_switch < 0:
+        raise TopologyError("hosts_per_switch must be >= 0")
+
+    graph = None
+    for attempt in range(64):
+        candidate = nx.random_regular_graph(
+            degree, num_switches, seed=seed + attempt
+        )
+        if nx.is_connected(candidate):
+            graph = candidate
+            break
+    if graph is None:
+        raise TopologyError(
+            f"could not sample a connected {degree}-regular graph on"
+            f" {num_switches} switches (seed {seed})"
+        )
+
+    radix = hosts_per_switch + degree
+    topo = Topology(name)
+    switches = [
+        topo.add_switch(f"s{i}", radix) for i in range(num_switches)
+    ]
+    for i, sw in enumerate(switches):
+        for j in range(hosts_per_switch):
+            hca = topo.add_hca(f"s{i}h{j}")
+            topo.connect(sw, 1 + j, hca, 1)
+    for u, v in sorted(tuple(sorted(edge)) for edge in graph.edges()):
+        topo.auto_connect(switches[u], switches[v])
+    return BuiltTopology(
+        topology=topo,
+        params={
+            "num_switches": num_switches,
+            "degree": degree,
+            "seed": seed,
+        },
+    )

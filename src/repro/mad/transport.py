@@ -26,6 +26,9 @@ from repro.errors import TopologyError
 from repro.fabric.node import HCA, Node, Switch
 from repro.fabric.topology import Topology
 from repro.mad.smp import Smp, SmpKind, SmpMethod, SmpResult
+from repro.obs.flight import SmpFlightEvent
+from repro.obs.hub import get_hub
+from repro.obs.spans import current_span
 
 __all__ = ["TransportStats", "SmpTransport"]
 
@@ -37,7 +40,15 @@ DEFAULT_DR_OVERHEAD = 250e-9
 
 @dataclass
 class TransportStats:
-    """Aggregated accounting of everything sent through a transport."""
+    """Aggregated accounting of everything sent through a transport.
+
+    The scalar aggregates are always maintained. The *per-SMP sample
+    lists* (``latencies``/``hops``/``directed_flags`` — the raw material
+    for :func:`repro.analysis.calibration.calibrate`) only grow when
+    ``record_samples`` is set, so million-SMP runs stay bounded; the
+    always-on per-SMP record lives in the bounded
+    :class:`repro.obs.flight.FlightRecorder` instead.
+    """
 
     total_smps: int = 0
     lft_update_smps: int = 0
@@ -45,8 +56,13 @@ class TransportStats:
     destination_routed_smps: int = 0
     total_hops: int = 0
     serial_time: float = 0.0
+    #: Slowest single SMP seen (maintained even without samples, so
+    #: ``pipelined_time`` keeps its lower bound).
+    max_latency: float = 0.0
     by_kind: Counter = field(default_factory=Counter)
     by_target: Counter = field(default_factory=Counter)
+    #: Opt in via ``SmpTransport(..., record_samples=True)``.
+    record_samples: bool = False
     latencies: List[float] = field(default_factory=list)
     #: Per-SMP hop counts, aligned with ``latencies`` (and whether each
     #: packet used directed routing) — the raw material for calibrating
@@ -56,9 +72,11 @@ class TransportStats:
 
     def mean_k(self) -> float:
         """Average per-SMP traversal time — the paper's ``k``."""
-        if not self.latencies:
-            return 0.0
-        return float(np.mean(self.latencies))
+        if self.latencies:
+            return float(np.mean(self.latencies))
+        if self.total_smps:
+            return self.serial_time / self.total_smps
+        return 0.0
 
     def pipelined_time(self, window: int) -> float:
         """LFT-distribution time with *window* outstanding SMPs.
@@ -69,9 +87,10 @@ class TransportStats:
         """
         if window < 1:
             raise TopologyError("pipeline window must be >= 1")
-        if not self.latencies:
+        if not self.total_smps:
             return 0.0
-        return max(self.serial_time / window, max(self.latencies))
+        floor = max(self.latencies) if self.latencies else self.max_latency
+        return max(self.serial_time / window, floor)
 
     def snapshot(self) -> "TransportStats":
         """A frozen copy, so callers can diff before/after an operation."""
@@ -82,8 +101,10 @@ class TransportStats:
             destination_routed_smps=self.destination_routed_smps,
             total_hops=self.total_hops,
             serial_time=self.serial_time,
+            max_latency=self.max_latency,
             by_kind=Counter(self.by_kind),
             by_target=Counter(self.by_target),
+            record_samples=self.record_samples,
             latencies=list(self.latencies),
             hops=list(self.hops),
             directed_flags=list(self.directed_flags),
@@ -92,6 +113,16 @@ class TransportStats:
 
     def delta_since(self, before: "TransportStats") -> "TransportStats":
         """Stats accumulated since *before* was snapshot."""
+        serial = self.serial_time - before.serial_time
+        delta_latencies = self.latencies[len(before.latencies):]
+        if delta_latencies:
+            max_lat = max(delta_latencies)
+        else:
+            # Without samples the slowest packet *of this window* is
+            # unknowable; the overall maximum capped by the window's serial
+            # sum is a tight, invariant-preserving bound (pipelined never
+            # exceeds serial).
+            max_lat = min(self.max_latency, serial) if serial > 0 else 0.0
         return TransportStats(
             total_smps=self.total_smps - before.total_smps,
             lft_update_smps=self.lft_update_smps - before.lft_update_smps,
@@ -100,10 +131,12 @@ class TransportStats:
                 self.destination_routed_smps - before.destination_routed_smps
             ),
             total_hops=self.total_hops - before.total_hops,
-            serial_time=self.serial_time - before.serial_time,
+            serial_time=serial,
+            max_latency=max_lat,
             by_kind=self.by_kind - before.by_kind,
             by_target=self.by_target - before.by_target,
-            latencies=self.latencies[len(before.latencies):],
+            record_samples=self.record_samples,
+            latencies=delta_latencies,
             hops=self.hops[len(before.hops):],
             directed_flags=self.directed_flags[len(before.directed_flags):],
         )
@@ -124,11 +157,12 @@ class SmpTransport:
         sm_node: Optional[Node] = None,
         hop_latency: float = DEFAULT_HOP_LATENCY,
         dr_overhead: float = DEFAULT_DR_OVERHEAD,
+        record_samples: bool = False,
     ) -> None:
         self.topology = topology
         self.hop_latency = hop_latency
         self.dr_overhead = dr_overhead
-        self.stats = TransportStats()
+        self.stats = TransportStats(record_samples=record_samples)
         self._sm_node = sm_node
         self._dist_cache: Optional[np.ndarray] = None
 
@@ -209,7 +243,14 @@ class SmpTransport:
     # -- delivery ------------------------------------------------------------
 
     def send(self, smp: Smp) -> SmpResult:
-        """Deliver one SMP: apply its effect, account for it, and time it."""
+        """Deliver one SMP: apply its effect, account for it, and time it.
+
+        Beyond the transport's own counters, every delivery advances the
+        observability hub's sim clock, lands one structured event in the
+        SMP flight recorder, increments the labeled
+        ``repro_smp_total`` counter, and — when a span is open in this
+        context — attaches a per-SMP event to it.
+        """
         target = self.topology.node(smp.target)
         hops = self.hops_to(target)
         latency = hops * self.hop_latency
@@ -221,9 +262,12 @@ class SmpTransport:
         st.total_smps += 1
         st.total_hops += hops
         st.serial_time += latency
-        st.latencies.append(latency)
-        st.hops.append(hops)
-        st.directed_flags.append(smp.directed)
+        if latency > st.max_latency:
+            st.max_latency = latency
+        if st.record_samples:
+            st.latencies.append(latency)
+            st.hops.append(hops)
+            st.directed_flags.append(smp.directed)
         st.by_kind[smp.kind] += 1
         st.by_target[smp.target] += 1
         if smp.directed:
@@ -232,7 +276,43 @@ class SmpTransport:
             st.destination_routed_smps += 1
         if smp.is_lft_update:
             st.lft_update_smps += 1
+
+        self._observe(smp, hops, latency)
         return SmpResult(smp=smp, hops=hops, latency=latency, data=data)
+
+    def _observe(self, smp: Smp, hops: int, latency: float) -> None:
+        """Feed the observability layer (flight recorder, span, metrics)."""
+        hub = get_hub()
+        now = hub.advance(latency)
+        kind = smp.kind.name.lower()
+        hub.flight.record(
+            SmpFlightEvent(
+                time=now,
+                kind=kind,
+                method=smp.method.name.lower(),
+                target=smp.target,
+                hops=hops,
+                directed=smp.directed,
+                latency=latency,
+                lft_update=smp.is_lft_update,
+            )
+        )
+        sp = current_span()
+        if sp is not None:
+            sp.record_smp(
+                now,
+                kind=kind,
+                target=smp.target,
+                hops=hops,
+                directed=smp.directed,
+                latency=latency,
+                lft_update=smp.is_lft_update,
+            )
+        hub.metrics.counter(
+            "repro_smp_total",
+            kind=kind,
+            routed="directed" if smp.directed else "destination",
+        ).add(1)
 
     def _apply(self, smp: Smp, target: Node) -> Optional[Dict[str, object]]:
         """Execute the management operation on the target node."""

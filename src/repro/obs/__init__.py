@@ -1,0 +1,61 @@
+"""repro.obs — the fabric-wide observability layer.
+
+Three pillars, all reachable from one process-wide hub:
+
+* **Spans** (:mod:`repro.obs.spans`) — hierarchical, sim-timed records of
+  control-plane operations, nested via a context-local current span so a
+  ``span("migration")`` automatically contains the ``lft_swap`` below it
+  and every per-SMP event below that.
+* **SMP flight recorder** (:mod:`repro.obs.flight`) — a bounded ring of
+  structured per-SMP events (kind, target, hops, directed flag, latency)
+  fed by :class:`repro.mad.transport.SmpTransport`.
+* **Metrics exposition** (:class:`repro.sim.metrics.MetricRegistry`) —
+  labeled counters and gauges rendered as Prometheus text or JSON.
+
+Typical use::
+
+    from repro.obs import get_hub, reset_hub, span
+
+    reset_hub()
+    with span("experiment", profile="2l-small"):
+        cloud.live_migrate(vm, dest)
+    hub = get_hub()
+    print(hub.metrics.render_prometheus())
+
+Runs persist as JSONL via :func:`repro.obs.export.export_run` and replay
+with ``repro trace <run>``.
+"""
+
+from repro.obs.export import (
+    LoadedRun,
+    export_run,
+    load_run,
+    render_span_tree,
+    render_timeline,
+)
+from repro.obs.flight import (
+    DEFAULT_FLIGHT_CAPACITY,
+    FlightRecorder,
+    SmpFlightEvent,
+)
+from repro.obs.hub import ObsHub, get_hub, reset_hub, span
+from repro.obs.spans import MAX_EVENTS_PER_SPAN, Span, SpanEvent, current_span
+
+__all__ = [
+    "ObsHub",
+    "get_hub",
+    "reset_hub",
+    "span",
+    "current_span",
+    "Span",
+    "SpanEvent",
+    "MAX_EVENTS_PER_SPAN",
+    "FlightRecorder",
+    "SmpFlightEvent",
+    "DEFAULT_FLIGHT_CAPACITY",
+    "export_run",
+    "load_run",
+    "LoadedRun",
+    "render_span_tree",
+    "render_timeline",
+]

@@ -1,0 +1,135 @@
+"""The SMP flight recorder: one structured event per SMP, ring-buffered.
+
+Every SMP the transport delivers lands here as an :class:`SmpFlightEvent`
+(kind, target, hops, directed-route flag, latency — the raw ``k``/``r``
+material of the paper's cost model). The buffer is bounded: million-SMP
+runs keep the most recent ``capacity`` events and count the rest as
+dropped, so the recorder is safe to leave on permanently.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Deque, Iterator, List, Optional, Union
+
+__all__ = ["SmpFlightEvent", "FlightRecorder", "DEFAULT_FLIGHT_CAPACITY"]
+
+#: Default ring size. At ~100 bytes/event this is a few MiB — enough for
+#: every SMP of a paper-scale bring-up while staying bounded.
+DEFAULT_FLIGHT_CAPACITY = 65_536
+
+
+@dataclass(frozen=True)
+class SmpFlightEvent:
+    """One delivered SMP, as the flight recorder saw it."""
+
+    time: float
+    kind: str
+    method: str
+    target: str
+    hops: int
+    directed: bool
+    latency: float
+    lft_update: bool
+
+
+class FlightRecorder:
+    """A bounded ring buffer of :class:`SmpFlightEvent`.
+
+    ``capacity=0`` disables recording entirely (events are neither stored
+    nor counted as dropped — the recorder becomes a no-op).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._ring: Optional[Deque[SmpFlightEvent]] = (
+            deque(maxlen=capacity) if capacity else None
+        )
+        self.seen = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether events are being kept."""
+        return self._ring is not None
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring so far."""
+        if self._ring is None:
+            return 0
+        return self.seen - len(self._ring)
+
+    def record(self, event: SmpFlightEvent) -> None:
+        """Append one event (evicting the oldest when full)."""
+        if self._ring is None:
+            return
+        self.seen += 1
+        self._ring.append(event)
+
+    def clear(self) -> None:
+        """Forget everything recorded so far."""
+        if self._ring is not None:
+            self._ring.clear()
+        self.seen = 0
+
+    def __len__(self) -> int:
+        return len(self._ring) if self._ring is not None else 0
+
+    def __iter__(self) -> Iterator[SmpFlightEvent]:
+        return iter(self._ring or ())
+
+    def events(self) -> List[SmpFlightEvent]:
+        """The retained events, oldest first."""
+        return list(self._ring or ())
+
+    def of_kind(self, kind: str) -> List[SmpFlightEvent]:
+        """Retained events of one SMP kind."""
+        return [e for e in self if e.kind == kind]
+
+    def lft_updates(self) -> List[SmpFlightEvent]:
+        """Retained SubnSet(LFT) events."""
+        return [e for e in self if e.lft_update]
+
+    def by_kind(self) -> Counter:
+        """Retained event counts per kind."""
+        return Counter(e.kind for e in self)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_jsonl(self, path: Union[str, Path]) -> int:
+        """Write the retained events as JSON Lines; returns the count."""
+        path = Path(path)
+        count = 0
+        with path.open("w", encoding="utf-8") as fp:
+            for event in self:
+                fp.write(json.dumps({"type": "smp", **asdict(event)}))
+                fp.write("\n")
+                count += 1
+        return count
+
+    @classmethod
+    def from_jsonl(
+        cls, path: Union[str, Path], *, capacity: int = DEFAULT_FLIGHT_CAPACITY
+    ) -> "FlightRecorder":
+        """Rebuild a recorder from a JSONL file written by :meth:`to_jsonl`.
+
+        Lines whose ``type`` is not ``smp`` are skipped, so the combined
+        run files written by :func:`repro.obs.export.export_run` load too.
+        """
+        rec = cls(capacity=capacity)
+        with Path(path).open("r", encoding="utf-8") as fp:
+            for line in fp:
+                line = line.strip()
+                if not line:
+                    continue
+                obj = json.loads(line)
+                if obj.get("type") not in (None, "smp"):
+                    continue
+                obj.pop("type", None)
+                rec.record(SmpFlightEvent(**obj))
+        return rec

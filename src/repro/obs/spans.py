@@ -1,0 +1,151 @@
+"""Hierarchical spans: the run-wide record of what the control plane did.
+
+A span brackets one logical operation (a migration, an LFT distribution,
+a path computation) with sim-time start/end, free-form attributes and
+timestamped events. Spans nest: the *current* span is carried in a
+context variable, so deeply nested callees (ultimately
+:meth:`repro.mad.transport.SmpTransport.send`) can attach per-SMP events
+to whatever operation is in flight without any parameter plumbing.
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["SpanEvent", "Span", "current_span", "MAX_EVENTS_PER_SPAN"]
+
+#: Safety valve: a span keeps at most this many discrete events (further
+#: ones are counted in ``events_dropped`` but not stored), so a span around
+#: a full paper-scale LFT distribution cannot grow without bound. The
+#: aggregate SMP counters (``smp_count``/``lft_smp_count``) are exact
+#: regardless.
+MAX_EVENTS_PER_SPAN = 10_000
+
+_current: ContextVar[Optional["Span"]] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One timestamped event inside a span."""
+
+    time: float
+    name: str
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One bracketed operation in the observability timeline."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start_time: float
+    end_time: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    events: List[SpanEvent] = field(default_factory=list)
+    children: List["Span"] = field(default_factory=list)
+    #: Exact per-span SMP tallies, maintained even when the discrete event
+    #: list is capped.
+    smp_count: int = 0
+    lft_smp_count: int = 0
+    events_dropped: int = 0
+
+    # -- mutation ------------------------------------------------------------
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attributes[key] = value
+
+    def set_attributes(self, **attrs: Any) -> None:
+        """Attach several attributes at once."""
+        self.attributes.update(attrs)
+
+    def add_event(self, name: str, time: float, **attrs: Any) -> None:
+        """Record one timestamped event (bounded per span)."""
+        if len(self.events) >= MAX_EVENTS_PER_SPAN:
+            self.events_dropped += 1
+            return
+        self.events.append(SpanEvent(time=time, name=name, attributes=attrs))
+
+    def record_smp(self, time: float, **attrs: Any) -> None:
+        """Record one SMP delivery under this span.
+
+        The exact counters are bumped unconditionally; the discrete event
+        obeys the per-span cap.
+        """
+        self.smp_count += 1
+        if attrs.get("lft_update"):
+            self.lft_smp_count += 1
+        self.add_event("smp", time, **attrs)
+
+    def end(self, time: float) -> None:
+        """Close the span at *time*."""
+        self.end_time = time
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the span has not ended yet."""
+        return self.end_time is None
+
+    @property
+    def duration(self) -> float:
+        """Sim-time extent (0 while still open)."""
+        if self.end_time is None:
+            return 0.0
+        return self.end_time - self.start_time
+
+    def iter_tree(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_tree()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named *name* in this subtree (depth-first)."""
+        for sp in self.iter_tree():
+            if sp.name == name:
+                return sp
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        """Every span named *name* in this subtree."""
+        return [sp for sp in self.iter_tree() if sp.name == name]
+
+    def total_smp_count(self) -> int:
+        """SMPs recorded in this subtree."""
+        return sum(sp.smp_count for sp in self.iter_tree())
+
+    def total_lft_smp_count(self) -> int:
+        """LFT-update SMPs recorded in this subtree — the n'·m' witness."""
+        return sum(sp.lft_smp_count for sp in self.iter_tree())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view (children referenced by parent links)."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start_time,
+            "end": self.end_time,
+            "attributes": dict(self.attributes),
+            "smp_count": self.smp_count,
+            "lft_smp_count": self.lft_smp_count,
+            "events_dropped": self.events_dropped,
+            "events": [
+                {"time": e.time, "name": e.name, "attributes": dict(e.attributes)}
+                for e in self.events
+            ],
+        }
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span of this context (None outside any span)."""
+    return _current.get()

@@ -1,20 +1,60 @@
-"""Metric primitives: counters, timers and streaming histograms.
+"""Metric primitives: counters, gauges, timers and streaming histograms.
 
 Experiment harnesses accumulate results into these instead of ad-hoc dicts
-so every benchmark prints comparable summaries.
+so every benchmark prints comparable summaries. The
+:class:`MetricRegistry` additionally supports **labeled** counters and
+gauges (Prometheus-style dimensions) and can render its whole contents as
+a Prometheus text exposition or a JSON snapshot — the exposition half of
+the observability layer.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import re
 import time
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError
 
-__all__ = ["Counter", "Timer", "Histogram", "MetricRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricRegistry",
+]
+
+#: Label sets are canonicalized to a sorted tuple of (key, value) pairs so
+#: ``counter("x", a="1", b="2")`` and ``counter("x", b="2", a="1")`` hit
+#: the same series.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _labels_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _prom_name(name: str) -> str:
+    return _NAME_SANITIZER.sub("_", name)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _prom_series(name: str, labels: LabelKey) -> str:
+    if not labels:
+        return _prom_name(name)
+    rendered = ",".join(
+        f'{_prom_name(k)}="{_escape_label(v)}"' for k, v in labels
+    )
+    return f"{_prom_name(name)}{{{rendered}}}"
 
 
 class Counter:
@@ -31,6 +71,24 @@ class Counter:
         self.value += amount
 
 
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the current value."""
+        if math.isnan(value):
+            raise SimulationError(f"gauge {self.name}: NaN value")
+        self.value = float(value)
+
+    def add(self, amount: float = 1.0) -> None:
+        """Adjust by *amount* (may be negative)."""
+        self.set(self.value + amount)
+
+
 class Timer:
     """Wall-clock stopwatch usable as a context manager."""
 
@@ -45,7 +103,10 @@ class Timer:
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._start is not None
+        if self._start is None:
+            raise SimulationError(
+                f"timer {self.name!r}: __exit__ without a matching __enter__"
+            )
         lap = time.perf_counter() - self._start
         self.total += lap
         self.laps.append(lap)
@@ -95,6 +156,11 @@ class Histogram:
         """Smallest observation (0 when empty)."""
         return float(np.min(self._values)) if self._values else 0.0
 
+    @property
+    def sum(self) -> float:
+        """Sum of observations."""
+        return float(np.sum(self._values)) if self._values else 0.0
+
     def percentile(self, q: float) -> float:
         """The q-th percentile (0 <= q <= 100)."""
         if not 0 <= q <= 100:
@@ -109,16 +175,31 @@ class Histogram:
 
 
 class MetricRegistry:
-    """Named metric namespace for one experiment run."""
+    """Named metric namespace for one experiment run.
+
+    ``counter``/``gauge`` accept optional keyword labels; each distinct
+    label set is its own series, exactly as in Prometheus::
+
+        reg.counter("repro_smp_total", kind="lft_block").add()
+        reg.gauge("repro_vms_running").set(12)
+        print(reg.render_prometheus())
+    """
 
     def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
         self._timers: Dict[str, Timer] = {}
         self._histograms: Dict[str, Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
-        """Get or create a counter."""
-        return self._counters.setdefault(name, Counter(name))
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create a counter (one series per label set)."""
+        key = (name, _labels_key(labels))
+        return self._counters.setdefault(key, Counter(name))
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get or create a gauge (one series per label set)."""
+        key = (name, _labels_key(labels))
+        return self._gauges.setdefault(key, Gauge(name))
 
     def timer(self, name: str) -> Timer:
         """Get or create a timer."""
@@ -128,11 +209,30 @@ class MetricRegistry:
         """Get or create a histogram."""
         return self._histograms.setdefault(name, Histogram(name))
 
+    def reset(self) -> None:
+        """Drop every registered metric (start of a fresh run)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+        self._histograms.clear()
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters)
+            + len(self._gauges)
+            + len(self._timers)
+            + len(self._histograms)
+        )
+
+    # -- exposition ----------------------------------------------------------
+
     def summary(self) -> Dict[str, float]:
         """Flat name -> value snapshot of everything registered."""
         out: Dict[str, float] = {}
-        for name, c in self._counters.items():
-            out[f"{name}.count"] = float(c.value)
+        for (name, labels), c in self._counters.items():
+            out[f"{_series_display(name, labels)}.count"] = float(c.value)
+        for (name, labels), g in self._gauges.items():
+            out[f"{_series_display(name, labels)}.value"] = g.value
         for name, t in self._timers.items():
             out[f"{name}.total_s"] = t.total
             out[f"{name}.mean_s"] = t.mean
@@ -142,3 +242,80 @@ class MetricRegistry:
             out[f"{name}.p99"] = h.percentile(99)
             out[f"{name}.max"] = h.max
         return out
+
+    def render_prometheus(self) -> str:
+        """The registry as a Prometheus text-format exposition."""
+        lines: List[str] = []
+        seen_types: Dict[str, str] = {}
+
+        def type_line(name: str, kind: str) -> None:
+            prom = _prom_name(name)
+            if seen_types.get(prom) != kind:
+                lines.append(f"# TYPE {prom} {kind}")
+                seen_types[prom] = kind
+
+        for (name, labels), c in sorted(self._counters.items()):
+            type_line(name, "counter")
+            lines.append(f"{_prom_series(name, labels)} {c.value}")
+        for (name, labels), g in sorted(self._gauges.items()):
+            type_line(name, "gauge")
+            lines.append(f"{_prom_series(name, labels)} {_fmt(g.value)}")
+        for name, t in sorted(self._timers.items()):
+            type_line(f"{name}_seconds", "summary")
+            prom = _prom_name(name)
+            lines.append(f"{prom}_seconds_sum {_fmt(t.total)}")
+            lines.append(f"{prom}_seconds_count {len(t.laps)}")
+        for name, h in sorted(self._histograms.items()):
+            type_line(name, "summary")
+            prom = _prom_name(name)
+            for q in (50, 99):
+                lines.append(
+                    f'{prom}{{quantile="0.{q}"}} {_fmt(h.percentile(q))}'
+                )
+            lines.append(f"{prom}_sum {_fmt(h.sum)}")
+            lines.append(f"{prom}_count {h.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot_json(self) -> Dict[str, Any]:
+        """The registry as a JSON-serializable dict."""
+        return {
+            "counters": {
+                _series_display(name, labels): c.value
+                for (name, labels), c in sorted(self._counters.items())
+            },
+            "gauges": {
+                _series_display(name, labels): g.value
+                for (name, labels), g in sorted(self._gauges.items())
+            },
+            "timers": {
+                name: {"total_s": t.total, "laps": len(t.laps), "mean_s": t.mean}
+                for name, t in sorted(self._timers.items())
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "mean": h.mean,
+                    "p50": h.percentile(50),
+                    "p99": h.percentile(99),
+                    "max": h.max,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def dump_json(self) -> str:
+        """:meth:`snapshot_json` rendered as a JSON string."""
+        return json.dumps(self.snapshot_json(), indent=2, sort_keys=True)
+
+
+def _series_display(name: str, labels: LabelKey) -> str:
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))

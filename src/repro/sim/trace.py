@@ -6,8 +6,10 @@ inspected (or asserted on in tests) after the fact without print-debugging.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 __all__ = ["TraceRecord", "Trace"]
 
@@ -55,3 +57,43 @@ class Trace:
             if r.kind not in seen:
                 seen.append(r.kind)
         return seen
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_jsonl(self, path: Union[str, Path]) -> int:
+        """Write the trace as JSON Lines; returns the record count.
+
+        Detail values that are not JSON-serializable are stringified, so a
+        trace can always be persisted even when callers attached rich
+        objects.
+        """
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fp:
+            for rec in self._records:
+                fp.write(
+                    json.dumps(
+                        {
+                            "time": rec.time,
+                            "kind": rec.kind,
+                            "detail": rec.detail,
+                        },
+                        default=str,
+                    )
+                )
+                fp.write("\n")
+        return len(self._records)
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path]) -> "Trace":
+        """Rebuild a trace previously written by :meth:`to_jsonl`."""
+        trace = cls()
+        with Path(path).open("r", encoding="utf-8") as fp:
+            for line in fp:
+                line = line.strip()
+                if not line:
+                    continue
+                obj = json.loads(line)
+                trace.emit(
+                    float(obj["time"]), str(obj["kind"]), **obj.get("detail", {})
+                )
+        return trace

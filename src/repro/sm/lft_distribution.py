@@ -27,6 +27,7 @@ from repro.fabric.lft import lft_block_of
 from repro.fabric.topology import Topology
 from repro.mad.smp import make_set_lft_block
 from repro.mad.transport import SmpTransport
+from repro.obs.hub import get_hub, span
 from repro.sm.routing.base import RoutingTables
 
 __all__ = ["DistributionReport", "LftDistributor"]
@@ -84,6 +85,36 @@ class LftDistributor:
         n_blocks = lft_block_of(top_lid) + 1
         width = n_blocks * LFT_BLOCK_SIZE
 
+        with span(
+            "lft_distribution",
+            mode="full" if force_full else "diff",
+            switches=self.topology.num_switches,
+        ) as sp:
+            self._distribute_blocks(tables, report, force_full, width)
+            delta = self.transport.stats.delta_since(before)
+            report.smps_sent = delta.total_smps
+            report.serial_time = delta.serial_time
+            report.pipelined_time = delta.pipelined_time(self.pipeline_window)
+            sp.set_attributes(
+                smps_sent=report.smps_sent,
+                switches_updated=report.switches_updated,
+                m=report.max_blocks_on_one_switch,
+            )
+        metrics = get_hub().metrics
+        metrics.gauge("repro_lftd_smps").set(report.smps_sent)
+        metrics.gauge("repro_lftd_serial_seconds").set(report.serial_time)
+        metrics.gauge("repro_lftd_pipelined_seconds").set(
+            report.pipelined_time
+        )
+        return report
+
+    def _distribute_blocks(
+        self,
+        tables: RoutingTables,
+        report: DistributionReport,
+        force_full: bool,
+        width: int,
+    ) -> None:
         for sw in self.topology.switches:
             # Widen to whichever is larger: the new routing or the switch's
             # existing table — stale entries above the new top LID must be
@@ -110,12 +141,6 @@ class LftDistributor:
                     directed=self.directed,
                 )
                 self.transport.send(smp)
-
-        delta = self.transport.stats.delta_since(before)
-        report.smps_sent = delta.total_smps
-        report.serial_time = delta.serial_time
-        report.pipelined_time = delta.pipelined_time(self.pipeline_window)
-        return report
 
     @staticmethod
     def _used_blocks(desired: np.ndarray) -> List[int]:

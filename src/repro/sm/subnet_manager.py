@@ -19,6 +19,7 @@ from typing import Dict, Optional, Union
 from repro.errors import RoutingError
 from repro.fabric.topology import Topology
 from repro.mad.transport import SmpTransport
+from repro.obs.hub import get_hub, span
 from repro.sm.discovery import DiscoveryReport, discover_subnet
 from repro.sm.lft_distribution import DistributionReport, LftDistributor
 from repro.sm.lid_manager import LidManager
@@ -104,13 +105,21 @@ class SubnetManager:
         primary engine raises a :class:`~repro.errors.RoutingError`.
         """
         request = RoutingRequest.from_topology(self.topology, built=self.built)
-        try:
-            tables = self.engine.timed_compute(request)
-        except RoutingError:
-            if self.fallback_engine is None:
-                raise
-            tables = self.fallback_engine.timed_compute(request)
-            tables.metadata["fallback_from"] = self.engine.name
+        with span("path_compute", engine=self.engine.name) as sp:
+            try:
+                tables = self.engine.timed_compute(request)
+            except RoutingError:
+                if self.fallback_engine is None:
+                    raise
+                tables = self.fallback_engine.timed_compute(request)
+                tables.metadata["fallback_from"] = self.engine.name
+                sp.set_attribute("fallback_to", self.fallback_engine.name)
+            sp.set_attribute("seconds", tables.compute_seconds)
+        metrics = get_hub().metrics
+        metrics.counter("repro_path_computations_total").add(1)
+        metrics.gauge(
+            "repro_path_compute_seconds", engine=self.engine.name
+        ).set(tables.compute_seconds)
         self.current_tables = tables
         self.last_request = request
         return tables
@@ -128,12 +137,14 @@ class SubnetManager:
     def initial_configure(self, *, with_discovery: bool = True) -> ConfigureReport:
         """Bring a fresh subnet up: discover, assign LIDs, route, distribute."""
         report = ConfigureReport()
-        if with_discovery:
-            report.discovery = self.discover()
-        self.assign_lids()
-        tables = self.compute_routing()
-        report.path_compute_seconds = tables.compute_seconds
-        report.distribution = self.distribute()
+        with span("initial_configure", engine=self.engine.name):
+            if with_discovery:
+                report.discovery = self.discover()
+            self.assign_lids()
+            tables = self.compute_routing()
+            report.path_compute_seconds = tables.compute_seconds
+            report.distribution = self.distribute()
+        self._expose(report, phase="initial_configure")
         return report
 
     def full_reconfigure(self) -> ConfigureReport:
@@ -144,17 +155,21 @@ class SubnetManager:
         eliminates.
         """
         report = ConfigureReport()
-        tables = self.compute_routing()
-        report.path_compute_seconds = tables.compute_seconds
-        report.distribution = self.distribute(force_full=True)
+        with span("full_reconfigure", engine=self.engine.name):
+            tables = self.compute_routing()
+            report.path_compute_seconds = tables.compute_seconds
+            report.distribution = self.distribute(force_full=True)
+        self._expose(report, phase="full_reconfigure")
         return report
 
     def incremental_reroute(self) -> ConfigureReport:
         """Recompute paths but send only changed blocks (diff distribution)."""
         report = ConfigureReport()
-        tables = self.compute_routing()
-        report.path_compute_seconds = tables.compute_seconds
-        report.distribution = self.distribute(force_full=False)
+        with span("incremental_reroute", engine=self.engine.name):
+            tables = self.compute_routing()
+            report.path_compute_seconds = tables.compute_seconds
+            report.distribution = self.distribute(force_full=False)
+        self._expose(report, phase="incremental_reroute")
         return report
 
     def handle_link_failure(self, link) -> ConfigureReport:
@@ -174,10 +189,12 @@ class SubnetManager:
         self.topology.invalidate_fabric_view()
         self.topology.validate()
         report = ConfigureReport()
-        report.discovery = self.discover()
-        tables = self.compute_routing()
-        report.path_compute_seconds = tables.compute_seconds
-        report.distribution = self.distribute()
+        with span("link_failure_reroute"):
+            report.discovery = self.discover()
+            tables = self.compute_routing()
+            report.path_compute_seconds = tables.compute_seconds
+            report.distribution = self.distribute()
+        self._expose(report, phase="link_failure")
         return report
 
     def handle_switch_failure(self, switch) -> ConfigureReport:
@@ -196,11 +213,32 @@ class SubnetManager:
         self.transport.invalidate_distances()
         self.topology.validate()
         report = ConfigureReport()
-        report.discovery = self.discover()
-        tables = self.compute_routing()
-        report.path_compute_seconds = tables.compute_seconds
-        report.distribution = self.distribute()
+        with span("switch_failure_reroute", switch=switch.name):
+            report.discovery = self.discover()
+            tables = self.compute_routing()
+            report.path_compute_seconds = tables.compute_seconds
+            report.distribution = self.distribute()
+        self._expose(report, phase="switch_failure")
         return report
+
+    def _expose(self, report: ConfigureReport, *, phase: str) -> None:
+        """Publish one reconfiguration's cost breakdown as labeled gauges."""
+        metrics = get_hub().metrics
+        metrics.gauge("repro_reconfig_lft_smps", phase=phase).set(
+            report.lft_smps
+        )
+        metrics.gauge("repro_reconfig_switches_updated", phase=phase).set(
+            report.distribution.switches_updated
+        )
+        metrics.gauge(
+            "repro_reconfig_path_compute_seconds", phase=phase
+        ).set(report.path_compute_seconds)
+        metrics.gauge("repro_reconfig_serial_seconds", phase=phase).set(
+            report.total_seconds_serial
+        )
+        metrics.gauge("repro_reconfig_pipelined_seconds", phase=phase).set(
+            report.total_seconds_pipelined
+        )
 
     # -- introspection ------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from repro.errors import VirtError
 from repro.fabric.addressing import GuidAllocator
 from repro.fabric.node import HCA
 from repro.fabric.topology import Topology
+from repro.obs.hub import get_hub, span
 from repro.sm.subnet_manager import ConfigureReport, SubnetManager
 from repro.sriov.vswitch import VSwitchHCA
 from repro.virt.hypervisor import Hypervisor
@@ -151,12 +152,17 @@ class CloudManager:
     def bring_up_subnet(self) -> ConfigureReport:
         """Full subnet bring-up: LIDs (base + scheme), routing, LFTs."""
         report = ConfigureReport()
-        report.discovery = self.sm.discover()
-        self.sm.assign_lids()
-        self.scheme.initialize()
-        tables = self.sm.compute_routing()
-        report.path_compute_seconds = tables.compute_seconds
-        report.distribution = self.sm.distribute()
+        with span(
+            "bring_up_subnet",
+            scheme=self.scheme.name,
+            hypervisors=len(self.hypervisors),
+        ):
+            report.discovery = self.sm.discover()
+            self.sm.assign_lids()
+            self.scheme.initialize()
+            tables = self.sm.compute_routing()
+            report.path_compute_seconds = tables.compute_seconds
+            report.distribution = self.sm.distribute()
         return report
 
     # -- VM lifecycle -------------------------------------------------------------
@@ -179,24 +185,32 @@ class CloudManager:
                 [h for h in self.hypervisors.values() if h.has_capacity()]
             )
         vm = VirtualMachine(name, self.guids.allocate_virtual())
-        boot = self.scheme.boot_vm(hyp.vswitch, name)
-        vf = hyp.vswitch.vf(int(boot.vf_name.rsplit("VF", 1)[1]))
-        hyp.host_vm(vm, vf)
-        self.vms[name] = vm
-        self.sa.register(vm.gid, boot.lid)
+        with span("boot_vm", vm=name, hypervisor=hyp.name):
+            boot = self.scheme.boot_vm(hyp.vswitch, name)
+            vf = hyp.vswitch.vf(int(boot.vf_name.rsplit("VF", 1)[1]))
+            hyp.host_vm(vm, vf)
+            self.vms[name] = vm
+            self.sa.register(vm.gid, boot.lid)
+        metrics = get_hub().metrics
+        metrics.counter("repro_vm_boots_total").add(1)
+        metrics.gauge("repro_vms_running").set(self.running_vm_count)
         return vm
 
     def stop_vm(self, name: str) -> None:
         """Shut a VM down and release its VF (and LID, scheme permitting)."""
         vm = self._vm(name)
         hyp = self._hypervisor(vm.hypervisor_name)
-        vf = vm.detach_vf()
-        vf.detach()
-        self.scheme.shutdown_vm(hyp.vswitch, vf)
-        hyp.evict_vm(vm)
-        vm.state = VmState.STOPPED
-        self.sa.unregister(vm.gid)
-        del self.vms[name]
+        with span("stop_vm", vm=name, hypervisor=hyp.name):
+            vf = vm.detach_vf()
+            vf.detach()
+            self.scheme.shutdown_vm(hyp.vswitch, vf)
+            hyp.evict_vm(vm)
+            vm.state = VmState.STOPPED
+            self.sa.unregister(vm.gid)
+            del self.vms[name]
+        metrics = get_hub().metrics
+        metrics.counter("repro_vm_stops_total").add(1)
+        metrics.gauge("repro_vms_running").set(self.running_vm_count)
 
     def live_migrate(self, vm_name: str, dest_name: str):
         """Live-migrate one VM; returns the MigrationReport."""
@@ -214,14 +228,16 @@ class CloudManager:
         """
         hyp = self._hypervisor(hypervisor_name)
         reports = []
-        for vm in list(hyp.running_vms()):
-            candidates = [
-                h
-                for h in self.hypervisors.values()
-                if h is not hyp and h.has_capacity()
-            ]
-            dest = self.placement.choose(candidates)
-            reports.append(self.orchestrator.migrate(vm, hyp, dest))
+        with span("evacuate", hypervisor=hypervisor_name) as sp:
+            for vm in list(hyp.running_vms()):
+                candidates = [
+                    h
+                    for h in self.hypervisors.values()
+                    if h is not hyp and h.has_capacity()
+                ]
+                dest = self.placement.choose(candidates)
+                reports.append(self.orchestrator.migrate(vm, hyp, dest))
+            sp.set_attribute("migrations", len(reports))
         return reports
 
     def _on_migrated(self, report) -> None:

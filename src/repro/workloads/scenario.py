@@ -15,6 +15,7 @@ from typing import Dict, List
 
 from repro.errors import TopologyError
 from repro.fabric.node import Switch
+from repro.obs.hub import span
 from repro.sim.trace import Trace
 from repro.virt.cloud import CloudManager
 from repro.workloads.migration_patterns import ANY, MigrationPlanner
@@ -168,13 +169,18 @@ class Scenario:
 
     def business_day(self) -> ScenarioSummary:
         """Morning scale-up, midday churn + a failure, evening consolidation."""
-        self.boot(count=self.cloud.total_capacity // 3)
-        self.migrate(count=3)
-        self.stop(count=2)
-        self.boot(count=4)
-        self.fail_random_link()
-        self.migrate(count=3)
-        self.repair_links()
-        self.stop(count=3)
-        self.migrate(count=2)
+        with span("business_day") as sp:
+            with span("morning_scale_up"):
+                self.boot(count=self.cloud.total_capacity // 3)
+            with span("midday_churn"):
+                self.migrate(count=3)
+                self.stop(count=2)
+                self.boot(count=4)
+                self.fail_random_link()
+                self.migrate(count=3)
+                self.repair_links()
+            with span("evening_consolidation"):
+                self.stop(count=3)
+                self.migrate(count=2)
+            sp.set_attributes(**self.summary.as_dict())
         return self.summary

@@ -12,7 +12,9 @@ from repro.mad.transport import SmpTransport
 @pytest.fixture
 def observed_transport(small_fattree):
     topo = small_fattree.topology
-    tr = SmpTransport(topo, hop_latency=2e-6, dr_overhead=0.5e-6)
+    tr = SmpTransport(
+        topo, hop_latency=2e-6, dr_overhead=0.5e-6, record_samples=True
+    )
     # Mixed directed / destination-routed probes to every switch.
     for sw in topo.switches:
         tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, sw.name, directed=True))

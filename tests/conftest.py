@@ -6,9 +6,18 @@ import pytest
 
 from repro.fabric.builders.generic import build_ring, build_single_switch
 from repro.fabric.presets import scaled_fattree
+from repro.obs import reset_hub
 from repro.sm.routing.base import RoutingRequest
 from repro.sm.subnet_manager import SubnetManager
 from repro.virt.cloud import CloudManager
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs_hub():
+    """Every test starts with an empty observability hub."""
+    reset_hub()
+    yield
+    reset_hub()
 
 
 @pytest.fixture

@@ -94,7 +94,7 @@ class TestAccounting:
 
     def test_snapshot_delta(self):
         topo = line_topology()
-        tr = SmpTransport(topo)
+        tr = SmpTransport(topo, record_samples=True)
         tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s0"))
         before = tr.stats.snapshot()
         tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s1"))
@@ -112,7 +112,9 @@ class TestAccounting:
 
     def test_pipelined_time_bounds(self):
         topo = line_topology()
-        tr = SmpTransport(topo, hop_latency=1.0, dr_overhead=0.0)
+        tr = SmpTransport(
+            topo, hop_latency=1.0, dr_overhead=0.0, record_samples=True
+        )
         for _ in range(4):
             tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s1"))  # 2.0 each
         serial = tr.stats.serial_time
@@ -126,6 +128,36 @@ class TestAccounting:
         tr = SmpTransport(topo)
         with pytest.raises(TopologyError):
             tr.stats.pipelined_time(0)
+
+
+class TestSampleRecording:
+    def test_samples_off_by_default(self):
+        topo = line_topology()
+        tr = SmpTransport(topo)
+        for _ in range(3):
+            tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s1"))
+        assert tr.stats.latencies == []
+        assert tr.stats.hops == []
+        assert tr.stats.directed_flags == []
+        assert tr.stats.total_smps == 3
+        assert tr.stats.max_latency > 0
+
+    def test_pipelined_floor_without_samples(self):
+        topo = line_topology()
+        tr = SmpTransport(topo, hop_latency=1.0, dr_overhead=0.0)
+        for _ in range(4):
+            tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s1"))  # 2.0 each
+        # max_latency keeps the never-below-the-slowest-packet floor exact
+        # even without per-SMP samples.
+        assert tr.stats.pipelined_time(100) == pytest.approx(2.0)
+
+    def test_opt_in_records_samples(self):
+        topo = line_topology()
+        tr = SmpTransport(topo, record_samples=True)
+        tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s0"))
+        assert len(tr.stats.latencies) == 1
+        assert len(tr.stats.hops) == 1
+        assert len(tr.stats.directed_flags) == 1
 
 
 class TestApplication:

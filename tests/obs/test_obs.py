@@ -1,0 +1,178 @@
+"""Tests for the observability core: spans, hub, flight recorder."""
+
+import pytest
+
+from repro.mad.smp import Smp, SmpKind, SmpMethod
+from repro.mad.transport import SmpTransport
+from repro.obs import (
+    MAX_EVENTS_PER_SPAN,
+    FlightRecorder,
+    SmpFlightEvent,
+    current_span,
+    get_hub,
+    reset_hub,
+    span,
+)
+
+
+def _event(i, **overrides):
+    base = dict(
+        time=float(i),
+        kind="lft_block",
+        method="set",
+        target=f"s{i}",
+        hops=2,
+        directed=True,
+        latency=1e-6,
+        lft_update=True,
+    )
+    base.update(overrides)
+    return SmpFlightEvent(**base)
+
+
+class TestSpans:
+    def test_nesting_via_context(self):
+        with span("outer") as outer:
+            assert current_span() is outer
+            with span("inner") as inner:
+                assert current_span() is inner
+                assert inner.parent_id == outer.span_id
+            assert current_span() is outer
+        assert current_span() is None
+        assert outer.children == [inner]
+        assert get_hub().roots[-1] is outer
+
+    def test_siblings_share_parent(self):
+        with span("parent") as parent:
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        assert [c.name for c in parent.children] == ["a", "b"]
+
+    def test_span_times_follow_sim_clock(self):
+        hub = get_hub()
+        with span("timed") as sp:
+            hub.advance(2.5)
+        assert sp.start_time == 0.0
+        assert sp.end_time == 2.5
+        assert sp.duration == 2.5
+        assert not sp.is_open
+
+    def test_exception_recorded_and_reraised(self):
+        with pytest.raises(ValueError):
+            with span("doomed") as sp:
+                raise ValueError("boom")
+        assert sp.attributes["error"] == "ValueError"
+        assert not sp.is_open  # ended despite the exception
+
+    def test_smp_counters_exact_past_event_cap(self):
+        with span("big") as sp:
+            for i in range(MAX_EVENTS_PER_SPAN + 5):
+                sp.record_smp(float(i), lft_update=(i % 2 == 0))
+        assert sp.smp_count == MAX_EVENTS_PER_SPAN + 5
+        assert len(sp.events) == MAX_EVENTS_PER_SPAN
+        assert sp.events_dropped == 5
+        assert sp.lft_smp_count == (MAX_EVENTS_PER_SPAN + 5 + 1) // 2
+
+    def test_subtree_totals(self):
+        with span("root") as root:
+            root.record_smp(0.0, lft_update=False)
+            with span("child") as child:
+                child.record_smp(0.0, lft_update=True)
+                child.record_smp(0.0, lft_update=True)
+        assert root.total_smp_count() == 3
+        assert root.total_lft_smp_count() == 2
+        assert root.find("child") is child
+        assert root.find_all("child") == [child]
+
+    def test_reset_hub_clears_everything(self):
+        with span("stale"):
+            get_hub().advance(1.0)
+            get_hub().metrics.counter("stale_total").add(1)
+        reset_hub()
+        hub = get_hub()
+        assert hub.roots == []
+        assert hub.now() == 0.0
+        assert len(hub.flight) == 0
+        assert len(hub.metrics) == 0
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(5):
+            rec.record(_event(i))
+        assert len(rec) == 3
+        assert rec.seen == 5
+        assert rec.dropped == 2
+        assert [e.target for e in rec] == ["s2", "s3", "s4"]
+
+    def test_capacity_zero_disables(self):
+        rec = FlightRecorder(capacity=0)
+        rec.record(_event(0))
+        assert not rec.enabled
+        assert len(rec) == 0
+        assert rec.seen == 0
+        assert rec.dropped == 0
+
+    def test_filters(self):
+        rec = FlightRecorder(capacity=16)
+        rec.record(_event(0, kind="node_info", lft_update=False))
+        rec.record(_event(1))
+        assert [e.target for e in rec.of_kind("lft_block")] == ["s1"]
+        assert [e.target for e in rec.lft_updates()] == ["s1"]
+        assert rec.by_kind() == {"node_info": 1, "lft_block": 1}
+
+    def test_jsonl_round_trip(self, tmp_path):
+        rec = FlightRecorder(capacity=8)
+        for i in range(3):
+            rec.record(_event(i))
+        path = tmp_path / "flight.jsonl"
+        assert rec.to_jsonl(path) == 3
+        back = FlightRecorder.from_jsonl(path)
+        assert list(back) == list(rec)
+
+
+class TestTransportIntegration:
+    def test_send_feeds_hub_span_and_metrics(self):
+        from repro.constants import LFT_BLOCK_SIZE
+        from repro.mad.smp import make_set_lft_block
+
+        import numpy as np
+
+        topo = _line_topology()
+        tr = SmpTransport(topo, hop_latency=1.0, dr_overhead=0.0)
+        with span("op") as sp:
+            tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s1"))
+            tr.send(make_set_lft_block("s0", 0, np.zeros(LFT_BLOCK_SIZE)))
+        hub = get_hub()
+        assert sp.smp_count == 2
+        assert sp.lft_smp_count == 1
+        assert len(hub.flight) == 2
+        # The sim clock advanced by the serial latency of both sends.
+        assert hub.now() == pytest.approx(tr.stats.serial_time)
+        assert (
+            hub.metrics.counter(
+                "repro_smp_total", kind="lft_block", routed="directed"
+            ).value
+            == 1
+        )
+
+    def test_send_outside_any_span_still_flies(self):
+        topo = _line_topology()
+        tr = SmpTransport(topo)
+        tr.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "s0"))
+        assert current_span() is None
+        assert len(get_hub().flight) == 1
+
+
+def _line_topology():
+    from repro.fabric.topology import Topology
+
+    topo = Topology("line")
+    s0, s1 = topo.add_switch("s0", 4), topo.add_switch("s1", 4)
+    h0 = topo.add_hca("h0")
+    topo.connect(h0, 1, s0, 1)
+    topo.connect(s0, 2, s1, 1)
+    return topo

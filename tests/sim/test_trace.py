@@ -1,0 +1,65 @@
+"""Tests for the run trace: filtering and JSONL persistence."""
+
+from repro.sim.trace import Trace
+
+
+def sample_trace():
+    tr = Trace()
+    tr.emit(1.0, "boot", vm="vm1")
+    tr.emit(2.0, "migrate", vm="vm1", smps=6)
+    tr.emit(3.0, "boot", vm="vm2")
+    return tr
+
+
+class TestFiltering:
+    def test_of_kind_preserves_order(self):
+        tr = sample_trace()
+        boots = tr.of_kind("boot")
+        assert [r.detail["vm"] for r in boots] == ["vm1", "vm2"]
+        assert tr.of_kind("stop") == []
+
+    def test_last(self):
+        tr = sample_trace()
+        assert tr.last().kind == "boot"
+        assert tr.last().detail["vm"] == "vm2"
+        assert tr.last("migrate").detail["smps"] == 6
+        assert tr.last("stop") is None
+        assert Trace().last() is None
+
+    def test_kinds_first_appearance_order(self):
+        tr = sample_trace()
+        assert tr.kinds() == ["boot", "migrate"]
+
+    def test_len_and_iter(self):
+        tr = sample_trace()
+        assert len(tr) == 3
+        assert [r.time for r in tr] == [1.0, 2.0, 3.0]
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tr = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        assert tr.to_jsonl(path) == 3
+        back = Trace.from_jsonl(path)
+        assert len(back) == 3
+        assert [r.kind for r in back] == [r.kind for r in tr]
+        assert back.last("migrate").detail == {"vm": "vm1", "smps": 6}
+
+    def test_unserializable_detail_stringified(self, tmp_path):
+        tr = Trace()
+        tr.emit(0.0, "odd", obj=object())
+        path = tmp_path / "odd.jsonl"
+        tr.to_jsonl(path)
+        back = Trace.from_jsonl(path)
+        assert "object" in back.last("odd").detail["obj"]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text(
+            '{"time": 1.0, "kind": "a", "detail": {}}\n\n'
+            '{"time": 2.0, "kind": "b", "detail": {}}\n',
+            encoding="utf-8",
+        )
+        back = Trace.from_jsonl(path)
+        assert [r.kind for r in back] == ["a", "b"]

@@ -47,3 +47,76 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "PCt=0" in out
         assert "LID kept=True" in out
+
+    def test_migrate_demo_span_tree_cross_check(self, capsys):
+        assert main(["migrate-demo", "--scheme", "dynamic"]) == 0
+        out = capsys.readouterr().out
+        assert "span tree:" in out
+        assert "migration @" in out
+        assert "lft_copy @" in out
+        # The acceptance witness: recorded events == n'·m' == the report.
+        cross = next(
+            line for line in out.splitlines() if line.startswith("cross-check")
+        )
+        import re
+
+        nums = re.findall(
+            r"events=(\d+).*?=(\d+), reconfig report=(\d+)", cross
+        )[0]
+        assert nums[0] == nums[1] == nums[2]
+
+
+class TestObservabilityCommands:
+    def test_record_then_trace(self, capsys, tmp_path):
+        rec = tmp_path / "run"
+        assert main(["migrate-demo", "--record", str(rec)]) == 0
+        capsys.readouterr()
+        assert (rec / "trace.jsonl").exists()
+        assert (rec / "metrics.prom").exists()
+        assert (rec / "metrics.json").exists()
+
+        assert main(["trace", str(rec)]) == 0
+        out = capsys.readouterr().out
+        assert "span tree:" in out
+        assert "migration @" in out
+        assert "timeline:" in out
+        assert "| smp" in out
+
+    def test_trace_tree_only(self, capsys, tmp_path):
+        rec = tmp_path / "run"
+        assert main(["table1", "--record", str(rec)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(rec), "--tree-only"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline:" not in out
+
+    def test_trace_missing_run(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "nope")]) == 1
+        assert "no recorded run" in capsys.readouterr().err
+
+    def test_trace_corrupt_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "run"}\ngarbage\n', encoding="utf-8")
+        assert main(["trace", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot replay" in err
+        assert "not valid JSON" in err
+
+    def test_metrics_wraps_command(self, capsys):
+        assert main(["metrics", "migrate-demo", "--scheme", "dynamic"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_smp_total counter" in out
+        assert "repro_migrations_total" in out
+        assert 'repro_vswitch_lft_smps{mode="copy"}' in out
+
+    def test_metrics_prints_recorded_run(self, capsys, tmp_path):
+        rec = tmp_path / "run"
+        assert main(["migrate-demo", "--record", str(rec)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(rec)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" in out
+
+    def test_metrics_rejects_unknown_target(self, capsys):
+        assert main(["metrics", "not-a-command"]) == 1
+        assert "neither" in capsys.readouterr().err
