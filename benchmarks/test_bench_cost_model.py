@@ -92,8 +92,12 @@ def test_equation5_destination_routing_ablation(benchmark):
 @pytest.mark.parametrize("window", [1, 2, 4, 8, 16])
 def test_pipelining_ablation(benchmark, window):
     """Section VI-B: OpenSM pipelines LFT updates; DES replay vs analytic."""
+    from repro.mad.transport import SmpTransport
+
     built = scaled_fattree("2l-wide")
-    sm = SubnetManager(built.topology, built=built)
+    # Per-SMP latency samples are opt-in (they are the replay's input).
+    transport = SmpTransport(built.topology, record_samples=True)
+    sm = SubnetManager(built.topology, built=built, transport=transport)
     sm.assign_lids()
     sm.compute_routing()
     report = sm.distribute()

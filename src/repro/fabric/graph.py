@@ -1,0 +1,227 @@
+"""Vectorized graph algorithms on the CSR switch-fabric view.
+
+This module is the neutral home of the BFS / equal-cost-candidate kernels
+shared by the routing engines (:mod:`repro.sm.routing`), the distance cache
+(:mod:`repro.sm.routing.cache`) and the SMP transport
+(:mod:`repro.mad.transport`). Everything here is written against the integer
+arrays of :class:`~repro.fabric.topology.SwitchFabricView`; no object-graph
+traversal happens in any hot loop.
+
+The repair predicates at the bottom are the heart of the incremental
+routing engine: after a link or switch failure they identify, from the
+*old* all-pairs distance matrix, exactly which BFS source trees can have
+changed — everything else is provably untouched and is reused as-is (see
+docs/PERFORMANCE.md for the argument).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.fabric.topology import SwitchFabricView
+
+__all__ = [
+    "bfs_distances",
+    "all_pairs_switch_distances",
+    "equal_cost_candidates",
+    "equal_cost_candidates_batch",
+    "edge_sources",
+    "link_failure_affected_sources",
+    "switch_removal_affected_sources",
+]
+
+#: Upper bound on the (edges x destinations) scratch matrix one batched
+#: candidate pass may allocate; larger requests are processed in chunks.
+_BATCH_CELL_BUDGET = 4_000_000
+
+
+def bfs_distances(view: SwitchFabricView, source: int) -> np.ndarray:
+    """Hop distances from *source* to every switch (frontier-vectorized BFS)."""
+    n = view.num_switches
+    dist = np.full(n, -1, dtype=np.int32)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    d = 0
+    while frontier.size:
+        starts = view.indptr[frontier]
+        ends = view.indptr[frontier + 1]
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Expand CSR slices: absolute edge indices for the whole frontier.
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        idx = np.repeat(starts, counts) + (np.arange(total) - offsets)
+        nbrs = view.peer[idx]
+        fresh = nbrs[dist[nbrs] < 0]
+        if fresh.size == 0:
+            break
+        d += 1
+        dist[fresh] = d
+        # Deduplicate the next frontier without a sort: every switch at
+        # distance d was just stamped, so select them by value.
+        frontier = np.flatnonzero(dist == d)
+    return dist
+
+
+def all_pairs_switch_distances(view: SwitchFabricView) -> np.ndarray:
+    """Dense (n x n) switch hop-distance matrix."""
+    n = view.num_switches
+    out = np.empty((n, n), dtype=np.int32)
+    for s in range(n):
+        out[s] = bfs_distances(view, s)
+    return out
+
+
+def edge_sources(view: SwitchFabricView) -> np.ndarray:
+    """Source switch index of every CSR edge (the implicit row index)."""
+    degrees = np.diff(view.indptr)
+    return np.repeat(np.arange(view.num_switches, dtype=np.int64), degrees)
+
+
+def equal_cost_candidates(
+    view: SwitchFabricView, dist_to_dest: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-switch minimal next-hop ports toward one destination switch.
+
+    Given the distance column ``dist_to_dest`` (hops from every switch to
+    the destination), returns ``(cand_ports, cand_counts)`` where row ``s``
+    of ``cand_ports`` holds the output ports of all neighbours one hop
+    closer to the destination (padded with -1) and ``cand_counts[s]`` how
+    many there are. The destination switch itself has zero candidates.
+
+    Fully vectorized over the CSR edge arrays.
+    """
+    n = view.num_switches
+    edge_src = edge_sources(view)
+    good = dist_to_dest[view.peer] == dist_to_dest[edge_src] - 1
+    good &= dist_to_dest[edge_src] > 0
+    idx = np.nonzero(good)[0]  # ascending => grouped by source switch
+    srcs = edge_src[idx]
+    counts = np.bincount(srcs, minlength=n)
+    maxc = int(counts.max()) if idx.size else 0
+    cand = np.full((n, max(maxc, 1)), -1, dtype=np.int32)
+    if idx.size:
+        first = np.cumsum(counts) - counts
+        pos = np.arange(idx.size) - first[srcs]
+        cand[srcs, pos] = view.out_port[idx]
+    return cand, counts.astype(np.int32)
+
+
+def equal_cost_candidates_batch(
+    view: SwitchFabricView, cols: np.ndarray
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Equal-cost candidates for many destinations in one CSR pass.
+
+    ``cols`` has shape ``(n, k)``: column ``j`` holds the hop distance of
+    every switch to destination ``j``. Returns one ``(cand, counts)`` pair
+    per column, identical to calling :func:`equal_cost_candidates` per
+    destination but with the edge comparisons and the candidate packing
+    batched over all destinations of a chunk (chunks bound peak memory to
+    roughly ``_BATCH_CELL_BUDGET`` cells).
+    """
+    n = view.num_switches
+    num_edges = int(view.peer.shape[0])
+    k = cols.shape[1]
+    edge_src = edge_sources(view)
+    out: List[Tuple[np.ndarray, np.ndarray]] = []
+    chunk = max(1, _BATCH_CELL_BUDGET // max(num_edges, 1))
+    for lo in range(0, k, chunk):
+        sub = cols[:, lo : lo + chunk]
+        c = sub.shape[1]
+        dist_src = sub[edge_src]  # (E, c)
+        good = (sub[view.peer] == dist_src - 1) & (dist_src > 0)
+        # Flat pack: nonzero over the transposed mask yields pairs sorted
+        # by (column, edge index); edge index ascending => grouped by
+        # source switch, so one bincount + cumsum places every candidate.
+        col_idx, eidx = np.nonzero(good.T)
+        srcs = edge_src[eidx]
+        key = col_idx * n + srcs
+        counts_flat = np.bincount(key, minlength=c * n)
+        counts2d = counts_flat.reshape(c, n)
+        maxc_per = counts2d.max(axis=1) if c else np.zeros(0, dtype=np.int64)
+        maxc = int(maxc_per.max()) if c else 0
+        cand3d = np.full((c, n, max(maxc, 1)), -1, dtype=np.int32)
+        if eidx.size:
+            first = np.cumsum(counts_flat) - counts_flat
+            pos = np.arange(eidx.size) - first[key]
+            cand3d[col_idx, srcs, pos] = view.out_port[eidx]
+        for j in range(c):
+            width = max(int(maxc_per[j]), 1) if c else 1
+            out.append(
+                (cand3d[j, :, :width].copy(), counts2d[j].astype(np.int32))
+            )
+    return out
+
+
+def link_failure_affected_sources(
+    dist: np.ndarray,
+    u: int,
+    v: int,
+    view: SwitchFabricView = None,
+) -> np.ndarray:
+    """Boolean mask of BFS sources whose tree may change when cable
+    ``(u, v)`` is removed.
+
+    In an unweighted graph the edge lies on *some* shortest path from
+    source ``s`` iff ``|dist[s, u] - dist[s, v]| == 1``; since the
+    endpoints were adjacent, the only alternative is equality, and then no
+    shortest path from ``s`` can use the cable — removing it cannot change
+    row ``s`` of the distance matrix. Without *view* that test is the
+    answer — conservative, and on bipartite fabrics (trees, fat-trees,
+    meshes) it marks *every* source, because adjacent switches always sit
+    at different-parity distances.
+
+    With *view* (the fabric **after** the removal, same switch indexing as
+    ``dist``) the mask is exact: distances from ``s`` change iff the lost
+    cable was the *unique* predecessor edge of its far end in ``s``'s BFS
+    DAG. Orient the cable ``a -> b`` so ``dist[s, a] + 1 == dist[s, b]``;
+    if some surviving neighbour ``x`` of ``b`` also has
+    ``dist[s, x] == dist[s, b] - 1``, every shortest path through the
+    cable can be re-routed ``s -> x -> b`` (the ``s -> x`` prefix cannot
+    itself cross the cable: its length is below ``dist[s, b]``), so row
+    ``s`` is provably unchanged.
+    """
+    du = dist[:, u]
+    dv = dist[:, v]
+    reach = (du >= 0) & (dv >= 0)
+    affected = reach & (du != dv)
+    if view is None or not affected.any():
+        return affected
+    safe = np.zeros(dist.shape[0], dtype=bool)
+    for a, b in ((u, v), (v, u)):
+        da = dist[:, a]
+        db = dist[:, b]
+        forward = reach & (da + 1 == db)
+        if not forward.any():
+            continue
+        lo, hi = int(view.indptr[b]), int(view.indptr[b + 1])
+        nbrs = view.peer[lo:hi]  # survivors only: the cable is gone
+        if nbrs.size == 0:
+            continue
+        alt = (dist[:, nbrs] == db[:, None] - 1).any(axis=1)
+        safe |= forward & alt
+    return affected & ~safe
+
+
+def switch_removal_affected_sources(dist: np.ndarray, w: int) -> np.ndarray:
+    """Boolean mask (old indexing, ``w`` included) of BFS sources whose
+    tree may change when switch ``w`` is removed.
+
+    Source ``s`` is affected iff some shortest path from ``s`` routes
+    *through* ``w``: there exists ``t != w`` with
+    ``dist[s, w] + dist[w, t] == dist[s, t]``. Sources that could not even
+    reach ``w`` are trivially unaffected.
+    """
+    n = dist.shape[0]
+    dw_col = dist[:, w]
+    dw_row = dist[w]
+    reach_s = dw_col >= 0
+    through = (dw_col[:, None] + dw_row[None, :]) == dist
+    through &= reach_s[:, None] & (dw_row >= 0)[None, :] & (dist >= 0)
+    through[:, w] = False
+    affected = through.any(axis=1) & reach_s
+    affected[w] = False
+    return affected

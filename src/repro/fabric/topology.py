@@ -75,6 +75,24 @@ class Topology:
         self._links: List[Link] = []
         self._lid_to_port: Dict[int, Port] = {}
         self._fabric_view: Optional[SwitchFabricView] = None
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic switch-graph version.
+
+        Bumped by every mutation that can change the switch-to-switch graph
+        (adding a switch, cabling two switches, removing a switch, or an
+        out-of-band :meth:`invalidate_fabric_view`). LID churn and HCA
+        cabling do NOT bump it — that is what lets the routing caches stay
+        warm across VM boot/stop/migration (see
+        :class:`repro.sm.routing.cache.RoutingState`).
+        """
+        return self._version
+
+    def _touch_switch_graph(self) -> None:
+        self._fabric_view = None
+        self._version += 1
 
     # -- construction -----------------------------------------------------
 
@@ -85,7 +103,7 @@ class Topology:
         sw.index = len(self._switches)
         self._switches.append(sw)
         self._nodes[name] = sw
-        self._fabric_view = None
+        self._touch_switch_graph()
         return sw
 
     def add_hca(self, name: str, num_ports: int = 1) -> HCA:
@@ -110,7 +128,11 @@ class Topology:
         node_a, node_b = self._resolve(a), self._resolve(b)
         link = Link(node_a.port(port_a), node_b.port(port_b), latency=latency)
         self._links.append(link)
-        self._fabric_view = None
+        if isinstance(node_a, Switch) and isinstance(node_b, Switch):
+            # Only switch-to-switch cables appear in the fabric view; HCA
+            # cabling (VM churn) leaves the switch graph — and hence every
+            # version-keyed routing cache — untouched.
+            self._touch_switch_graph()
         return link
 
     def auto_connect(self, a: Union[Node, str], b: Union[Node, str], **kw) -> Link:
@@ -154,7 +176,7 @@ class Topology:
         for idx, sw in enumerate(self._switches):
             sw.index = idx
         node.index = -1
-        self._fabric_view = None
+        self._touch_switch_graph()
         return node
 
     def _check_fresh_name(self, name: str) -> None:
@@ -261,8 +283,9 @@ class Topology:
 
     def invalidate_fabric_view(self) -> None:
         """Drop the cached view after an out-of-band mutation (e.g. a cable
-        failure disconnected through the Link object directly)."""
-        self._fabric_view = None
+        failure disconnected through the Link object directly). Also bumps
+        :attr:`version`, since the switch graph may have changed."""
+        self._touch_switch_graph()
 
     def _build_fabric_view(self) -> SwitchFabricView:
         n = len(self._switches)

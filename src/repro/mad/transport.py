@@ -16,13 +16,14 @@ pipelining (section VI-B: "In practice, pipelining is used by OpenSM").
 
 from __future__ import annotations
 
-from collections import Counter, deque
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.errors import TopologyError
+from repro.fabric.graph import bfs_distances
 from repro.fabric.node import HCA, Node, Switch
 from repro.fabric.topology import Topology
 from repro.mad.smp import Smp, SmpKind, SmpMethod, SmpResult
@@ -165,6 +166,13 @@ class SmpTransport:
         self.stats = TransportStats(record_samples=record_samples)
         self._sm_node = sm_node
         self._dist_cache: Optional[np.ndarray] = None
+        self._dist_version: int = -1
+        #: Duck-typed shared distance cache (anything with a
+        #: ``row(switch_index) -> np.ndarray`` method — in practice the
+        #: subnet manager's :class:`repro.sm.routing.cache.RoutingState`).
+        #: With one attached, the SM and the transport stop computing the
+        #: same BFS twice.
+        self._distance_source = None
 
     # -- SM attachment and hop distances ------------------------------------
 
@@ -183,6 +191,11 @@ class SmpTransport:
         self._sm_node = node
         self._dist_cache = None
 
+    def set_distance_source(self, source) -> None:
+        """Attach a shared distance cache (``row(index) -> distances``)."""
+        self._distance_source = source
+        self._dist_cache = None
+
     def invalidate_distances(self) -> None:
         """Drop the BFS cache after a topology mutation."""
         self._dist_cache = None
@@ -198,20 +211,16 @@ class SmpTransport:
         return up
 
     def _switch_distances(self) -> np.ndarray:
-        if self._dist_cache is None:
-            view = self.topology.fabric_view()
-            n = view.num_switches
-            dist = np.full(n, -1, dtype=np.int32)
+        version = self.topology.version
+        if self._dist_cache is None or self._dist_version != version:
             root = self._sm_root_switch().index
-            dist[root] = 0
-            q = deque([root])
-            while q:
-                cur = q.popleft()
-                for nb, _ in view.neighbors(cur):
-                    if dist[nb] < 0:
-                        dist[nb] = dist[cur] + 1
-                        q.append(nb)
-            self._dist_cache = dist
+            if self._distance_source is not None:
+                self._dist_cache = self._distance_source.row(root)
+            else:
+                self._dist_cache = bfs_distances(
+                    self.topology.fabric_view(), root
+                )
+            self._dist_version = version
         return self._dist_cache
 
     def hops_to(self, target: Node) -> int:

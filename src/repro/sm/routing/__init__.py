@@ -1,4 +1,5 @@
-"""Routing engines: MinHop, fat-tree, Up*/Down*, DFSSSP, LASH."""
+"""Routing engines: MinHop, fat-tree, Up*/Down*, DFSSSP, LASH — plus the
+versioned routing-state cache that makes repeat computations incremental."""
 
 from repro.sm.routing.base import (
     RoutingAlgorithm,
@@ -7,7 +8,9 @@ from repro.sm.routing.base import (
     all_pairs_switch_distances,
     bfs_distances,
     equal_cost_candidates,
+    equal_cost_candidates_batch,
 )
+from repro.sm.routing.cache import RoutingCacheStats, RoutingState
 from repro.sm.routing.dfsssp import DFSSSPRouting
 from repro.sm.routing.dor import DimensionOrderedRouting
 from repro.sm.routing.fattree import FatTreeRouting
@@ -23,6 +26,9 @@ __all__ = [
     "bfs_distances",
     "all_pairs_switch_distances",
     "equal_cost_candidates",
+    "equal_cost_candidates_batch",
+    "RoutingState",
+    "RoutingCacheStats",
     "MinHopRouting",
     "FatTreeRouting",
     "UpDownRouting",

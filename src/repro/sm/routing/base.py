@@ -21,7 +21,14 @@ import numpy as np
 
 from repro.constants import LFT_UNSET
 from repro.errors import RoutingError, UnreachableLidError
+from repro.fabric.graph import (
+    all_pairs_switch_distances,
+    bfs_distances,
+    equal_cost_candidates,
+    equal_cost_candidates_batch,
+)
 from repro.fabric.topology import SwitchFabricView, Terminal, Topology
+from repro.sm.routing.cache import RoutingState
 
 __all__ = [
     "RoutingRequest",
@@ -30,6 +37,7 @@ __all__ = [
     "bfs_distances",
     "all_pairs_switch_distances",
     "equal_cost_candidates",
+    "equal_cost_candidates_batch",
 ]
 
 
@@ -51,6 +59,20 @@ class RoutingRequest:
     root_indices: List[int] = field(default_factory=list)
     #: Builder parameters (e.g. mesh rows/cols) for structure-aware engines.
     hints: Dict[str, int] = field(default_factory=dict)
+    #: Shared :class:`~repro.sm.routing.cache.RoutingState`; engines route
+    #: all BFS/candidate work through it so repeated computations on an
+    #: unchanged switch graph cost zero sweeps. ``None`` falls back to
+    #: direct (still batched/vectorized) computation.
+    state: Optional[RoutingState] = field(default=None, repr=False)
+    _terminal_map: Optional[Dict[Tuple[int, int], frozenset]] = field(
+        default=None, repr=False, compare=False
+    )
+    _terminal_arrays: Optional[Tuple[np.ndarray, ...]] = field(
+        default=None, repr=False, compare=False
+    )
+    _port_maps: Optional[Tuple[dict, dict]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def from_topology(
@@ -58,6 +80,7 @@ class RoutingRequest:
         topology: Topology,
         *,
         built: Optional[object] = None,
+        state: Optional[RoutingState] = None,
     ) -> "RoutingRequest":
         """Snapshot *topology* into a request.
 
@@ -90,6 +113,7 @@ class RoutingRequest:
             level=level,
             root_indices=roots,
             hints=hints,
+            state=state,
         )
 
     @property
@@ -108,6 +132,109 @@ class RoutingRequest:
         for t in self.terminals:
             groups.setdefault(t.switch_index, []).append(t)
         return groups
+
+    def dest_groups(self) -> Dict[int, List[int]]:
+        """Destination switch index -> every LID terminating there.
+
+        Covers endpoint terminals and switch self-LIDs — the grouping every
+        destination-routed engine iterates.
+        """
+        groups: Dict[int, List[int]] = {}
+        for t in self.terminals:
+            groups.setdefault(t.switch_index, []).append(t.lid)
+        for lid, sw in self.switch_lids.items():
+            groups.setdefault(sw, []).append(lid)
+        return groups
+
+    # -- shared-cache accessors (fall back to direct computation) -----------
+
+    def switch_distances(self) -> np.ndarray:
+        """All-pairs switch distances, via the shared cache when attached."""
+        if self.state is not None:
+            return self.state.distances()
+        return all_pairs_switch_distances(self.view)
+
+    def bfs_row(self, source: int) -> np.ndarray:
+        """Distances from one switch, via the shared cache when attached."""
+        if self.state is not None:
+            return self.state.row(source)
+        return bfs_distances(self.view, source)
+
+    def candidates(self, dest: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Equal-cost candidates toward one destination switch."""
+        if self.state is not None:
+            return self.state.candidates(dest)
+        return equal_cost_candidates(self.view, self.bfs_row(dest))
+
+    def prefetch_candidates(
+        self, dests: List[int]
+    ) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+        """Candidate arrays for many destinations in one batched CSR pass."""
+        if self.state is not None:
+            return self.state.prefetch_candidates(dests)
+        dist = self.switch_distances()
+        pairs = equal_cost_candidates_batch(self.view, dist[:, dests].copy())
+        return dict(zip(dests, pairs))
+
+    # -- cached lookup structures -------------------------------------------
+
+    def terminal_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(lids, switch_indices, switch_ports)`` of every terminal."""
+        if self._terminal_arrays is None:
+            lids = np.fromiter(
+                (t.lid for t in self.terminals), dtype=np.int64,
+                count=len(self.terminals),
+            )
+            sws = np.fromiter(
+                (t.switch_index for t in self.terminals), dtype=np.int64,
+                count=len(self.terminals),
+            )
+            prts = np.fromiter(
+                (t.switch_port for t in self.terminals), dtype=np.int16,
+                count=len(self.terminals),
+            )
+            self._terminal_arrays = (lids, sws, prts)
+        return self._terminal_arrays
+
+    def terminal_map(self) -> Dict[Tuple[int, int], frozenset]:
+        """``(switch_index, switch_port) -> {LIDs delivered there}``.
+
+        Built once per request — ``trace_path``/``validate`` call it per
+        hop, and rebuilding it per call made validation quadratic in the
+        number of terminals on large fabrics.
+        """
+        if self._terminal_map is None:
+            acc: Dict[Tuple[int, int], set] = {}
+            for t in self.terminals:
+                acc.setdefault((t.switch_index, t.switch_port), set()).add(
+                    t.lid
+                )
+            self._terminal_map = {
+                key: frozenset(lids) for key, lids in acc.items()
+            }
+        return self._terminal_map
+
+    def port_maps(self) -> Tuple[dict, dict]:
+        """``(port_to_neighbor, neighbor_via_port)`` dicts for this view.
+
+        Delegates to the shared cache only while the topology still serves
+        the exact view this request snapshot — a request may be traced long
+        after later mutations, and must keep describing *its* graph.
+        """
+        if (
+            self.state is not None
+            and getattr(self.state.topology, "_fabric_view", None) is self.view
+        ):
+            return self.state.port_maps()
+        if self._port_maps is None:
+            fwd: dict = {}
+            rev: dict = {}
+            for s in range(self.num_switches):
+                for nb, out in self.view.neighbors(s):
+                    fwd[(s, nb)] = out
+                    rev[(s, out)] = nb
+            self._port_maps = (fwd, rev)
+        return self._port_maps
 
 
 @dataclass
@@ -156,11 +283,10 @@ class RoutingTables:
         entries and :class:`RoutingError` on loops. Used by the reference
         validity checker and the skyline analysis.
         """
-        # Map (switch, out_port) -> neighbour switch.
-        view = request.view
-        term_at = {
-            (t.switch_index, t.switch_port): t.lid for t in request.terminals
-        }
+        # Both lookup maps are built once per request and shared across
+        # every traced path (validate() traces n * LIDs of them).
+        term_at = request.terminal_map()
+        _, neighbor_via_port = request.port_maps()
         dest_switch = request.switch_lids.get(dest_lid)
         path = [src_switch]
         cur = src_switch
@@ -174,25 +300,16 @@ class RoutingTables:
                 )
             if out == 0 and dest_switch == cur:
                 return path
-            if term_at.get((cur, out)) is not None:
+            lids_here = term_at.get((cur, out))
+            if lids_here is not None:
                 # Delivered off the fabric; verify it is the right endpoint.
-                lids_here = {
-                    t.lid
-                    for t in request.terminals
-                    if (t.switch_index, t.switch_port) == (cur, out)
-                }
                 if dest_lid in lids_here:
                     return path
                 raise RoutingError(
                     f"LID {dest_lid} delivered to wrong endpoint at switch"
                     f" {cur} port {out}"
                 )
-            nxt = None
-            lo, hi = view.indptr[cur], view.indptr[cur + 1]
-            for k in range(lo, hi):
-                if int(view.out_port[k]) == out:
-                    nxt = int(view.peer[k])
-                    break
+            nxt = neighbor_via_port.get((cur, out))
             if nxt is None:
                 raise RoutingError(
                     f"switch {cur} port {out} for LID {dest_lid} leads nowhere"
@@ -246,76 +363,22 @@ class RoutingAlgorithm(abc.ABC):
 
         Terminal LIDs exit at their attachment ports on their own leaf
         switch; a switch's own LID maps to port 0 (the management port).
+        One fancy-indexed scatter per class of entry.
         """
-        for t in request.terminals:
-            ports[t.switch_index, t.lid] = t.switch_port
-        for lid, sw in request.switch_lids.items():
-            ports[sw, lid] = 0
+        lids, sws, prts = request.terminal_arrays()
+        ports[sws, lids] = prts
+        if request.switch_lids:
+            sl = np.fromiter(
+                request.switch_lids, dtype=np.int64,
+                count=len(request.switch_lids),
+            )
+            si = np.fromiter(
+                request.switch_lids.values(), dtype=np.int64,
+                count=len(request.switch_lids),
+            )
+            ports[si, sl] = 0
 
 
-def bfs_distances(view: SwitchFabricView, source: int) -> np.ndarray:
-    """Hop distances from *source* to every switch (frontier-vectorized BFS)."""
-    n = view.num_switches
-    dist = np.full(n, -1, dtype=np.int32)
-    dist[source] = 0
-    frontier = np.array([source], dtype=np.int64)
-    d = 0
-    while frontier.size:
-        starts = view.indptr[frontier]
-        ends = view.indptr[frontier + 1]
-        counts = ends - starts
-        total = int(counts.sum())
-        if total == 0:
-            break
-        # Expand CSR slices: absolute edge indices for the whole frontier.
-        offsets = np.repeat(np.cumsum(counts) - counts, counts)
-        idx = np.repeat(starts, counts) + (np.arange(total) - offsets)
-        nbrs = view.peer[idx]
-        fresh = nbrs[dist[nbrs] < 0]
-        if fresh.size == 0:
-            break
-        d += 1
-        dist[fresh] = d
-        # Deduplicate the next frontier without a sort: every switch at
-        # distance d was just stamped, so select them by value.
-        frontier = np.flatnonzero(dist == d)
-    return dist
-
-
-def all_pairs_switch_distances(view: SwitchFabricView) -> np.ndarray:
-    """Dense (n x n) switch hop-distance matrix."""
-    n = view.num_switches
-    out = np.empty((n, n), dtype=np.int32)
-    for s in range(n):
-        out[s] = bfs_distances(view, s)
-    return out
-
-
-def equal_cost_candidates(
-    view: SwitchFabricView, dist_to_dest: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Per-switch minimal next-hop ports toward one destination switch.
-
-    Given the distance column ``dist_to_dest`` (hops from every switch to
-    the destination), returns ``(cand_ports, cand_counts)`` where row ``s``
-    of ``cand_ports`` holds the output ports of all neighbours one hop
-    closer to the destination (padded with -1) and ``cand_counts[s]`` how
-    many there are. The destination switch itself has zero candidates.
-
-    Fully vectorized over the CSR edge arrays.
-    """
-    n = view.num_switches
-    degrees = np.diff(view.indptr)
-    edge_src = np.repeat(np.arange(n, dtype=np.int64), degrees)
-    good = dist_to_dest[view.peer] == dist_to_dest[edge_src] - 1
-    good &= dist_to_dest[edge_src] > 0
-    idx = np.nonzero(good)[0]  # ascending => grouped by source switch
-    srcs = edge_src[idx]
-    counts = np.bincount(srcs, minlength=n)
-    maxc = int(counts.max()) if idx.size else 0
-    cand = np.full((n, max(maxc, 1)), -1, dtype=np.int32)
-    if idx.size:
-        first = np.cumsum(counts) - counts
-        pos = np.arange(idx.size) - first[srcs]
-        cand[srcs, pos] = view.out_port[idx]
-    return cand, counts.astype(np.int32)
+# bfs_distances / all_pairs_switch_distances / equal_cost_candidates /
+# equal_cost_candidates_batch live in repro.fabric.graph (shared with the
+# SMP transport and the routing cache) and are re-exported above.

@@ -1,0 +1,348 @@
+"""The versioned routing-state cache and incremental BFS repair.
+
+The paper's Fig. 7 argument is that reconfiguration cost is dominated by
+path computation (PCt): every ``compute_routing`` re-ran an O(n * E) BFS
+sweep even when nothing about the *switch graph* had changed (VM churn,
+migrations, incremental reroutes). :class:`RoutingState` removes that cost:
+
+* **versioned caching** — the all-pairs switch distance matrix, single BFS
+  rows, per-destination equal-cost candidate arrays and the port lookup
+  maps are all keyed by :attr:`repro.fabric.topology.Topology.version`,
+  which only switch-graph mutations bump. On an unchanged graph a repeat
+  ``compute_routing`` performs **zero** BFS sweeps.
+
+* **incremental repair** — after a link or switch failure the subnet
+  manager records a :class:`RepairEvent`; on the next access the cache
+  recomputes only the BFS source trees whose shortest paths could have
+  used the failed element (see
+  :func:`repro.fabric.graph.link_failure_affected_sources` /
+  :func:`~repro.fabric.graph.switch_removal_affected_sources`) instead of
+  all ``n`` sources. Repaired matrices are *exactly* equal to a
+  from-scratch recomputation, so the routing tables built from them are
+  byte-identical — the property-based tests assert this.
+
+All activity is counted in :class:`RoutingCacheStats`; the subnet manager
+exposes the counters as ``repro_routing_cache_*`` metrics and span
+attributes so PCt savings are observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fabric.graph import (
+    all_pairs_switch_distances,
+    bfs_distances,
+    edge_sources,
+    equal_cost_candidates,
+    equal_cost_candidates_batch,
+    link_failure_affected_sources,
+    switch_removal_affected_sources,
+)
+from repro.fabric.topology import Topology
+
+__all__ = ["RoutingCacheStats", "RepairEvent", "RoutingState"]
+
+#: Above this switch count, per-destination candidate arrays are computed
+#: transiently (still batched) instead of being kept in the cache, bounding
+#: the cache's memory to O(n^2) at paper scale.
+DEFAULT_CANDIDATE_CACHE_LIMIT = 512
+
+
+@dataclass
+class RoutingCacheStats:
+    """Monotonic event counters for one :class:`RoutingState`."""
+
+    #: Distance-matrix requests served from cache (incl. right after repair).
+    hits: int = 0
+    #: Distance-matrix requests that forced a full O(n * E) recompute.
+    misses: int = 0
+    #: Incremental repairs applied (one per sync that consumed events).
+    repairs: int = 0
+    #: Single-source BFS sweeps actually executed, from any code path.
+    bfs_sweeps: int = 0
+    #: BFS source trees recomputed by incremental repair (subset of sweeps).
+    sources_repaired: int = 0
+    #: Full matrix recomputations (same events as ``misses``).
+    full_recomputes: int = 0
+    #: Candidate-array requests served from cache.
+    candidate_hits: int = 0
+    #: Candidate-array requests that had to be (re)computed.
+    candidate_misses: int = 0
+
+    def snapshot(self) -> "RoutingCacheStats":
+        """A frozen copy for before/after diffing."""
+        return RoutingCacheStats(**vars(self))
+
+    def delta_since(self, before: "RoutingCacheStats") -> Dict[str, int]:
+        """Counter increments since *before* was snapshot."""
+        now = vars(self)
+        return {k: now[k] - v for k, v in vars(before).items()}
+
+
+class RepairEvent(NamedTuple):
+    """One recorded topology mutation the cache can repair around.
+
+    ``version`` is the topology version *after* the mutation. ``a``/``b``
+    are switch indices in the frame right before the mutation: the cable's
+    endpoints for ``kind == "link"``, the removed switch (and -1) for
+    ``kind == "switch"``. ``kind == "noop"`` advances the version chain
+    without touching distances (e.g. an HCA cable failure handled through
+    the same SM path).
+    """
+
+    kind: str
+    a: int
+    b: int
+    version: int
+
+
+class RoutingState:
+    """Version-keyed routing caches for one topology.
+
+    One instance is shared by the subnet manager (all-pairs distances and
+    candidate arrays for the routing engines) and the SMP transport (the
+    single BFS row from the SM's root switch). Every public accessor first
+    synchronizes with ``topology.version``: unchanged -> serve cached
+    arrays; a chain of recorded :class:`RepairEvent`\\ s -> incremental
+    repair; anything else -> drop and recompute lazily.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        candidate_cache_limit: int = DEFAULT_CANDIDATE_CACHE_LIMIT,
+    ) -> None:
+        self.topology = topology
+        self.stats = RoutingCacheStats()
+        self.candidate_cache_limit = candidate_cache_limit
+        self._version = -1
+        self._pending: List[RepairEvent] = []
+        self._dist: Optional[np.ndarray] = None
+        self._rows: Dict[int, np.ndarray] = {}
+        self._cand: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._port_maps: Optional[Tuple[dict, dict]] = None
+
+    # -- failure notifications ------------------------------------------------
+
+    def note_link_failure(self, u: int, v: int) -> None:
+        """Record a removed inter-switch cable (indices of its endpoints).
+
+        Must be called right after the mutation bumped ``topology.version``.
+        Pass a negative index for a non-switch endpoint; the event then
+        degrades to a no-op version advance (the switch graph is unchanged
+        by an HCA cable failure).
+        """
+        if u < 0 or v < 0:
+            self._pending.append(
+                RepairEvent("noop", -1, -1, self.topology.version)
+            )
+        else:
+            self._pending.append(
+                RepairEvent("link", u, v, self.topology.version)
+            )
+
+    def note_switch_removal(self, w: int) -> None:
+        """Record a removed switch (its dense index *before* removal)."""
+        self._pending.append(RepairEvent("switch", w, -1, self.topology.version))
+
+    # -- cached accessors -------------------------------------------------------
+
+    def distances(self) -> np.ndarray:
+        """All-pairs switch hop distances, repaired or recomputed as needed."""
+        self._sync()
+        if self._dist is None:
+            view = self.topology.fabric_view()
+            self._dist = all_pairs_switch_distances(view)
+            self.stats.bfs_sweeps += view.num_switches
+            self.stats.misses += 1
+            self.stats.full_recomputes += 1
+        else:
+            self.stats.hits += 1
+        return self._dist
+
+    def row(self, source: int) -> np.ndarray:
+        """Hop distances from one switch (a single row of the matrix).
+
+        Served from the full matrix when present, else from the per-row
+        cache, else by one BFS sweep (which is then cached).
+        """
+        self._sync()
+        if self._dist is not None:
+            self.stats.hits += 1
+            return self._dist[source]
+        cached = self._rows.get(source)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        row = bfs_distances(self.topology.fabric_view(), source)
+        self.stats.bfs_sweeps += 1
+        self.stats.misses += 1
+        self._rows[source] = row
+        return row
+
+    def candidates(self, dest: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Equal-cost candidate ports toward one destination switch."""
+        self._sync()
+        hit = self._cand.get(dest)
+        if hit is not None:
+            self.stats.candidate_hits += 1
+            return hit
+        self.stats.candidate_misses += 1
+        pair = equal_cost_candidates(
+            self.topology.fabric_view(), self.row(dest)
+        )
+        if self._cacheable():
+            self._cand[dest] = pair
+        return pair
+
+    def prefetch_candidates(
+        self, dests: Sequence[int]
+    ) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+        """Candidate arrays for many destinations, batched in one CSR pass."""
+        self._sync()
+        out: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        missing: List[int] = []
+        for d in dests:
+            hit = self._cand.get(d)
+            if hit is not None:
+                self.stats.candidate_hits += 1
+                out[d] = hit
+            else:
+                missing.append(d)
+        if missing:
+            self.stats.candidate_misses += len(missing)
+            dist = self.distances()
+            cols = dist[:, missing].copy()
+            pairs = equal_cost_candidates_batch(
+                self.topology.fabric_view(), cols
+            )
+            cache = self._cacheable()
+            for d, pair in zip(missing, pairs):
+                out[d] = pair
+                if cache:
+                    self._cand[d] = pair
+        return out
+
+    def port_maps(self) -> Tuple[dict, dict]:
+        """``(port_to_neighbor, neighbor_via_port)`` lookup dicts.
+
+        ``port_to_neighbor[(s, peer)]`` is the output port on ``s`` toward
+        adjacent switch ``peer``; ``neighbor_via_port[(s, port)]`` is the
+        switch reached through that port. Shared by DOR (forward lookup)
+        and ``RoutingTables.trace_path`` (reverse lookup).
+        """
+        self._sync()
+        if self._port_maps is None:
+            view = self.topology.fabric_view()
+            srcs = edge_sources(view)
+            fwd: dict = {}
+            rev: dict = {}
+            for s, peer, port in zip(
+                srcs.tolist(), view.peer.tolist(), view.out_port.tolist()
+            ):
+                fwd[(s, peer)] = port
+                rev[(s, port)] = peer
+            self._port_maps = (fwd, rev)
+        return self._port_maps
+
+    # -- synchronization --------------------------------------------------------
+
+    def _cacheable(self) -> bool:
+        return self.topology.num_switches <= self.candidate_cache_limit
+
+    def _drop_derived(self) -> None:
+        self._rows.clear()
+        self._cand.clear()
+        self._port_maps = None
+
+    def _invalidate(self) -> None:
+        self._dist = None
+        self._drop_derived()
+
+    def _sync(self) -> None:
+        v = self.topology.version
+        if v == self._version:
+            return
+        events, self._pending = self._pending, []
+        self._drop_derived()
+        if self._dist is None:
+            self._version = v
+            return
+        if not self._try_repair(events, v):
+            self._invalidate()
+        self._version = v
+
+    def _try_repair(self, events: List[RepairEvent], target: int) -> bool:
+        """Apply *events* to the cached matrix; False forces a recompute.
+
+        Events must form an unbroken ``version`` chain from the cached
+        version to *target* — any interleaved unrecorded mutation breaks
+        the chain and the incremental path is abandoned.
+
+        Affected-source sets are unioned first and the BFS sweeps run once
+        at the end against the final fabric view. That is sound because a
+        row left out of the union is (inductively) already correct at each
+        event's frame, so every per-event affectedness test reads accurate
+        distances for exactly the rows it gets to decide about. The one
+        case where a test would read stale data — removing a switch whose
+        own row is already dirty — conservatively bails to a full
+        recompute.
+        """
+        cur = self._version
+        expected = [cur + i + 1 for i in range(len(events))]
+        if [e.version for e in events] != expected or (
+            not events or events[-1].version != target
+        ):
+            return False
+        assert self._dist is not None
+        # Copy-on-write: previously returned matrices (engines keep one in
+        # RoutingTables.metadata) must stay frozen snapshots.
+        dist = self._dist.copy()
+        affected = np.zeros(dist.shape[0], dtype=bool)
+        view = self.topology.fabric_view()
+        # Link events can use the exact unique-predecessor refinement only
+        # while their frame's switch indexing matches the final view — i.e.
+        # once every deletion of the chain has been applied.
+        last_switch = max(
+            (i for i, e in enumerate(events) if e.kind == "switch"),
+            default=-1,
+        )
+        for i, ev in enumerate(events):
+            if ev.kind == "noop":
+                continue
+            if ev.kind == "link":
+                refine = (
+                    view
+                    if i > last_switch
+                    and dist.shape[0] == view.num_switches
+                    else None
+                )
+                affected |= link_failure_affected_sources(
+                    dist, ev.a, ev.b, view=refine
+                )
+            elif ev.kind == "switch":
+                w = ev.a
+                if not 0 <= w < dist.shape[0] or affected[w]:
+                    # Row w is stale (or the index is off): the
+                    # through-w test would be unreliable.
+                    return False
+                affected |= switch_removal_affected_sources(dist, w)
+                dist = np.delete(np.delete(dist, w, axis=0), w, axis=1)
+                affected = np.delete(affected, w)
+            else:  # pragma: no cover - future event kinds
+                return False
+        if dist.shape[0] != view.num_switches:
+            return False
+        srcs = np.flatnonzero(affected)
+        for s in srcs:
+            dist[s] = bfs_distances(view, int(s))
+        self._dist = dist
+        self.stats.bfs_sweeps += len(srcs)
+        self.stats.sources_repaired += len(srcs)
+        self.stats.repairs += 1
+        return True

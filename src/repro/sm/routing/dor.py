@@ -14,7 +14,9 @@ dimensions from the builder hints carried in the routing request.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import RoutingError
 from repro.sm.routing.base import (
@@ -42,42 +44,41 @@ class DimensionOrderedRouting(RoutingAlgorithm):
         if torus and not wraps:
             raise RoutingError("torus mode requested on a mesh")
 
-        # (switch, neighbour) -> out port, from the CSR view.
-        port_to: Dict[Tuple[int, int], int] = {}
-        view = request.view
-        for s in range(request.num_switches):
-            for nb, out in view.neighbors(s):
-                port_to[(s, nb)] = out
-        index_of = {rc: idx for idx, rc in coords.items()}
-
         ports = self._empty_tables(request)
         self._program_local_entries(ports, request)
 
-        dests: List[Tuple[int, int]] = [
-            (t.lid, t.switch_index) for t in request.terminals
-        ] + list((lid, sw) for lid, sw in request.switch_lids.items())
+        n = request.num_switches
+        view = request.view
+        # Dense (switch, neighbour) -> out-port lookup straight from the
+        # CSR arrays; -1 marks "no cable".
+        degrees = np.diff(view.indptr)
+        srcs = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        port_matrix = np.full((n, n), -1, dtype=np.int32)
+        port_matrix[srcs, view.peer] = view.out_port
 
-        for lid, dest_sw in dests:
+        idx = np.arange(n, dtype=np.int64)
+        r_all = idx // cols
+        c_all = idx % cols
+
+        # One vectorized next-hop column per destination switch; all LIDs
+        # terminating there land in a single 2D scatter.
+        for dest_sw, lids in request.dest_groups().items():
             dr, dc = coords[dest_sw]
-            for s in range(request.num_switches):
-                if s == dest_sw:
-                    continue
-                r, c = coords[s]
-                if c != dc:
-                    nc = self._step(c, dc, cols, torus)
-                    nxt = index_of[(r, nc)]
-                elif r != dr:
-                    nr = self._step(r, dr, rows, torus)
-                    nxt = index_of[(nr, c)]
-                else:  # pragma: no cover - unreachable (s == dest handled)
-                    continue
-                try:
-                    ports[s, lid] = port_to[(s, nxt)]
-                except KeyError:
-                    raise RoutingError(
-                        f"no cable from {coords[s]} toward {coords[nxt]};"
-                        " not a full mesh/torus"
-                    ) from None
+            nc = self._step_vec(c_all, dc, cols, torus)
+            nr = self._step_vec(r_all, dr, rows, torus)
+            move_x = c_all != dc
+            nxt = np.where(move_x, r_all * cols + nc, nr * cols + c_all)
+            sel = idx != dest_sw
+            out_col = port_matrix[idx, nxt]
+            bad = sel & (out_col < 0)
+            if bad.any():
+                s = int(np.flatnonzero(bad)[0])
+                raise RoutingError(
+                    f"no cable from {coords[s]} toward"
+                    f" {coords[int(nxt[s])]}; not a full mesh/torus"
+                )
+            lid_arr = np.asarray(lids, dtype=np.int64)
+            ports[np.ix_(idx[sel], lid_arr)] = out_col[sel][:, None]
         return RoutingTables(
             algorithm=self.name,
             ports=ports,
@@ -94,6 +95,17 @@ class DimensionOrderedRouting(RoutingAlgorithm):
         if forward <= backward:
             return (cur + 1) % size
         return (cur - 1) % size
+
+    @staticmethod
+    def _step_vec(
+        cur: np.ndarray, dest: int, size: int, torus: bool
+    ) -> np.ndarray:
+        """Vectorized :meth:`_step` over a coordinate array."""
+        if not torus:
+            return np.where(dest > cur, cur + 1, cur - 1)
+        forward = (dest - cur) % size
+        backward = (cur - dest) % size
+        return np.where(forward <= backward, (cur + 1) % size, (cur - 1) % size)
 
     def _coordinates(
         self, request: RoutingRequest

@@ -25,8 +25,6 @@ from repro.sm.routing.base import (
     RoutingAlgorithm,
     RoutingRequest,
     RoutingTables,
-    bfs_distances,
-    equal_cost_candidates,
 )
 
 __all__ = ["FatTreeRouting"]
@@ -114,17 +112,20 @@ class FatTreeRouting(RoutingAlgorithm):
 
         # Upper-level switch self-LIDs: equal-cost BFS columns (management
         # traffic is not bandwidth critical). Only aggregation/core switches
-        # need a BFS — this is where ftree undercuts MinHop's all-pairs.
+        # need a BFS — this is where ftree undercuts MinHop's all-pairs —
+        # and both the BFS row and the candidate arrays come from the
+        # shared cache when one is attached.
         for dest_sw, lids in upper_switch_lids.items():
-            dist = bfs_distances(view, dest_sw)
+            dist = request.bfs_row(dest_sw)
             if (dist < 0).any():
                 raise RoutingError("switch graph is disconnected")
-            cand, counts = equal_cost_candidates(view, dist)
+            cand, counts = request.candidates(dest_sw)
             mask = counts > 0
             sel = rows[mask]
             cnt = counts[mask]
-            for lid in lids:
-                ports[sel, lid] = cand[sel, lid % cnt]
+            lid_arr = np.asarray(lids, dtype=np.int64)
+            pick = lid_arr[None, :] % cnt[:, None]
+            ports[np.ix_(sel, lid_arr)] = cand[sel[:, None], pick]
 
         return RoutingTables(
             algorithm=self.name,

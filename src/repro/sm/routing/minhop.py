@@ -27,8 +27,6 @@ from repro.sm.routing.base import (
     RoutingAlgorithm,
     RoutingRequest,
     RoutingTables,
-    all_pairs_switch_distances,
-    equal_cost_candidates,
 )
 
 __all__ = ["MinHopRouting"]
@@ -45,7 +43,10 @@ class MinHopRouting(RoutingAlgorithm):
         self.balance = balance
 
     def compute(self, request: RoutingRequest) -> RoutingTables:
-        dist = all_pairs_switch_distances(request.view)
+        # All-pairs distances come from the shared RoutingState when the
+        # request carries one: a warm cache turns the O(n * E) sweep into a
+        # dictionary hit, and after failures only the repaired rows differ.
+        dist = request.switch_distances()
         if (dist < 0).any():
             raise RoutingError("switch graph is disconnected")
         ports = self._empty_tables(request)
@@ -53,11 +54,7 @@ class MinHopRouting(RoutingAlgorithm):
 
         # Destination switch index -> LIDs that terminate there (or at an
         # endpoint hanging off it).
-        dest_groups: Dict[int, List[int]] = {}
-        for t in request.terminals:
-            dest_groups.setdefault(t.switch_index, []).append(t.lid)
-        for lid, sw in request.switch_lids.items():
-            dest_groups.setdefault(sw, []).append(lid)
+        dest_groups = request.dest_groups()
 
         if self.balance == "lid-mod":
             self._assign_lid_mod(request, dist, ports, dest_groups)
@@ -79,13 +76,18 @@ class MinHopRouting(RoutingAlgorithm):
     ) -> None:
         n = request.num_switches
         rows = np.arange(n)
+        # One batched CSR pass produces every destination's candidate
+        # arrays; the per-destination fill is a single 2D fancy-indexed
+        # scatter over all of its LIDs (no scalar LID loop).
+        cand_map = request.prefetch_candidates(sorted(dest_groups))
         for dest_sw, lids in dest_groups.items():
-            cand, counts = equal_cost_candidates(request.view, dist[:, dest_sw])
+            cand, counts = cand_map[dest_sw]
             mask = counts > 0
             sel_rows = rows[mask]
             sel_counts = counts[mask]
-            for lid in lids:
-                ports[sel_rows, lid] = cand[sel_rows, lid % sel_counts]
+            lid_arr = np.asarray(lids, dtype=np.int64)
+            sel = lid_arr[None, :] % sel_counts[:, None]
+            ports[np.ix_(sel_rows, lid_arr)] = cand[sel_rows[:, None], sel]
 
     def _assign_least_loaded(
         self,

@@ -12,7 +12,7 @@ engine as the known-good baseline.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -21,7 +21,6 @@ from repro.sm.routing.base import (
     RoutingAlgorithm,
     RoutingRequest,
     RoutingTables,
-    bfs_distances,
 )
 
 __all__ = ["UpDownRouting"]
@@ -41,7 +40,9 @@ class UpDownRouting(RoutingAlgorithm):
         view = request.view
         n = request.num_switches
         root = self._pick_root(request)
-        rank = bfs_distances(view, root)
+        # The BFS ranking comes from the shared distance cache when one is
+        # attached (zero sweeps on a warm cache).
+        rank = request.bfs_row(root)
         if (rank < 0).any():
             raise RoutingError("switch graph is disconnected")
 
@@ -52,20 +53,25 @@ class UpDownRouting(RoutingAlgorithm):
         key = rank.astype(np.int64) * n + np.arange(n)
 
         # Destination switch -> LIDs terminating there.
-        dest_groups: Dict[int, List[int]] = {}
-        for t in request.terminals:
-            dest_groups.setdefault(t.switch_index, []).append(t.lid)
-        for lid, sw in request.switch_lids.items():
-            dest_groups.setdefault(sw, []).append(lid)
+        dest_groups = request.dest_groups()
 
+        rows = np.arange(n)
         order_up = np.argsort(key)  # root-most first: the up-move DAG order
         for dest_sw, lids in dest_groups.items():
             cand, counts = self._legal_candidates(view, key, order_up, dest_sw)
-            for lid in lids:
-                for s in range(n):
-                    c = counts[s]
-                    if c > 0:
-                        ports[s, lid] = cand[s][lid % c]
+            # Pad the per-switch candidate lists into a matrix so all of
+            # this destination's LIDs land in one fancy-indexed scatter.
+            maxc = int(counts.max()) if n else 0
+            cand_mat = np.full((n, max(maxc, 1)), -1, dtype=np.int32)
+            for s, lst in enumerate(cand):
+                if lst:
+                    cand_mat[s, : len(lst)] = lst
+            mask = counts > 0
+            sel_rows = rows[mask]
+            sel_counts = counts[mask]
+            lid_arr = np.asarray(lids, dtype=np.int64)
+            sel = lid_arr[None, :] % sel_counts[:, None]
+            ports[np.ix_(sel_rows, lid_arr)] = cand_mat[sel_rows[:, None], sel]
 
         return RoutingTables(
             algorithm=self.name,

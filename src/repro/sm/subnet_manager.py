@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
 from repro.errors import RoutingError
+from repro.fabric.node import Switch
 from repro.fabric.topology import Topology
 from repro.mad.transport import SmpTransport
 from repro.obs.hub import get_hub, span
@@ -24,6 +25,7 @@ from repro.sm.discovery import DiscoveryReport, discover_subnet
 from repro.sm.lft_distribution import DistributionReport, LftDistributor
 from repro.sm.lid_manager import LidManager
 from repro.sm.routing.base import RoutingAlgorithm, RoutingRequest, RoutingTables
+from repro.sm.routing.cache import RoutingState
 from repro.sm.routing.registry import create_engine
 
 __all__ = ["ConfigureReport", "SubnetManager"]
@@ -78,6 +80,11 @@ class SubnetManager:
             create_engine(fallback_engine) if fallback_engine else None
         )
         self.transport = transport or SmpTransport(topology)
+        #: Shared versioned routing cache: the engines' all-pairs distances
+        #: and candidate arrays, the transport's SM-root BFS row, and the
+        #: incremental post-failure repair state all live here.
+        self.routing_state = RoutingState(topology)
+        self.transport.set_distance_source(self.routing_state)
         self.lid_manager = LidManager(topology)
         self.distributor = LftDistributor(
             topology,
@@ -104,7 +111,10 @@ class SubnetManager:
         Falls back to :attr:`fallback_engine` (when configured) if the
         primary engine raises a :class:`~repro.errors.RoutingError`.
         """
-        request = RoutingRequest.from_topology(self.topology, built=self.built)
+        request = RoutingRequest.from_topology(
+            self.topology, built=self.built, state=self.routing_state
+        )
+        cache_before = self.routing_state.stats.snapshot()
         with span("path_compute", engine=self.engine.name) as sp:
             try:
                 tables = self.engine.timed_compute(request)
@@ -115,11 +125,28 @@ class SubnetManager:
                 tables.metadata["fallback_from"] = self.engine.name
                 sp.set_attribute("fallback_to", self.fallback_engine.name)
             sp.set_attribute("seconds", tables.compute_seconds)
+            delta = self.routing_state.stats.delta_since(cache_before)
+            sp.set_attribute("cache_hit", delta["misses"] == 0)
+            sp.set_attribute("bfs_sweeps", delta["bfs_sweeps"])
+            sp.set_attribute("sources_repaired", delta["sources_repaired"])
         metrics = get_hub().metrics
         metrics.counter("repro_path_computations_total").add(1)
         metrics.gauge(
             "repro_path_compute_seconds", engine=self.engine.name
         ).set(tables.compute_seconds)
+        metrics.counter("repro_routing_cache_hits_total").add(delta["hits"])
+        metrics.counter("repro_routing_cache_misses_total").add(
+            delta["misses"]
+        )
+        metrics.counter("repro_routing_cache_repairs_total").add(
+            delta["repairs"]
+        )
+        metrics.counter("repro_routing_bfs_sweeps_total").add(
+            delta["bfs_sweeps"]
+        )
+        metrics.counter("repro_routing_repair_sources_total").add(
+            delta["sources_repaired"]
+        )
         self.current_tables = tables
         self.last_request = request
         return tables
@@ -184,9 +211,16 @@ class SubnetManager:
         Raises :class:`~repro.errors.TopologyError` (from validation) if
         the failure partitions the switch fabric.
         """
+        # Capture the endpoint switch indices before unplugging: the
+        # routing cache repairs only the BFS trees whose shortest paths
+        # could have crossed this cable.
+        end_a, end_b = link.ends
+        u = end_a.node.index if isinstance(end_a.node, Switch) else -1
+        v = end_b.node.index if isinstance(end_b.node, Switch) else -1
         link.disconnect()
         self.transport.invalidate_distances()
         self.topology.invalidate_fabric_view()
+        self.routing_state.note_link_failure(u, v)
         self.topology.validate()
         report = ConfigureReport()
         with span("link_failure_reroute"):
@@ -209,7 +243,9 @@ class SubnetManager:
         if switch.lid is not None and self.topology.port_of_lid(switch.lid):
             self.lid_manager.release_lid(switch.lid)
             switch.lid = None
+        failed_index = switch.index
         self.topology.remove_switch(switch)
+        self.routing_state.note_switch_removal(failed_index)
         self.transport.invalidate_distances()
         self.topology.validate()
         report = ConfigureReport()
