@@ -1,4 +1,10 @@
-"""Experiment harnesses and table/figure renderers."""
+"""Experiment harnesses, table/figure renderers, and fabric verification.
+
+The :mod:`repro.analysis.static` subpackage is the static verification
+suite (``repro check-fabric``): CDG deadlock-freedom, vectorized
+reachability, routing-legality and vSwitch-addressing invariants proven
+from routing tables alone — no packets sent.
+"""
 
 from repro.analysis.experiments import (
     FIG7_ENGINES,
@@ -14,6 +20,14 @@ from repro.analysis.calibration import CalibratedConstants, calibrate
 from repro.analysis.plots import ascii_bars, render_fig7_chart
 from repro.analysis.report import generate_report
 from repro.analysis.sweeps import VfCapacityPoint, subnet_cost_sweep, vf_capacity_sweep
+from repro.analysis.static import (
+    Finding,
+    StaticAnalysisReport,
+    analyze_cloud,
+    analyze_fabric,
+    analyze_subnet,
+    analyze_transition,
+)
 from repro.analysis.verification import (
     VerificationReport,
     verify_delivery,
@@ -41,6 +55,12 @@ __all__ = [
     "VfCapacityPoint",
     "vf_capacity_sweep",
     "subnet_cost_sweep",
+    "Finding",
+    "StaticAnalysisReport",
+    "analyze_fabric",
+    "analyze_subnet",
+    "analyze_cloud",
+    "analyze_transition",
     "VerificationReport",
     "verify_delivery",
     "verify_sm_consistency",

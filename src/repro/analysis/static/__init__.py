@@ -1,0 +1,59 @@
+"""Static verification of fabric routing state — no packets sent.
+
+Layer 1 of the repository's static-analysis suite (layer 2 is the
+``tools.lint`` determinism linter): given a topology and routing tables,
+prove loop-freedom, black-hole-freedom, reachability, deadlock-freedom
+(channel-dependency-graph acyclicity), Up*/Down* and dimension-order
+legality, vSwitch LID-table consistency, and section VI-D skyline
+disjointness for concurrent migrations. See docs/STATIC_ANALYSIS.md.
+"""
+
+from repro.analysis.static.analyzer import (
+    analyze_cloud,
+    analyze_fabric,
+    analyze_subnet,
+    analyze_transition,
+)
+from repro.analysis.static.checks import (
+    FabricSnapshot,
+    check_deadlock_freedom,
+    check_dor_order,
+    check_reachability,
+    check_skyline_disjointness,
+    check_transition_deadlock,
+    check_updn_legality,
+    check_vswitch_lids,
+)
+from repro.analysis.static.findings import RULES, Finding, StaticAnalysisReport
+from repro.analysis.static.suite import (
+    FabricCheckCase,
+    FabricCheckResult,
+    default_cases,
+    inject_forwarding_loop,
+    run_case,
+    run_matrix,
+)
+
+__all__ = [
+    "Finding",
+    "StaticAnalysisReport",
+    "RULES",
+    "FabricSnapshot",
+    "FabricCheckCase",
+    "FabricCheckResult",
+    "default_cases",
+    "inject_forwarding_loop",
+    "run_case",
+    "run_matrix",
+    "analyze_fabric",
+    "analyze_subnet",
+    "analyze_cloud",
+    "analyze_transition",
+    "check_reachability",
+    "check_deadlock_freedom",
+    "check_transition_deadlock",
+    "check_updn_legality",
+    "check_dor_order",
+    "check_vswitch_lids",
+    "check_skyline_disjointness",
+]

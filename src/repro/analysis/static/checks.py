@@ -1,0 +1,747 @@
+"""Static fabric invariant checks over LFT contents — no packet simulation.
+
+Every check here works on a :class:`FabricSnapshot`: the CSR switch graph
+plus one dense ``(num_switches, top_lid + 1)`` port matrix (either the
+switches' hardware LFTs or a routing engine's
+:class:`~repro.sm.routing.base.RoutingTables`). The reachability checks
+iterate a **successor matrix** — state ``succ[s, j]`` is where a packet
+sitting at switch ``s`` for destination column ``j`` goes next — by
+repeated composition (``succ = succ[succ]``), so after ``ceil(log2 n)``
+doublings every packet has either been absorbed (delivered, black-holed,
+misdelivered) or is provably on a forwarding loop. One pass classifies
+all ``n * |LIDs|`` (source, destination) pairs with NumPy gathers; no
+per-path Python walk happens (contrast
+:func:`repro.analysis.verification.verify_delivery`, the slow runtime
+walker this module statically subsumes).
+
+The deadlock checks extract the channel dependency set with the same
+successor matrices and reuse the cycle finder of
+:class:`repro.sm.deadlock.ChannelDependencyGraph`. By convention the CDG
+checks cover **terminal (endpoint) LIDs only**: traffic to switch
+management LIDs travels on VL15, which has dedicated buffering and so
+cannot participate in a data-VL credit cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import LFT_UNSET
+from repro.errors import StaticAnalysisError
+from repro.fabric.topology import SwitchFabricView, Topology
+from repro.sm.deadlock import Channel, ChannelDependencyGraph
+from repro.analysis.static.findings import Finding
+
+__all__ = [
+    "FabricSnapshot",
+    "check_reachability",
+    "check_deadlock_freedom",
+    "check_transition_deadlock",
+    "check_updn_legality",
+    "check_dor_order",
+    "check_vswitch_lids",
+    "check_skyline_disjointness",
+]
+
+#: Cap on per-rule findings so a badly broken fabric stays readable.
+MAX_FINDINGS_PER_RULE = 50
+
+
+@dataclass
+class FabricSnapshot:
+    """One fabric's routing state, frozen for offline analysis."""
+
+    view: SwitchFabricView
+    #: ``(num_switches, top_lid + 1)`` output-port matrix (LFT_UNSET = hole).
+    ports: np.ndarray
+    #: Destination switch per LID (-1 for unbound LIDs).
+    dest_switch: np.ndarray
+    #: Delivery port on the destination switch (0 = switch self-LID).
+    dest_port: np.ndarray
+    #: All bound LIDs, ascending.
+    lids: np.ndarray
+    #: Endpoint (non-switch) LIDs, ascending — the data-VL destinations.
+    terminal_lids: np.ndarray
+    switch_names: List[str] = field(default_factory=list)
+    #: Dense ``(num_switches, 256)`` port -> peer-switch map (-1 = exit).
+    _p2p: Optional[np.ndarray] = None
+
+    @property
+    def num_switches(self) -> int:
+        """Switch count."""
+        return self.view.num_switches
+
+    def name_of(self, switch_index: int) -> Optional[str]:
+        """Best-effort switch name for findings."""
+        if 0 <= switch_index < len(self.switch_names):
+            return self.switch_names[switch_index]
+        return None
+
+    @classmethod
+    def from_topology(
+        cls,
+        topology: Topology,
+        ports: Optional[np.ndarray] = None,
+    ) -> "FabricSnapshot":
+        """Snapshot *topology*; ``ports`` defaults to the hardware LFTs.
+
+        Passing an engine's ``RoutingTables.ports`` analyses the *intended*
+        routing instead of the programmed one — both views matter: the SM's
+        function must be correct, and the switches must agree with it.
+        """
+        switches = topology.switches
+        n = len(switches)
+        terminals = topology.terminals()
+        switch_lids = topology.switch_lids()
+        all_lids = sorted(
+            [t.lid for t in terminals] + list(switch_lids)
+        )
+        if ports is None:
+            width = max(
+                [t.lid for t in terminals] + list(switch_lids) + [0]
+            ) + 1
+            width = max(
+                [width] + [len(sw.lft.as_array()) for sw in switches]
+            )
+            ports = np.full((n, width), LFT_UNSET, dtype=np.int16)
+            for sw in switches:
+                arr = sw.lft.as_array()
+                ports[sw.index, : len(arr)] = arr
+        width = ports.shape[1]
+        dest_switch = np.full(width, -1, dtype=np.int32)
+        dest_port = np.full(width, -1, dtype=np.int32)
+        for t in terminals:
+            if t.lid < width:
+                dest_switch[t.lid] = t.switch_index
+                dest_port[t.lid] = t.switch_port
+        for lid, sw_idx in switch_lids.items():
+            if lid < width:
+                dest_switch[lid] = sw_idx
+                dest_port[lid] = 0
+        return cls(
+            view=topology.fabric_view(),
+            ports=ports,
+            dest_switch=dest_switch,
+            dest_port=dest_port,
+            lids=np.asarray(
+                [lid for lid in all_lids if lid < width], dtype=np.int64
+            ),
+            terminal_lids=np.asarray(
+                sorted(t.lid for t in terminals if t.lid < width),
+                dtype=np.int64,
+            ),
+            switch_names=[sw.name for sw in switches],
+        )
+
+    # -- derived arrays ------------------------------------------------------
+
+    def port_to_peer(self) -> np.ndarray:
+        """Dense ``(n, 256)`` matrix: out-port -> neighbour switch (-1 exit)."""
+        if self._p2p is None:
+            view = self.view
+            n = view.num_switches
+            p2p = np.full((n, 256), -1, dtype=np.int32)
+            degrees = np.diff(view.indptr)
+            edge_src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+            p2p[edge_src, view.out_port] = view.peer
+            self._p2p = p2p
+        return self._p2p
+
+    def select_lids(self, lids: Optional[Sequence[int]]) -> np.ndarray:
+        """Validated LID column selection (default: every bound LID)."""
+        if lids is None:
+            return self.lids
+        arr = np.asarray(sorted(set(int(lid) for lid in lids)), dtype=np.int64)
+        if arr.size and (arr.min() < 0 or arr.max() >= self.ports.shape[1]):
+            raise StaticAnalysisError(
+                f"LID selection out of table range 0..{self.ports.shape[1] - 1}"
+            )
+        return arr
+
+
+# Absorbing states of the successor iteration, offsets past the switches.
+_DELIVERED = 0
+_BLACKHOLE = 1
+_MISDELIVERED = 2
+
+
+def _successor_matrices(
+    snap: FabricSnapshot, cols: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(succ, nxt)`` for the selected LID columns.
+
+    ``succ[s, j]`` is the packet's next state: a switch index, or one of
+    the absorbing states ``n + _DELIVERED`` / ``n + _BLACKHOLE`` /
+    ``n + _MISDELIVERED``. ``nxt[s, j]`` is the next *switch* (or -1 when
+    the packet leaves the switch graph) — the hop relation the dependency
+    and legality checks consume.
+    """
+    n = snap.num_switches
+    k = cols.size
+    sub = snap.ports[:, cols].astype(np.int64)  # (n, k)
+    valid = sub != LFT_UNSET
+    p2p = snap.port_to_peer()
+    peer = p2p[
+        np.arange(n)[:, None], np.where(valid, sub, 0)
+    ]  # (n, k); -1 = exits the switch graph
+    succ = np.where(valid, np.where(peer >= 0, peer, n + _MISDELIVERED),
+                    n + _BLACKHOLE)
+    # Destination-switch overrides: reaching the destination terminates the
+    # walk. A terminal LID must exit through its exact attachment port; a
+    # switch self-LID is delivered by arrival (port 0 is the management
+    # port, same convention as verify_delivery).
+    ds = snap.dest_switch[cols]  # (k,)
+    dp = snap.dest_port[cols]
+    at_dest = np.arange(n)[:, None] == ds[None, :]
+    delivered_ok = at_dest & ((dp[None, :] == 0) | (sub == dp[None, :]))
+    succ = np.where(at_dest, n + _MISDELIVERED, succ)
+    succ = np.where(delivered_ok, n + _DELIVERED, succ)
+    nxt = np.where((succ < n) & ~at_dest, succ, -1).astype(np.int64)
+    return succ, nxt
+
+
+def _absorb(succ: np.ndarray, n: int) -> np.ndarray:
+    """Iterate the successor matrix to its absorbing classification.
+
+    Repeated composition doubles the walked path length, so
+    ``ceil(log2(n + 1)) + 1`` rounds walk more than ``n`` hops: any state
+    still inside the switch graph afterwards is on (or feeding) a cycle.
+    """
+    k = succ.shape[1]
+    aug = np.vstack(
+        [succ, np.tile(n + np.arange(3, dtype=np.int64)[:, None], (1, k))]
+    )
+    state = succ.copy()
+    col = np.arange(k, dtype=np.int64)[None, :]
+    rounds = max(1, int(np.ceil(np.log2(n + 1))) + 1)
+    for _ in range(rounds):
+        state = aug[state, col]
+    return state
+
+
+def _extract_cycle(
+    nxt_col: np.ndarray, start: int
+) -> List[int]:
+    """Follow one looping column from *start* and return the cycle switches."""
+    seen: Dict[int, int] = {}
+    order: List[int] = []
+    cur = start
+    while cur >= 0 and cur not in seen:
+        seen[cur] = len(order)
+        order.append(cur)
+        cur = int(nxt_col[cur])
+    if cur < 0:  # pragma: no cover - callers only pass looping sources
+        return []
+    return order[seen[cur]:]
+
+
+def check_reachability(
+    snap: FabricSnapshot, *, lids: Optional[Sequence[int]] = None
+) -> List[Finding]:
+    """LFT001-LFT004: loops, black holes, misdelivery, unreachable LIDs.
+
+    Classifies every (source switch, destination LID) pair in one
+    vectorized successor iteration and aggregates the failures per LID so
+    a broken fabric produces a handful of actionable findings rather than
+    ``n`` repeats.
+    """
+    cols = snap.select_lids(lids)
+    if cols.size == 0:
+        return []
+    n = snap.num_switches
+    succ, nxt = _successor_matrices(snap, cols)
+    final = _absorb(succ, n)
+    findings: List[Finding] = []
+    looping = final < n
+    blackholed = final == n + _BLACKHOLE
+    misdelivered = final == n + _MISDELIVERED
+    ds = snap.dest_switch[cols]
+    rows = np.arange(n)[:, None]
+    non_dest = rows != ds[None, :]
+    failing = (looping | blackholed | misdelivered) & non_dest
+    bad_cols = np.flatnonzero(failing.any(axis=0))
+    for j in bad_cols:
+        lid = int(cols[j])
+        dest = int(ds[j])
+        fail_sources = np.flatnonzero(failing[:, j])
+        if fail_sources.size == np.count_nonzero(non_dest[:, j]):
+            causes = []
+            for mask, label in (
+                (looping[:, j], "looping"),
+                (blackholed[:, j], "black-holed"),
+                (misdelivered[:, j], "misdelivered"),
+            ):
+                hit = int(np.count_nonzero(mask & non_dest[:, j]))
+                if hit:
+                    causes.append(f"{hit} {label}")
+            findings.append(
+                Finding(
+                    rule="LFT004",
+                    lid=lid,
+                    switch=dest if dest >= 0 else None,
+                    switch_name=snap.name_of(dest) if dest >= 0 else None,
+                    message=(
+                        f"LID {lid} is unreachable from every other switch"
+                        f" ({', '.join(causes)})"
+                    ),
+                    detail={"sources_affected": int(fail_sources.size)},
+                )
+            )
+            continue
+        if looping[:, j].any():
+            src = int(np.flatnonzero(looping[:, j])[0])
+            cycle = _extract_cycle(nxt[:, j], src)
+            findings.append(
+                Finding(
+                    rule="LFT001",
+                    lid=lid,
+                    switch=cycle[0] if cycle else src,
+                    switch_name=snap.name_of(cycle[0] if cycle else src),
+                    message=(
+                        f"forwarding loop for LID {lid}:"
+                        f" {' -> '.join(map(str, cycle + cycle[:1]))}"
+                        f" ({int(np.count_nonzero(looping[:, j]))} sources"
+                        " affected)"
+                    ),
+                    detail={
+                        "cycle": cycle,
+                        "sources_affected": int(
+                            np.count_nonzero(looping[:, j])
+                        ),
+                    },
+                )
+            )
+        if blackholed[:, j].any():
+            direct = np.flatnonzero(
+                (succ[:, j] == n + _BLACKHOLE) & non_dest[:, j]
+            )
+            site = int(direct[0]) if direct.size else int(
+                np.flatnonzero(blackholed[:, j])[0]
+            )
+            findings.append(
+                Finding(
+                    rule="LFT002",
+                    lid=lid,
+                    switch=site,
+                    switch_name=snap.name_of(site),
+                    message=(
+                        f"LID {lid} black-holes at"
+                        f" {direct.size} switch(es), e.g. switch {site}"
+                        f" ({int(np.count_nonzero(blackholed[:, j]))}"
+                        " sources affected)"
+                    ),
+                    detail={
+                        "direct_sites": direct.tolist()[:16],
+                        "sources_affected": int(
+                            np.count_nonzero(blackholed[:, j])
+                        ),
+                    },
+                )
+            )
+        if misdelivered[:, j].any():
+            direct = np.flatnonzero(
+                (succ[:, j] == n + _MISDELIVERED) & non_dest[:, j]
+            )
+            at_dest_mis = bool((~non_dest[:, j] & misdelivered[:, j]).any())
+            site = int(direct[0]) if direct.size else dest
+            findings.append(
+                Finding(
+                    rule="LFT003",
+                    lid=lid,
+                    switch=site,
+                    switch_name=snap.name_of(site) if site >= 0 else None,
+                    message=(
+                        f"LID {lid} exits the fabric at the wrong endpoint"
+                        + (
+                            " (wrong delivery port at destination switch)"
+                            if at_dest_mis and not direct.size
+                            else f" at switch {site}"
+                        )
+                    ),
+                    detail={
+                        "direct_sites": direct.tolist()[:16],
+                        "sources_affected": int(
+                            np.count_nonzero(misdelivered[:, j])
+                        ),
+                    },
+                )
+            )
+        if len(findings) >= MAX_FINDINGS_PER_RULE:
+            findings.append(
+                Finding(
+                    rule="LFT001",
+                    message=(
+                        "further reachability findings suppressed"
+                        f" ({bad_cols.size} LIDs affected in total)"
+                    ),
+                    detail={"lids_affected": int(bad_cols.size)},
+                )
+            )
+            break
+    return findings
+
+
+def _dependency_pairs(
+    snap: FabricSnapshot, cols: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Unique channel-dependency pairs induced by the selected columns.
+
+    Channels are encoded ``a * n + b``; a dependency exists whenever some
+    destination routes ``a -> b`` then ``b -> c``. Fully vectorized over
+    the successor matrices.
+    """
+    n = snap.num_switches
+    _, nxt = _successor_matrices(snap, cols)
+    col = np.arange(cols.size, dtype=np.int64)[None, :]
+    b = nxt  # (n, k)
+    c = np.where(b >= 0, nxt[np.clip(b, 0, None), col], -1)
+    mask = (b >= 0) & (c >= 0)
+    if not mask.any():
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    a_idx = np.broadcast_to(np.arange(n, dtype=np.int64)[:, None], b.shape)
+    from_ch = (a_idx * n + b)[mask]
+    to_ch = (b * n + c)[mask]
+    pairs = np.unique(np.stack([from_ch, to_ch], axis=1), axis=0)
+    return pairs[:, 0], pairs[:, 1]
+
+
+def _decode(channel: int, n: int) -> Channel:
+    return (channel // n, channel % n)
+
+
+def _cycle_finding(
+    snap: FabricSnapshot,
+    from_ch: np.ndarray,
+    to_ch: np.ndarray,
+    *,
+    rule: str,
+    context: str,
+) -> List[Finding]:
+    """Run cycle detection over encoded dependency pairs."""
+    n = snap.num_switches
+    cdg = ChannelDependencyGraph()
+    for f, t in zip(from_ch.tolist(), to_ch.tolist()):
+        cdg.add_dependency((_decode(f, n), _decode(t, n)))
+    cycle = cdg.find_cycle()
+    if cycle is None:
+        return []
+    rendered = " -> ".join(f"({a}->{b})" for a, b in cycle)
+    anchor = cycle[0][0]
+    return [
+        Finding(
+            rule=rule,
+            switch=anchor,
+            switch_name=snap.name_of(anchor),
+            message=(
+                f"{context}: channel dependency cycle {rendered}"
+                f" ({cdg.num_channels} channels,"
+                f" {cdg.num_dependencies} dependencies analysed)"
+            ),
+            detail={"cycle": [list(ch) for ch in cycle]},
+        )
+    ]
+
+
+def check_deadlock_freedom(
+    snap: FabricSnapshot, *, lids: Optional[Sequence[int]] = None
+) -> List[Finding]:
+    """CDG001: Duato's acyclicity condition over the data-VL destinations.
+
+    Defaults to terminal LIDs only — switch self-LID traffic rides VL15
+    and cannot hold data-VL credits (see module docstring).
+    """
+    cols = (
+        snap.select_lids(lids) if lids is not None else snap.terminal_lids
+    )
+    if cols.size == 0:
+        return []
+    from_ch, to_ch = _dependency_pairs(snap, cols)
+    return _cycle_finding(
+        snap, from_ch, to_ch, rule="CDG001", context="routing is deadlock-prone"
+    )
+
+
+def check_transition_deadlock(
+    old: FabricSnapshot,
+    new: FabricSnapshot,
+    *,
+    lids: Optional[Sequence[int]] = None,
+) -> List[Finding]:
+    """CDG002: the union CDG of an in-flight reconfiguration (section VI-C).
+
+    While switches are updated asynchronously some forward per the old
+    tables and some per the new, so the union of both dependency sets must
+    be acyclic for the transition to be provably deadlock-free.
+    """
+    if old.num_switches != new.num_switches:
+        raise StaticAnalysisError(
+            "transition analysis needs snapshots of the same switch graph"
+        )
+    cols_old = (
+        old.select_lids(lids) if lids is not None else old.terminal_lids
+    )
+    cols_new = (
+        new.select_lids(lids) if lids is not None else new.terminal_lids
+    )
+    f1, t1 = _dependency_pairs(old, cols_old)
+    f2, t2 = _dependency_pairs(new, cols_new)
+    return _cycle_finding(
+        new,
+        np.concatenate([f1, f2]),
+        np.concatenate([t1, t2]),
+        rule="CDG002",
+        context="reconfiguration transition is deadlock-prone",
+    )
+
+
+def check_updn_legality(
+    snap: FabricSnapshot,
+    rank: np.ndarray,
+    *,
+    lids: Optional[Sequence[int]] = None,
+) -> List[Finding]:
+    """UPDN001: no down->up transition anywhere in the routed paths.
+
+    *rank* is the BFS rank from the Up*/Down* root (smaller = closer to
+    the root); ties break by switch index, exactly as the engine orients
+    cables. A hop ``a -> b`` is *down* when ``key[b] > key[a]``; once a
+    packet has moved down it must never move up again.
+    """
+    cols = (
+        snap.select_lids(lids) if lids is not None else snap.terminal_lids
+    )
+    if cols.size == 0:
+        return []
+    n = snap.num_switches
+    rank = np.asarray(rank, dtype=np.int64)
+    if rank.shape != (n,):
+        raise StaticAnalysisError(
+            f"rank must have one entry per switch ({n}), got {rank.shape}"
+        )
+    key = rank * n + np.arange(n, dtype=np.int64)
+    _, nxt = _successor_matrices(snap, cols)
+    col = np.arange(cols.size, dtype=np.int64)[None, :]
+    a = np.broadcast_to(np.arange(n, dtype=np.int64)[:, None], nxt.shape)
+    b = nxt
+    c = np.where(b >= 0, nxt[np.clip(b, 0, None), col], -1)
+    mask = (b >= 0) & (c >= 0)
+    down_then_up = mask & (key[np.clip(b, 0, None)] > key[a]) & (
+        np.where(c >= 0, key[np.clip(c, 0, None)], 0)
+        < key[np.clip(b, 0, None)]
+    )
+    if not down_then_up.any():
+        return []
+    findings: List[Finding] = []
+    viol_a = a[down_then_up]
+    viol_b = b[down_then_up]
+    viol_c = c[down_then_up]
+    viol_lid = np.broadcast_to(cols[None, :], nxt.shape)[down_then_up]
+    triples = np.unique(
+        np.stack([viol_a, viol_b, viol_c], axis=1), axis=0
+    )
+    for ta, tb, tc in triples[:MAX_FINDINGS_PER_RULE].tolist():
+        example = viol_lid[
+            (viol_a == ta) & (viol_b == tb) & (viol_c == tc)
+        ]
+        findings.append(
+            Finding(
+                rule="UPDN001",
+                switch=int(tb),
+                switch_name=snap.name_of(int(tb)),
+                lid=int(example[0]) if example.size else None,
+                message=(
+                    f"down->up transition {ta} -> {tb} -> {tc}"
+                    f" ({example.size} destination LIDs take it)"
+                ),
+                detail={"hops": [int(ta), int(tb), int(tc)]},
+            )
+        )
+    if triples.shape[0] > MAX_FINDINGS_PER_RULE:
+        findings.append(
+            Finding(
+                rule="UPDN001",
+                message=(
+                    f"{triples.shape[0] - MAX_FINDINGS_PER_RULE} further"
+                    " down->up transitions suppressed"
+                ),
+            )
+        )
+    return findings
+
+
+def check_dor_order(
+    snap: FabricSnapshot,
+    rows: int,
+    cols_dim: int,
+    *,
+    lids: Optional[Sequence[int]] = None,
+) -> List[Finding]:
+    """DOR001: XY dimension order — no X hop after a Y hop.
+
+    Expects the row-major switch indexing of the mesh/torus builders
+    (dense index = row * cols + col), the same convention
+    :class:`~repro.sm.routing.dor.DimensionOrderedRouting` routes by.
+    """
+    n = snap.num_switches
+    if rows * cols_dim != n:
+        raise StaticAnalysisError(
+            f"grid {rows}x{cols_dim} does not match {n} switches"
+        )
+    sel = (
+        snap.select_lids(lids) if lids is not None else snap.terminal_lids
+    )
+    if sel.size == 0:
+        return []
+    _, nxt = _successor_matrices(snap, sel)
+    col = np.arange(sel.size, dtype=np.int64)[None, :]
+    a = np.broadcast_to(np.arange(n, dtype=np.int64)[:, None], nxt.shape)
+    b = nxt
+    c = np.where(b >= 0, nxt[np.clip(b, 0, None), col], -1)
+    mask = (b >= 0) & (c >= 0)
+    ra, rb = a // cols_dim, np.clip(b, 0, None) // cols_dim
+    rc = np.clip(c, 0, None) // cols_dim
+    hop1_y = mask & (ra != rb)  # row changed: a Y-phase hop
+    hop2_x = mask & (rb == rc) & (b != c)  # col changed: an X-phase hop
+    bad = hop1_y & hop2_x
+    if not bad.any():
+        return []
+    viol = np.unique(
+        np.stack([a[bad], b[bad], c[bad]], axis=1), axis=0
+    )
+    findings: List[Finding] = []
+    for ta, tb, tc in viol[:MAX_FINDINGS_PER_RULE].tolist():
+        findings.append(
+            Finding(
+                rule="DOR001",
+                switch=int(tb),
+                switch_name=snap.name_of(int(tb)),
+                message=(
+                    f"Y-phase hop {ta} -> {tb} followed by X-phase hop"
+                    f" {tb} -> {tc} violates XY dimension order"
+                ),
+                detail={"hops": [int(ta), int(tb), int(tc)]},
+            )
+        )
+    return findings
+
+
+def check_vswitch_lids(
+    topology: Topology,
+    vswitches: Sequence[object],
+    *,
+    scheme: Optional[str] = None,
+) -> List[Finding]:
+    """VSW001/VSW002: every vSwitch function LID resolves to its uplink.
+
+    The vSwitch architecture's core addressing invariant (paper section
+    V): the PF shares the uplink port's LID, and every VF LID — always
+    present under the prepopulated scheme, present while a VM runs under
+    the dynamic scheme — must be bound to the *same physical uplink port*
+    so the fabric delivers all of the hypervisor's traffic through the one
+    shared cable.
+    """
+    findings: List[Finding] = []
+    for vsw in vswitches:
+        uplink = vsw.uplink_port
+        attach = uplink.remote
+        leaf_idx = (
+            attach.node.index
+            if attach is not None and hasattr(attach.node, "lft")
+            else None
+        )
+        if vsw.pf.lid != uplink.lid:
+            findings.append(
+                Finding(
+                    rule="VSW002",
+                    switch=leaf_idx,
+                    message=(
+                        f"{vsw.hca.name}: PF LID {vsw.pf.lid!r} disagrees"
+                        f" with uplink port LID {uplink.lid!r}"
+                    ),
+                    detail={"hca": vsw.hca.name},
+                )
+            )
+        for vf in vsw.vfs:
+            if vf.lid is None:
+                must_have = scheme == "prepopulated" or not vf.is_free
+                if must_have:
+                    findings.append(
+                        Finding(
+                            rule="VSW001",
+                            switch=leaf_idx,
+                            message=(
+                                f"{vf.name} has no LID but"
+                                + (
+                                    " the prepopulated scheme requires one"
+                                    if scheme == "prepopulated"
+                                    else " hosts a running VM"
+                                )
+                            ),
+                            detail={"vf": vf.name, "hca": vsw.hca.name},
+                        )
+                    )
+                continue
+            bound = topology.port_of_lid(vf.lid)
+            if bound is not uplink:
+                findings.append(
+                    Finding(
+                        rule="VSW001",
+                        switch=leaf_idx,
+                        lid=vf.lid,
+                        message=(
+                            f"{vf.name} LID {vf.lid} is bound to"
+                            f" {bound!r}, not its hypervisor uplink"
+                            f" {uplink!r}"
+                        ),
+                        detail={"vf": vf.name, "hca": vsw.hca.name},
+                    )
+                )
+    return findings
+
+
+def check_skyline_disjointness(
+    skylines: Sequence[object],
+) -> List[Finding]:
+    """SKY001: a proposed concurrent-migration batch must be interference-free.
+
+    Section VI-D admits concurrent migrations only when their switch
+    skylines (and LID pairs) are pairwise disjoint; overlapping skylines
+    would interleave SMP streams on the same switch state.
+    """
+    findings: List[Finding] = []
+    for i in range(len(skylines)):
+        for j in range(i + 1, len(skylines)):
+            a, b = skylines[i], skylines[j]
+            shared_switches = sorted(a.switches & b.switches)
+            shared_lids = sorted(
+                {a.vm_lid, a.other_lid} & {b.vm_lid, b.other_lid}
+            )
+            if not shared_switches and not shared_lids:
+                continue
+            parts = []
+            if shared_switches:
+                parts.append(f"switches {shared_switches[:8]}")
+            if shared_lids:
+                parts.append(f"LIDs {shared_lids}")
+            findings.append(
+                Finding(
+                    rule="SKY001",
+                    switch=shared_switches[0] if shared_switches else None,
+                    lid=shared_lids[0] if shared_lids else None,
+                    message=(
+                        f"migrations #{i} (LID {a.vm_lid}) and #{j}"
+                        f" (LID {b.vm_lid}) overlap on"
+                        f" {' and '.join(parts)}; they must run in"
+                        " separate rounds"
+                    ),
+                    detail={
+                        "migrations": [i, j],
+                        "shared_switches": shared_switches[:32],
+                        "shared_lids": shared_lids,
+                    },
+                )
+            )
+    return findings

@@ -9,7 +9,11 @@ any controller bookkeeping:
 * every bound LID is deliverable from every switch (loop-free, correct
   final port);
 * the hardware LFTs agree with the SM's recorded routing function;
-* optionally, a deadlock-freedom audit of the current routing.
+* the full :mod:`repro.analysis.static` pass — CDG deadlock-freedom,
+  vectorized reachability, and any engine-specific legality checks —
+  whose structured findings ride along in :attr:`VerificationReport
+  .findings` and surface through :meth:`VerificationReport
+  .raise_if_failed` with per-switch detail.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from repro.errors import ReproError
 from repro.fabric.node import Switch
 from repro.fabric.topology import Topology
 from repro.sm.subnet_manager import SubnetManager
+from repro.analysis.static import Finding, analyze_subnet
 
 __all__ = ["VerificationReport", "verify_delivery", "verify_sm_consistency", "verify_subnet"]
 
@@ -33,18 +38,26 @@ class VerificationReport:
     lids_checked: int = 0
     switches_checked: int = 0
     failures: List[str] = field(default_factory=list)
+    #: Structured static-analysis findings (CDG cycles, loops, legality).
+    findings: List[Finding] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         """True iff every check passed."""
-        return not self.failures
+        return not self.failures and not self.findings
+
+    def problems(self) -> List[str]:
+        """Every failure as a string — walk failures plus rendered findings
+        (``CDG001 [sw 3/leaf-1, lid 42] ...``, per-switch detail included)."""
+        return self.failures + [f.render() for f in self.findings]
 
     def raise_if_failed(self) -> None:
         """Raise :class:`~repro.errors.ReproError` listing the failures."""
-        if self.failures:
+        problems = self.problems()
+        if problems:
             raise ReproError(
-                f"subnet verification failed ({len(self.failures)} problems):"
-                f" {self.failures[:5]}"
+                f"subnet verification failed ({len(problems)} problems):"
+                f" {problems[:5]}"
             )
 
 
@@ -120,8 +133,15 @@ def verify_delivery(
     return report
 
 
-def verify_sm_consistency(sm: SubnetManager) -> VerificationReport:
-    """Hardware LFTs must equal the SM's recorded routing for bound LIDs."""
+def verify_sm_consistency(
+    sm: SubnetManager, *, static: bool = True
+) -> VerificationReport:
+    """Hardware LFTs must equal the SM's recorded routing for bound LIDs.
+
+    With ``static=True`` (the default) the full
+    :func:`~repro.analysis.static.analyze_subnet` pass also runs over the
+    hardware LFTs, attaching its CDG/loop/legality findings to the report.
+    """
     report = VerificationReport()
     tables = sm.current_tables
     if tables is None:
@@ -138,18 +158,23 @@ def verify_sm_consistency(sm: SubnetManager) -> VerificationReport:
                 report.failures.append(
                     f"LID {lid} at {sw.name}: hardware={hw} recorded={soft}"
                 )
+    if static:
+        report.findings.extend(
+            analyze_subnet(sm, source="hardware").findings
+        )
     return report
 
 
 def verify_subnet(
-    sm: SubnetManager, *, sample_every: int = 1
+    sm: SubnetManager, *, sample_every: int = 1, static: bool = True
 ) -> VerificationReport:
-    """Full audit: delivery walk plus SM/hardware consistency."""
+    """Full audit: delivery walk, SM/hardware consistency, static analysis."""
     delivery = verify_delivery(sm.topology, sample_every=sample_every)
-    consistency = verify_sm_consistency(sm)
+    consistency = verify_sm_consistency(sm, static=static)
     merged = VerificationReport(
         lids_checked=delivery.lids_checked,
         switches_checked=delivery.switches_checked,
         failures=delivery.failures + consistency.failures,
+        findings=consistency.findings,
     )
     return merged

@@ -6,6 +6,7 @@
     python -m repro fig7 [--paper-scale]  # path-computation sweep
     python -m repro cost-model            # equations (1)-(5) sweep
     python -m repro migrate-demo          # end-to-end migration walkthrough
+    python -m repro check-fabric          # static verification matrix
     python -m repro trace RUN             # replay a recorded run
     python -m repro metrics CMD [ARGS]    # run CMD, print the exposition
 
@@ -25,7 +26,14 @@ __all__ = ["main", "build_parser"]
 
 #: Commands that execute a run (and therefore support ``--record``), as
 #: opposed to ``trace``/``metrics`` which inspect one.
-RUN_COMMANDS = ("table1", "fig7", "cost-model", "report", "migrate-demo")
+RUN_COMMANDS = (
+    "table1",
+    "fig7",
+    "cost-model",
+    "report",
+    "migrate-demo",
+    "check-fabric",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +90,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.add_argument("--profile", default="2l-small")
     add_record(demo)
+
+    check = sub.add_parser(
+        "check-fabric",
+        help=(
+            "statically prove loop/deadlock-freedom and reachability for"
+            " the shipped preset x engine matrix"
+        ),
+    )
+    check.add_argument(
+        "--preset", default=None, help="check only this preset (default: all)"
+    )
+    check.add_argument(
+        "--engine", default=None, help="check only this engine (default: all)"
+    )
+    check.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="also check the paper's 324/648-node Table I instances",
+    )
+    check.add_argument(
+        "--inject-fault",
+        action="store_true",
+        help=(
+            "corrupt one LFT entry into a forwarding loop after bring-up"
+            " to demonstrate failure reporting (exits non-zero)"
+        ),
+    )
+    check.add_argument(
+        "--max-findings",
+        type=int,
+        default=10,
+        metavar="N",
+        help="show at most N findings per failing cell (default 10)",
+    )
+    add_record(check)
 
     trace = sub.add_parser(
         "trace", help="replay a recorded run's span tree and SMP timeline"
@@ -223,6 +266,47 @@ def _cmd_migrate_demo(scheme: str, profile: str) -> int:
     return 0
 
 
+def _cmd_check_fabric(
+    preset: Optional[str],
+    engine: Optional[str],
+    *,
+    paper_scale: bool,
+    inject_fault: bool,
+    max_findings: int,
+) -> int:
+    from repro.analysis.static import default_cases, run_case
+    from repro.errors import StaticAnalysisError
+
+    try:
+        cases = default_cases(
+            paper_scale=paper_scale, preset=preset, engine=engine
+        )
+    except StaticAnalysisError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    failed = 0
+    for case in cases:
+        result = run_case(case, inject_fault=inject_fault)
+        cell = f"{case.preset:>10} x {case.engine:<7}"
+        if result.injected is not None:
+            print(f"{cell}  injected fault: {result.injected}")
+        if result.ok:
+            report = result.report
+            print(
+                f"{cell}  ok ({report.lids_analyzed} LIDs,"
+                f" {report.switches_analyzed} switches,"
+                f" {len(report.checks_run)} checks)"
+            )
+        else:
+            failed += 1
+            print(f"{cell}  FAILED")
+            print(result.report.render(max_findings=max_findings))
+    print()
+    verdict = "all clean" if failed == 0 else f"{failed} cell(s) failed"
+    print(f"check-fabric: {len(cases)} cells, {verdict}")
+    return 0 if failed == 0 else 1
+
+
 def _cmd_trace(run: str, *, max_smps: int, tree_only: bool) -> int:
     from repro.errors import ReproError
     from repro.obs import load_run, render_span_tree, render_timeline
@@ -315,6 +399,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         rc = _cmd_cost_model()
     elif args.command == "migrate-demo":
         rc = _cmd_migrate_demo(args.scheme, args.profile)
+    elif args.command == "check-fabric":
+        rc = _cmd_check_fabric(
+            args.preset,
+            args.engine,
+            paper_scale=args.paper_scale,
+            inject_fault=args.inject_fault,
+            max_findings=args.max_findings,
+        )
     elif args.command == "report":
         from repro.analysis.report import generate_report
 

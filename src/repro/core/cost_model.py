@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.constants import (
-    LFT_BLOCK_SIZE,
     LFT_BLOCKS_FULL_SUBNET,
     UNICAST_LID_COUNT,
 )

@@ -57,3 +57,7 @@ class ReconfigError(ReproError):
 
 class SimulationError(ReproError):
     """Discrete-event engine misuse (time travel, stopped engine, ...)."""
+
+
+class StaticAnalysisError(ReproError):
+    """A static fabric invariant (loop/deadlock/reachability) is violated."""

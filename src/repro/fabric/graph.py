@@ -16,7 +16,7 @@ docs/PERFORMANCE.md for the argument).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -154,7 +154,7 @@ class SharedPortFleet:
 
         collateral = [
             n
-            for n in set(src.active_vms()) | set(dest.active_vms())
+            for n in sorted(set(src.active_vms()) | set(dest.active_vms()))
             if n != vm_name
         ]
         src_lid, dest_lid = src.lid, dest.lid

@@ -1,0 +1,138 @@
+"""Tests for the analysis orchestration, the check-fabric matrix, and the
+verification hook-up (repro.analysis.static.analyzer / .suite)."""
+
+import pytest
+
+from repro.errors import ReproError, StaticAnalysisError
+from repro.fabric.presets import scaled_fattree
+from repro.obs import get_hub
+from repro.sm.subnet_manager import SubnetManager
+from repro.analysis.static import (
+    FabricCheckCase,
+    analyze_cloud,
+    analyze_subnet,
+    default_cases,
+    inject_forwarding_loop,
+    run_case,
+    run_matrix,
+)
+from repro.analysis.verification import verify_sm_consistency, verify_subnet
+from tests.conftest import make_cloud
+
+
+def bring_up(built, engine="minhop"):
+    sm = SubnetManager(built.topology, built=built, engine=engine)
+    sm.initial_configure()
+    return sm
+
+
+class TestAnalyzeSubnet:
+    def test_hardware_and_recorded_sources_agree(self, small_fattree):
+        sm = bring_up(small_fattree)
+        hw = analyze_subnet(sm, source="hardware", emit_metrics=False)
+        soft = analyze_subnet(sm, source="recorded", emit_metrics=False)
+        assert hw.ok and soft.ok
+        assert hw.lids_analyzed == soft.lids_analyzed
+
+    def test_recorded_requires_tables(self, small_fattree):
+        sm = SubnetManager(small_fattree.topology, built=small_fattree)
+        with pytest.raises(StaticAnalysisError):
+            analyze_subnet(sm, source="recorded")
+
+    def test_unknown_source_rejected(self, small_fattree):
+        sm = bring_up(small_fattree)
+        with pytest.raises(StaticAnalysisError):
+            analyze_subnet(sm, source="telepathy")
+
+    def test_engine_selects_legality_checks(self, small_fattree):
+        sm = bring_up(small_fattree, engine="updn")
+        report = analyze_subnet(sm, emit_metrics=False)
+        assert "updn-legality" in report.checks_run
+
+    def test_metrics_are_published(self, small_fattree):
+        sm = bring_up(small_fattree)
+        analyze_subnet(sm)
+        rendered = get_hub().metrics.render_prometheus()
+        assert "repro_static_checks_total" in rendered
+        assert "repro_static_fabric_ok" in rendered
+
+    def test_analyze_cloud_covers_vswitches(self, small_fattree):
+        cloud = make_cloud(
+            small_fattree, lid_scheme="prepopulated", num_vfs=2
+        )
+        report = analyze_cloud(cloud, emit_metrics=False)
+        assert report.ok, report.render()
+        assert "vswitch-lids" in report.checks_run
+
+
+class TestCheckFabricMatrix:
+    def test_default_matrix_is_all_clean(self):
+        results = run_matrix(emit_metrics=False)
+        assert len(results) >= 10
+        for r in results:
+            assert r.ok, f"{r.case}: {r.report.render()}"
+
+    def test_matrix_covers_all_required_engines(self):
+        engines = {c.engine for c in default_cases()}
+        assert {"minhop", "updn", "ftree", "dor"} <= engines
+
+    def test_injected_fault_fails_with_actionable_findings(self):
+        case = FabricCheckCase(preset="ring6", engine="updn")
+        result = run_case(case, inject_fault=True, emit_metrics=False)
+        assert not result.ok
+        assert result.injected is not None
+        rules = set(result.report.count_by_rule())
+        assert "LFT001" in rules and "CDG001" in rules
+        # Findings name the switch the problem was localised to.
+        rendered = result.report.render()
+        assert "sw " in rendered
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(StaticAnalysisError):
+            default_cases(preset="moebius")
+
+    def test_empty_intersection_rejected(self):
+        with pytest.raises(StaticAnalysisError):
+            default_cases(preset="ring6", engine="ftree")
+
+
+class TestVerificationHookup:
+    def test_verify_subnet_runs_static_analysis(self, small_fattree):
+        sm = bring_up(small_fattree)
+        report = verify_subnet(sm)
+        assert report.ok
+        assert report.findings == []
+
+    def test_loop_surfaces_through_raise_if_failed(self, small_fattree):
+        sm = bring_up(small_fattree)
+        inject_forwarding_loop(small_fattree.topology)
+        report = verify_sm_consistency(sm)
+        assert not report.ok
+        rules = {f.rule for f in report.findings}
+        assert "LFT001" in rules and "CDG001" in rules
+        with pytest.raises(ReproError) as exc:
+            report.raise_if_failed()
+        # Per-switch detail reaches the exception text.
+        assert "sw " in str(exc.value) or "LID" in str(exc.value)
+
+    def test_static_can_be_disabled(self, small_fattree):
+        sm = bring_up(small_fattree)
+        inject_forwarding_loop(small_fattree.topology)
+        report = verify_sm_consistency(sm, static=False)
+        assert report.findings == []
+        # The hardware/recorded mismatch itself is still caught.
+        assert not report.ok
+
+    def test_verify_subnet_before_and_after_reconfiguration(self):
+        cloud = make_cloud(
+            scaled_fattree("2l-small"), lid_scheme="prepopulated", num_vfs=3
+        )
+        assert verify_subnet(cloud.sm).ok
+        vm = cloud.boot_vm()
+        dest = next(
+            name
+            for name, h in cloud.hypervisors.items()
+            if name != vm.hypervisor_name and h.has_capacity()
+        )
+        cloud.live_migrate(vm.name, dest)
+        assert verify_subnet(cloud.sm).ok

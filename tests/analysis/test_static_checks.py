@@ -1,0 +1,231 @@
+"""Unit tests for the static fabric checks (repro.analysis.static.checks)."""
+
+import pytest
+
+from repro.constants import LFT_UNSET
+from repro.core.skyline import MigrationSkyline
+from repro.errors import StaticAnalysisError
+from repro.fabric.builders.generic import build_mesh_2d, build_ring, build_torus_2d
+from repro.fabric.presets import scaled_fattree
+from repro.sm.subnet_manager import SubnetManager
+from repro.analysis.static import (
+    FabricSnapshot,
+    analyze_subnet,
+    analyze_transition,
+    check_deadlock_freedom,
+    check_reachability,
+    check_skyline_disjointness,
+    check_vswitch_lids,
+)
+from tests.conftest import make_cloud
+
+
+def bring_up(built, engine):
+    sm = SubnetManager(built.topology, built=built, engine=engine)
+    sm.initial_configure()
+    return sm
+
+
+def snapshot(built):
+    return FabricSnapshot.from_topology(built.topology)
+
+
+class TestCdgMatrix:
+    """The acceptance matrix: which preset x engine pairs are deadlock-free."""
+
+    def test_ring_under_naive_minhop_fails_cdg(self):
+        built = build_ring(6, 1)
+        report = analyze_subnet(bring_up(built, "minhop"), emit_metrics=False)
+        assert not report.ok
+        assert report.findings_for("CDG001")
+        # The finding carries the offending dependency cycle.
+        cycle = report.findings_for("CDG001")[0].detail["cycle"]
+        assert len(cycle) >= 3
+
+    def test_torus_under_naive_minhop_fails_cdg(self):
+        built = build_torus_2d(4, 4, 1)
+        report = analyze_subnet(bring_up(built, "minhop"), emit_metrics=False)
+        assert not report.ok
+        assert report.findings_for("CDG001")
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: build_ring(6, 1),
+            lambda: build_torus_2d(4, 4, 1),
+            lambda: scaled_fattree("2l-small"),
+        ],
+    )
+    def test_updn_is_deadlock_free_everywhere(self, builder):
+        report = analyze_subnet(
+            bring_up(builder(), "updn"), emit_metrics=False
+        )
+        assert report.ok, report.render()
+        assert "updn-legality" in report.checks_run
+
+    @pytest.mark.parametrize("engine", ["minhop", "updn", "ftree"])
+    def test_fattree_presets_pass(self, engine):
+        report = analyze_subnet(
+            bring_up(scaled_fattree("2l-small"), engine), emit_metrics=False
+        )
+        assert report.ok, report.render()
+
+    def test_mesh_under_dor_passes(self):
+        report = analyze_subnet(
+            bring_up(build_mesh_2d(4, 4, 1), "dor"), emit_metrics=False
+        )
+        assert report.ok, report.render()
+        assert "dor-order" in report.checks_run
+
+    def test_cdg_over_switch_lids_sees_management_cycles(self, small_fattree):
+        # By default the CDG covers terminal LIDs only (switch self-LID
+        # traffic rides VL15); explicitly including switch LIDs exposes
+        # minhop's up-down-up management flows as dependency cycles.
+        sm = bring_up(small_fattree, "minhop")
+        snap = snapshot(small_fattree)
+        assert not check_deadlock_freedom(snap)
+        assert check_deadlock_freedom(snap, lids=[int(x) for x in snap.lids])
+
+
+class TestReachability:
+    def test_clean_fabric_has_no_findings(self, small_fattree):
+        bring_up(small_fattree, "minhop")
+        assert check_reachability(snapshot(small_fattree)) == []
+
+    def test_cleared_entry_is_a_black_hole(self, small_fattree):
+        sm = bring_up(small_fattree, "minhop")
+        lid = int(snapshot(small_fattree).terminal_lids[0])
+        victim = next(
+            sw
+            for sw in small_fattree.topology.switches
+            if sw.lft.get(lid) != LFT_UNSET
+            and sw.index != snapshot(small_fattree).dest_switch[lid]
+        )
+        victim.lft.clear(lid)
+        findings = check_reachability(snapshot(small_fattree))
+        assert any(
+            f.rule == "LFT002" and f.lid == lid and f.switch == victim.index
+            for f in findings
+        )
+
+    def test_injected_loop_is_reported_per_switch(self, small_fattree):
+        from repro.analysis.static import inject_forwarding_loop
+
+        bring_up(small_fattree, "minhop")
+        inject_forwarding_loop(small_fattree.topology)
+        findings = check_reachability(snapshot(small_fattree))
+        loops = [f for f in findings if f.rule == "LFT001"]
+        assert loops
+        assert loops[0].switch is not None
+        assert loops[0].switch_name is not None
+        assert "->" in loops[0].message
+
+    def test_lid_selection_out_of_range_rejected(self, small_fattree):
+        bring_up(small_fattree, "minhop")
+        with pytest.raises(StaticAnalysisError):
+            snapshot(small_fattree).select_lids([10**6])
+
+
+class TestTransition:
+    def test_identical_routings_union_is_routing_itself(self, small_fattree):
+        bring_up(small_fattree, "minhop")
+        ports = snapshot(small_fattree).ports
+        report = analyze_transition(
+            small_fattree.topology, ports, ports.copy(), emit_metrics=False
+        )
+        assert report.ok
+
+    def test_cyclic_routing_union_raises_cdg002(self):
+        built = build_ring(6, 1)
+        bring_up(built, "minhop")
+        ports = snapshot(built).ports
+        report = analyze_transition(
+            built.topology, ports, ports.copy(), emit_metrics=False
+        )
+        assert report.findings_for("CDG002")
+
+    def test_real_migration_transition_is_deadlock_free(self, small_fattree):
+        cloud = make_cloud(small_fattree, lid_scheme="prepopulated", num_vfs=3)
+        vm = cloud.boot_vm()
+        dest = next(
+            name
+            for name, h in cloud.hypervisors.items()
+            if name != vm.hypervisor_name and h.has_capacity()
+        )
+        old = snapshot(small_fattree).ports.copy()
+        cloud.live_migrate(vm.name, dest)
+        new = snapshot(small_fattree).ports.copy()
+        assert (old != new).any()
+        report = analyze_transition(
+            small_fattree.topology, old, new, emit_metrics=False
+        )
+        assert report.ok, report.render()
+
+
+class TestVswitchLids:
+    @pytest.mark.parametrize("scheme", ["prepopulated", "dynamic"])
+    def test_clean_cloud_passes_both_schemes(self, scheme):
+        cloud = make_cloud(
+            scaled_fattree("2l-small"), lid_scheme=scheme, num_vfs=2
+        )
+        cloud.boot_vm()
+        vswitches = [h.vswitch for h in cloud.hypervisors.values()]
+        assert (
+            check_vswitch_lids(cloud.topology, vswitches, scheme=scheme)
+            == []
+        )
+
+    def test_vf_lid_bound_elsewhere_is_vsw001(self, small_fattree):
+        cloud = make_cloud(
+            small_fattree, lid_scheme="prepopulated", num_vfs=2
+        )
+        vm = cloud.boot_vm()
+        hyp = cloud.hypervisors[vm.hypervisor_name]
+        other = next(
+            h
+            for name, h in cloud.hypervisors.items()
+            if name != vm.hypervisor_name
+        )
+        # Point a VF at a LID that is bound to a *different* uplink.
+        vf = next(v for v in hyp.vswitch.vfs if v.lid is not None)
+        vf.lid = other.vswitch.pf.lid
+        findings = check_vswitch_lids(
+            cloud.topology,
+            [h.vswitch for h in cloud.hypervisors.values()],
+            scheme="prepopulated",
+        )
+        assert any(
+            f.rule == "VSW001" and f.lid == vf.lid for f in findings
+        )
+
+    def test_pf_lid_mismatch_is_vsw002(self, small_fattree):
+        cloud = make_cloud(
+            small_fattree, lid_scheme="prepopulated", num_vfs=2
+        )
+        hyp = next(iter(cloud.hypervisors.values()))
+        hyp.vswitch.pf.lid = hyp.vswitch.pf.lid + 1000
+        findings = check_vswitch_lids(
+            cloud.topology,
+            [h.vswitch for h in cloud.hypervisors.values()],
+            scheme="prepopulated",
+        )
+        assert any(f.rule == "VSW002" for f in findings)
+
+
+class TestSkylines:
+    def test_disjoint_skylines_pass(self):
+        a = MigrationSkyline(vm_lid=10, other_lid=11, mode="swap", switches={0, 1})
+        b = MigrationSkyline(vm_lid=20, other_lid=21, mode="swap", switches={2, 3})
+        assert check_skyline_disjointness([a, b]) == []
+
+    def test_shared_switch_is_sky001(self):
+        a = MigrationSkyline(vm_lid=10, other_lid=11, mode="swap", switches={0, 1})
+        b = MigrationSkyline(vm_lid=20, other_lid=21, mode="swap", switches={1, 2})
+        findings = check_skyline_disjointness([a, b])
+        assert any(f.rule == "SKY001" for f in findings)
+
+    def test_shared_lid_is_sky001(self):
+        a = MigrationSkyline(vm_lid=10, other_lid=11, mode="swap", switches={0})
+        b = MigrationSkyline(vm_lid=11, other_lid=21, mode="swap", switches={5})
+        findings = check_skyline_disjointness([a, b])
+        assert any(f.rule == "SKY001" for f in findings)

@@ -1,0 +1,126 @@
+"""Property-based tests: migration sequences and intermediate LFT states.
+
+The paper's section VI-C argument is that the partially-static scheme —
+invalidate the moving LIDs on every affected switch *before* programming
+the swapped entries — makes reconfiguration safe while switches update
+asynchronously. The key property: at **every** intermediate LFT state, a
+moving LID's column mixes either {old, dropped} or {dropped, new}
+entries, never {old, new}, so no forwarding loop can form (a packet
+either follows one loop-free routing or is dropped). The test drives
+real migrations, reconstructs the two phases' intermediate states for
+hypothesis-chosen switch subsets, and proves loop-freedom of each.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constants import LFT_UNSET
+from repro.fabric.presets import scaled_fattree
+from repro.obs import reset_hub
+from repro.virt.cloud import CloudManager
+from repro.workloads.churn import ChurnWorkload
+from repro.workloads.migration_patterns import ANY, MigrationPlanner
+from repro.analysis.static import (
+    analyze_transition,
+    check_reachability,
+)
+from repro.analysis.static.checks import FabricSnapshot
+
+
+def fresh_cloud(seed):
+    reset_hub()
+    built = scaled_fattree("2l-small")
+    cloud = CloudManager(
+        built.topology, built=built, lid_scheme="prepopulated", num_vfs=3
+    )
+    cloud.adopt_all_hcas()
+    cloud.bring_up_subnet()
+    ChurnWorkload(cloud, seed=seed, target_utilization=0.5).run(40)
+    return built, cloud
+
+
+def hardware_ports(built):
+    return FabricSnapshot.from_topology(built.topology).ports.copy()
+
+
+def loops_in(built, ports, lids):
+    snap = FabricSnapshot.from_topology(built.topology, ports)
+    return [
+        f for f in check_reachability(snap, lids=lids) if f.rule == "LFT001"
+    ]
+
+
+class TestMigrationLoopFreedom:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(data=st.data())
+    def test_random_migrations_keep_every_intermediate_state_loop_free(
+        self, data
+    ):
+        seed = data.draw(st.integers(min_value=0, max_value=2**16))
+        built, cloud = fresh_cloud(seed)
+        planner = MigrationPlanner(cloud, built, seed=seed)
+        for _step in range(3):
+            plan = planner.plan_one(ANY)
+            if plan is None:
+                break
+            old = hardware_ports(built)
+            cloud.live_migrate(*plan)
+            new = hardware_ports(built)
+            rows = np.where((old != new).any(axis=1))[0]
+            cols = np.where((old != new).any(axis=0))[0]
+            lids = [int(c) for c in cols]
+            dropped = old.copy()
+            dropped[np.ix_(rows, cols)] = LFT_UNSET
+            # Phase 1 (invalidate) intermediates: {old, dropped} mixes.
+            subset1 = data.draw(
+                st.sets(st.sampled_from([int(r) for r in rows]))
+            )
+            state = old.copy()
+            state[np.ix_(sorted(subset1), cols)] = LFT_UNSET
+            assert loops_in(built, state, lids) == []
+            # Phase 2 (program) intermediates: {dropped, new} mixes.
+            subset2 = data.draw(
+                st.sets(st.sampled_from([int(r) for r in rows]))
+            )
+            state = dropped.copy()
+            sel = np.ix_(sorted(subset2), cols)
+            state[sel] = new[sel]
+            assert loops_in(built, state, lids) == []
+            # Untouched LID columns stay fully clean throughout.
+            others = [int(x) for x in np.setdiff1d(
+                FabricSnapshot.from_topology(built.topology).terminal_lids,
+                cols,
+            )]
+            assert check_reachability(
+                FabricSnapshot.from_topology(built.topology, state),
+                lids=others,
+            ) == []
+            # And the completed transition satisfies section VI-C's union
+            # CDG condition.
+            report = analyze_transition(
+                built.topology, old, new, emit_metrics=False
+            )
+            assert report.ok, report.render()
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_final_state_after_migration_sequence_is_fully_clean(self, seed):
+        from repro.analysis.verification import verify_subnet
+
+        built, cloud = fresh_cloud(seed)
+        planner = MigrationPlanner(cloud, built, seed=seed + 1)
+        for _ in range(4):
+            plan = planner.plan_one(ANY)
+            if plan is None:
+                break
+            cloud.live_migrate(*plan)
+        assert verify_subnet(cloud.sm).ok

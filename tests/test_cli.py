@@ -120,3 +120,39 @@ class TestObservabilityCommands:
     def test_metrics_rejects_unknown_target(self, capsys):
         assert main(["metrics", "not-a-command"]) == 1
         assert "neither" in capsys.readouterr().err
+
+
+class TestCheckFabric:
+    def test_single_cell_clean(self, capsys):
+        assert main(["check-fabric", "--preset", "2l-small", "--engine", "minhop"]) == 0
+        out = capsys.readouterr().out
+        assert "2l-small x minhop" in out
+        assert "all clean" in out
+
+    def test_full_matrix_covers_required_engines(self, capsys):
+        assert main(["check-fabric"]) == 0
+        out = capsys.readouterr().out
+        for engine in ("minhop", "updn", "ftree", "dor"):
+            assert f"x {engine}" in out
+        assert "all clean" in out
+
+    def test_injected_fault_exits_nonzero_with_findings(self, capsys):
+        rc = main(["check-fabric", "--preset", "ring6", "--inject-fault"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "injected fault" in out
+        assert "LFT001" in out and "CDG001" in out
+        assert "FAILED" in out
+
+    def test_unknown_preset_is_usage_error(self, capsys):
+        assert main(["check-fabric", "--preset", "moebius"]) == 2
+        assert "unknown preset" in capsys.readouterr().err
+
+    def test_record_writes_static_metrics(self, capsys, tmp_path):
+        rec = tmp_path / "run"
+        args = ["check-fabric", "--preset", "ring6", "--record", str(rec)]
+        assert main(args) == 0
+        capsys.readouterr()
+        prom = (rec / "metrics.prom").read_text(encoding="utf-8")
+        assert "repro_static_checks_total" in prom
+        assert "repro_static_fabric_ok" in prom

@@ -1,0 +1,148 @@
+"""Tests for the AST determinism linter (tools.lint)."""
+
+from pathlib import Path
+
+import pytest
+
+from tools.lint import RULES, lint_paths, lint_source, main
+
+
+def rules_of(source, path):
+    return [v.rule for v in lint_source(source, path)]
+
+
+CRITICAL = "src/repro/sm/example.py"
+RELAXED = "src/repro/workloads/example.py"
+OBS = "src/repro/obs/example.py"
+COST = "src/repro/core/example.py"
+
+
+class TestDet001WallClock:
+    def test_time_time_flagged(self):
+        assert rules_of("import time\nt = time.time()\n", RELAXED) == [
+            "DET001"
+        ]
+
+    def test_datetime_now_flagged(self):
+        src = "import datetime\nd = datetime.datetime.now()\n"
+        assert rules_of(src, RELAXED) == ["DET001"]
+        src = "from datetime import datetime\nd = datetime.now()\n"
+        assert rules_of(src, RELAXED) == ["DET001"]
+
+    def test_perf_counter_allowed(self):
+        src = "import time\nt = time.perf_counter()\nm = time.monotonic()\n"
+        assert rules_of(src, RELAXED) == []
+
+    def test_obs_layer_exempt(self):
+        assert rules_of("import time\nt = time.time()\n", OBS) == []
+
+
+class TestDet002UnseededRng:
+    def test_module_level_random_flagged(self):
+        assert rules_of("import random\nx = random.random()\n", RELAXED) == [
+            "DET002"
+        ]
+        assert rules_of(
+            "import random\nrandom.seed(3)\n", RELAXED
+        ) == ["DET002"]
+
+    def test_seeded_instance_allowed(self):
+        src = "import random\nrng = random.Random(7)\nx = rng.random()\n"
+        assert rules_of(src, RELAXED) == []
+
+    def test_numpy_global_flagged_default_rng_allowed(self):
+        assert rules_of(
+            "import numpy as np\nx = np.random.rand(3)\n", RELAXED
+        ) == ["DET002"]
+        assert (
+            rules_of(
+                "import numpy as np\nrng = np.random.default_rng(5)\n",
+                RELAXED,
+            )
+            == []
+        )
+
+
+class TestDet003SetIteration:
+    def test_for_over_set_call_flagged_in_critical_module(self):
+        src = "for x in set(items):\n    use(x)\n"
+        assert rules_of(src, CRITICAL) == ["DET003"]
+
+    def test_set_union_flagged(self):
+        src = "out = [x for x in set(a) | set(b)]\n"
+        assert rules_of(src, CRITICAL) == ["DET003"]
+
+    def test_sorted_wrapper_allowed(self):
+        src = "for x in sorted(set(a) | set(b)):\n    use(x)\n"
+        assert rules_of(src, CRITICAL) == []
+
+    def test_non_critical_module_not_flagged(self):
+        src = "for x in set(items):\n    use(x)\n"
+        assert rules_of(src, RELAXED) == []
+
+    def test_set_literal_and_comprehension_flagged(self):
+        assert rules_of("for x in {1, 2, 3}:\n    use(x)\n", CRITICAL) == [
+            "DET003"
+        ]
+        assert rules_of(
+            "for x in {y for y in items}:\n    use(x)\n", CRITICAL
+        ) == ["DET003"]
+
+
+class TestDet004FloatEquality:
+    def test_float_literal_eq_flagged_in_cost_model(self):
+        assert rules_of("ok = cost == 0.5\n", COST) == ["DET004"]
+        assert rules_of("ok = 1.5 != cost\n", COST) == ["DET004"]
+
+    def test_int_eq_allowed(self):
+        assert rules_of("ok = count == 5\n", COST) == []
+
+    def test_float_comparison_outside_scope_allowed(self):
+        assert rules_of("ok = cost == 0.5\n", CRITICAL) == []
+
+    def test_negative_float_flagged(self):
+        assert rules_of("ok = cost == -1.0\n", COST) == ["DET004"]
+
+
+class TestSuppression:
+    def test_targeted_noqa_suppresses(self):
+        src = "import time\nt = time.time()  # noqa: DET001\n"
+        assert rules_of(src, RELAXED) == []
+
+    def test_unrelated_noqa_does_not_suppress(self):
+        src = "import time\nt = time.time()  # noqa: DET002\n"
+        assert rules_of(src, RELAXED) == ["DET001"]
+
+    def test_blanket_noqa_suppresses(self):
+        src = "import time\nt = time.time()  # noqa\n"
+        assert rules_of(src, RELAXED) == []
+
+
+class TestRunner:
+    def test_src_repro_is_clean(self):
+        tree = Path(__file__).resolve().parent.parent / "src" / "repro"
+        violations = lint_paths([tree])
+        assert violations == [], [v.render() for v in violations]
+
+    def test_violation_render_is_clickable(self):
+        out = lint_source("import time\nt = time.time()\n", RELAXED)
+        assert out[0].render().startswith(f"{RELAXED}:2:")
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        assert main(["--list-rules"]) == 0
+        listing = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in listing
+        dirty = tmp_path / "repro" / "sm" / "bad.py"
+        dirty.parent.mkdir(parents=True)
+        dirty.write_text("for x in set(a):\n    pass\n", encoding="utf-8")
+        assert main([str(dirty)]) == 1
+        assert "DET003" in capsys.readouterr().out
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        assert main([str(clean)]) == 0
+
+
+@pytest.mark.parametrize("rule", sorted(RULES))
+def test_every_rule_has_a_description(rule):
+    assert RULES[rule]

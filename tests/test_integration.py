@@ -13,6 +13,7 @@ from repro.constants import LFT_UNSET
 from repro.core.cost_model import table1_row
 from repro.fabric.presets import scaled_fattree
 from repro.sm.routing.base import RoutingRequest
+from repro.analysis.verification import verify_subnet
 from repro.workloads.churn import ChurnWorkload
 from repro.workloads.migration_patterns import ANY, MigrationPlanner
 from tests.conftest import make_cloud
@@ -60,6 +61,8 @@ class TestLongRunningCloud:
     def test_churn_then_migrations_keep_subnet_consistent(self, scheme):
         built = scaled_fattree("2l-small")
         cloud = make_cloud(built, lid_scheme=scheme, num_vfs=3)
+        # Static analysis (CDG, reachability) before any reconfiguration...
+        verify_subnet(cloud.sm).raise_if_failed()
         churn = ChurnWorkload(cloud, seed=11, target_utilization=0.5)
         churn.run(80)
         planner = MigrationPlanner(cloud, built, seed=11)
@@ -72,6 +75,8 @@ class TestLongRunningCloud:
             executed += 1
         assert executed >= 10
         assert_all_routable(cloud)
+        # ...and after the full churn + migration history.
+        verify_subnet(cloud.sm).raise_if_failed()
 
     @pytest.mark.parametrize("scheme", ["prepopulated", "dynamic"])
     def test_no_path_computation_during_operations(self, scheme):

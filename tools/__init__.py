@@ -1,0 +1,5 @@
+"""Repository tooling that is not part of the shipped ``repro`` package.
+
+``tools.lint`` — the AST determinism linter (layer 2 of the static
+verification suite; see docs/STATIC_ANALYSIS.md).
+"""

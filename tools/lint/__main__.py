@@ -1,0 +1,8 @@
+"""``python -m tools.lint [paths...]`` — run the determinism lint."""
+
+import sys
+
+from tools.lint import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
