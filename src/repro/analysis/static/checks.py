@@ -99,6 +99,14 @@ class FabricSnapshot:
         all_lids = sorted(
             [t.lid for t in terminals] + list(switch_lids)
         )
+        if ports is not None and all_lids and all_lids[-1] >= ports.shape[1]:
+            uncovered = [lid for lid in all_lids if lid >= ports.shape[1]]
+            raise StaticAnalysisError(
+                f"supplied port table is {ports.shape[1]} columns wide but"
+                f" the fabric binds {len(uncovered)} LID(s) beyond it"
+                f" (e.g. {uncovered[:8]}); widen the table — those LIDs"
+                " would otherwise be silently skipped"
+            )
         if ports is None:
             width = max(
                 [t.lid for t in terminals] + list(switch_lids) + [0]
@@ -196,8 +204,12 @@ def _successor_matrices(
     ds = snap.dest_switch[cols]  # (k,)
     dp = snap.dest_port[cols]
     at_dest = np.arange(n)[:, None] == ds[None, :]
-    delivered_ok = at_dest & ((dp[None, :] == 0) | (sub == dp[None, :]))
-    succ = np.where(at_dest, n + _MISDELIVERED, succ)
+    delivered_ok = at_dest & (
+        (dp[None, :] == 0) | (valid & (sub == dp[None, :]))
+    )
+    # Only *programmed* entries at the destination switch can misdeliver;
+    # an LFT_UNSET hole there is still a black hole (LFT002, not LFT003).
+    succ = np.where(at_dest & valid, n + _MISDELIVERED, succ)
     succ = np.where(delivered_ok, n + _DELIVERED, succ)
     nxt = np.where((succ < n) & ~at_dest, succ, -1).astype(np.int64)
     return succ, nxt
@@ -206,19 +218,19 @@ def _successor_matrices(
 def _absorb(succ: np.ndarray, n: int) -> np.ndarray:
     """Iterate the successor matrix to its absorbing classification.
 
-    Repeated composition doubles the walked path length, so
-    ``ceil(log2(n + 1)) + 1`` rounds walk more than ``n`` hops: any state
-    still inside the switch graph afterwards is on (or feeding) a cycle.
+    Each round composes the current map **with itself** (absorbing states
+    stay fixed points), so the walked path length doubles per round:
+    after ``ceil(log2(n + 1)) + 1`` rounds the walk covers more than
+    ``n`` hops, and any state still inside the switch graph is on (or
+    feeding) a cycle.
     """
     k = succ.shape[1]
-    aug = np.vstack(
-        [succ, np.tile(n + np.arange(3, dtype=np.int64)[:, None], (1, k))]
-    )
+    absorbing = np.tile(n + np.arange(3, dtype=np.int64)[:, None], (1, k))
     state = succ.copy()
     col = np.arange(k, dtype=np.int64)[None, :]
     rounds = max(1, int(np.ceil(np.log2(n + 1))) + 1)
     for _ in range(rounds):
-        state = aug[state, col]
+        state = np.vstack([state, absorbing])[state, col]
     return state
 
 
@@ -255,6 +267,18 @@ def check_reachability(
     succ, nxt = _successor_matrices(snap, cols)
     final = _absorb(succ, n)
     findings: List[Finding] = []
+    kept: Dict[str, int] = {}
+    suppressed: Dict[str, int] = {}
+
+    def add(finding: Finding) -> None:
+        # Cap findings *per rule* so one pathological rule cannot crowd
+        # out (or get blamed for) the others' suppression.
+        if kept.get(finding.rule, 0) >= MAX_FINDINGS_PER_RULE:
+            suppressed[finding.rule] = suppressed.get(finding.rule, 0) + 1
+        else:
+            kept[finding.rule] = kept.get(finding.rule, 0) + 1
+            findings.append(finding)
+
     looping = final < n
     blackholed = final == n + _BLACKHOLE
     misdelivered = final == n + _MISDELIVERED
@@ -277,7 +301,7 @@ def check_reachability(
                 hit = int(np.count_nonzero(mask & non_dest[:, j]))
                 if hit:
                     causes.append(f"{hit} {label}")
-            findings.append(
+            add(
                 Finding(
                     rule="LFT004",
                     lid=lid,
@@ -294,12 +318,22 @@ def check_reachability(
         if looping[:, j].any():
             src = int(np.flatnonzero(looping[:, j])[0])
             cycle = _extract_cycle(nxt[:, j], src)
-            findings.append(
+            if not cycle:
+                # A looping-classified source must reach a cycle by
+                # following ``nxt``; walking off the graph instead means
+                # the classifier and the hop relation disagree — an
+                # analyzer bug, not a fabric finding.
+                raise StaticAnalysisError(
+                    "internal analyzer inconsistency: switch"
+                    f" {src} is classified as looping for LID {lid}"
+                    " but no cycle is reachable from it"
+                )
+            add(
                 Finding(
                     rule="LFT001",
                     lid=lid,
-                    switch=cycle[0] if cycle else src,
-                    switch_name=snap.name_of(cycle[0] if cycle else src),
+                    switch=cycle[0],
+                    switch_name=snap.name_of(cycle[0]),
                     message=(
                         f"forwarding loop for LID {lid}:"
                         f" {' -> '.join(map(str, cycle + cycle[:1]))}"
@@ -321,7 +355,7 @@ def check_reachability(
             site = int(direct[0]) if direct.size else int(
                 np.flatnonzero(blackholed[:, j])[0]
             )
-            findings.append(
+            add(
                 Finding(
                     rule="LFT002",
                     lid=lid,
@@ -347,7 +381,7 @@ def check_reachability(
             )
             at_dest_mis = bool((~non_dest[:, j] & misdelivered[:, j]).any())
             site = int(direct[0]) if direct.size else dest
-            findings.append(
+            add(
                 Finding(
                     rule="LFT003",
                     lid=lid,
@@ -369,18 +403,23 @@ def check_reachability(
                     },
                 )
             )
-        if len(findings) >= MAX_FINDINGS_PER_RULE:
-            findings.append(
-                Finding(
-                    rule="LFT001",
-                    message=(
-                        "further reachability findings suppressed"
-                        f" ({bad_cols.size} LIDs affected in total)"
-                    ),
-                    detail={"lids_affected": int(bad_cols.size)},
-                )
+    if suppressed:
+        summary = ", ".join(
+            f"{count} {rule}" for rule, count in sorted(suppressed.items())
+        )
+        findings.append(
+            Finding(
+                rule="META001",
+                message=(
+                    f"further reachability findings suppressed ({summary};"
+                    f" {bad_cols.size} LIDs affected in total)"
+                ),
+                detail={
+                    "suppressed_by_rule": dict(sorted(suppressed.items())),
+                    "lids_affected": int(bad_cols.size),
+                },
             )
-            break
+        )
     return findings
 
 
@@ -562,11 +601,18 @@ def check_updn_legality(
     if triples.shape[0] > MAX_FINDINGS_PER_RULE:
         findings.append(
             Finding(
-                rule="UPDN001",
+                rule="META001",
                 message=(
                     f"{triples.shape[0] - MAX_FINDINGS_PER_RULE} further"
                     " down->up transitions suppressed"
                 ),
+                detail={
+                    "suppressed_by_rule": {
+                        "UPDN001": int(
+                            triples.shape[0] - MAX_FINDINGS_PER_RULE
+                        )
+                    }
+                },
             )
         )
     return findings

@@ -22,6 +22,7 @@ DOR001    dimension-order violation: a Y-phase hop followed by an X hop
 VSW001    vSwitch VF LID does not resolve to its hypervisor's PF port
 VSW002    vSwitch PF LID disagrees with the uplink port's LID
 SKY001    concurrent migrations with overlapping switch skylines
+META001   suppression notice: per-rule finding cap reached (not a fault)
 ========  ==============================================================
 """
 
@@ -45,6 +46,7 @@ RULES: Dict[str, str] = {
     "VSW001": "VF LID not bound to its hypervisor's PF port",
     "VSW002": "PF LID inconsistent with uplink port LID",
     "SKY001": "overlapping concurrent-migration skylines",
+    "META001": "per-rule finding cap reached; further findings suppressed",
 }
 
 

@@ -126,6 +126,90 @@ class TestReachability:
             snapshot(small_fattree).select_lids([10**6])
 
 
+class TestAbsorbSaturation:
+    """Regression: successor composition must double path length per round.
+
+    A one-hop-per-round iteration only walks ~log2(n)+2 hops, so any
+    loop-free path longer than that (e.g. around a large ring) was
+    misclassified as a forwarding loop — 24 phantom LFT001/LFT004
+    findings on a clean 12-switch ring.
+    """
+
+    @pytest.mark.parametrize("size", [12, 48])
+    def test_large_ring_under_updn_is_clean(self, size):
+        # Diameter is size/2, far beyond log2(size) + 2.
+        built = build_ring(size, 1)
+        report = analyze_subnet(bring_up(built, "updn"), emit_metrics=False)
+        assert report.ok, report.render()
+
+    def test_large_mesh_under_dor_is_clean(self):
+        # 2x8 mesh: longest XY path is 8 hops > log2(16) + 2.
+        built = build_mesh_2d(2, 8, 1)
+        report = analyze_subnet(bring_up(built, "dor"), emit_metrics=False)
+        assert report.ok, report.render()
+
+
+class TestReviewRegressions:
+    def test_narrow_ports_matrix_rejected(self, small_fattree):
+        bring_up(small_fattree, "minhop")
+        snap = snapshot(small_fattree)
+        # Truncating the table drops the top bound LID's column; the
+        # snapshot must refuse rather than silently skip that LID.
+        narrow = snap.ports[:, : int(snap.lids[-1])]
+        with pytest.raises(StaticAnalysisError, match="beyond"):
+            FabricSnapshot.from_topology(small_fattree.topology, narrow)
+
+    def test_unprogrammed_dest_entry_is_black_hole_not_misdelivery(
+        self, small_fattree
+    ):
+        bring_up(small_fattree, "minhop")
+        snap0 = snapshot(small_fattree)
+        lid = int(snap0.terminal_lids[0])
+        dest = small_fattree.topology.switches[int(snap0.dest_switch[lid])]
+        dest.lft.clear(lid)
+        findings = check_reachability(snapshot(small_fattree))
+        mine = [f for f in findings if f.lid == lid]
+        # Every source now funnels into the hole, so it aggregates as
+        # LFT004 — whose cause must read black-holed, not misdelivered.
+        assert mine and mine[0].rule == "LFT004"
+        assert "black-holed" in mine[0].message
+        assert "misdelivered" not in mine[0].message
+
+    def test_per_rule_cap_emits_meta001_sentinel(
+        self, small_fattree, monkeypatch
+    ):
+        from repro.analysis.static import checks as checks_mod
+
+        monkeypatch.setattr(checks_mod, "MAX_FINDINGS_PER_RULE", 2)
+        bring_up(small_fattree, "minhop")
+        snap0 = snapshot(small_fattree)
+        leaves = sorted(
+            {int(snap0.dest_switch[int(t)]) for t in snap0.terminal_lids}
+        )
+        # Black-hole four LIDs at one *other* leaf each: exactly one
+        # source fails per LID, so each is an LFT002 (never LFT004).
+        broken = []
+        for lid in map(int, snap0.terminal_lids):
+            other = next(
+                ix for ix in leaves if ix != int(snap0.dest_switch[lid])
+            )
+            sw = small_fattree.topology.switches[other]
+            if sw.lft.get(lid) != LFT_UNSET:
+                sw.lft.clear(lid)
+                broken.append(lid)
+            if len(broken) == 4:
+                break
+        assert len(broken) == 4
+        findings = check_reachability(snapshot(small_fattree))
+        by_rule = {}
+        for f in findings:
+            by_rule.setdefault(f.rule, []).append(f)
+        assert len(by_rule["LFT002"]) == 2  # capped per rule
+        assert "LFT001" not in by_rule  # sentinel no longer masquerades
+        (meta,) = by_rule["META001"]
+        assert meta.detail["suppressed_by_rule"] == {"LFT002": 2}
+
+
 class TestTransition:
     def test_identical_routings_union_is_routing_itself(self, small_fattree):
         bring_up(small_fattree, "minhop")
