@@ -7,6 +7,7 @@
     python -m repro cost-model            # equations (1)-(5) sweep
     python -m repro migrate-demo          # end-to-end migration walkthrough
     python -m repro check-fabric          # static verification matrix
+    python -m repro chaos [--inject SPEC] # churn under injected faults
     python -m repro trace RUN             # replay a recorded run
     python -m repro metrics CMD [ARGS]    # run CMD, print the exposition
 
@@ -33,6 +34,7 @@ RUN_COMMANDS = (
     "report",
     "migrate-demo",
     "check-fabric",
+    "chaos",
 )
 
 
@@ -125,6 +127,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="show at most N findings per failing cell (default 10)",
     )
     add_record(check)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "run a churn+migration workload under a fault plan and audit"
+            " the final forwarding state (non-zero exit on divergence)"
+        ),
+    )
+    chaos.add_argument(
+        "--inject",
+        default="",
+        metavar="SPEC",
+        help=(
+            "fault plan, e.g. 'smp-drop=0.1,smp-corrupt=0.01,"
+            "link-flap=0.05,switch-fail=0.02,sm-death=10'"
+        ),
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--steps", type=int, default=40, help="chaos steps (default 40)"
+    )
+    chaos.add_argument("--profile", default="2l-small")
+    chaos.add_argument(
+        "--scheme",
+        choices=["prepopulated", "dynamic"],
+        default="prepopulated",
+    )
+    chaos.add_argument(
+        "--retries",
+        type=int,
+        default=8,
+        help="MAD retries per SMP (default 8)",
+    )
+    chaos.add_argument(
+        "--migrate-probability",
+        type=float,
+        default=0.25,
+        help="per-step live-migration probability (default 0.25)",
+    )
+    add_record(chaos)
 
     trace = sub.add_parser(
         "trace", help="replay a recorded run's span tree and SMP timeline"
@@ -307,6 +349,55 @@ def _cmd_check_fabric(
     return 0 if failed == 0 else 1
 
 
+def _cmd_chaos(
+    inject: str,
+    *,
+    seed: int,
+    steps: int,
+    profile: str,
+    scheme: str,
+    retries: int,
+    migrate_probability: float,
+) -> int:
+    from repro.errors import FaultInjectionError, ReproError
+    from repro.fabric.presets import scaled_fattree
+    from repro.faults.plan import FaultPlan
+    from repro.mad.reliable import RetryPolicy
+    from repro.virt.cloud import CloudManager
+    from repro.workloads.chaos import ChaosRunner
+
+    try:
+        plan = FaultPlan.from_spec(inject, seed=seed)
+        policy = RetryPolicy(retries=retries)
+    except FaultInjectionError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        built = scaled_fattree(profile)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    cloud = CloudManager(
+        built.topology, built=built, lid_scheme=scheme, num_vfs=4
+    )
+    cloud.adopt_all_hcas()
+    cloud.bring_up_subnet()
+    print(
+        f"chaos: profile={profile} scheme={scheme}"
+        f" switches={cloud.topology.num_switches}"
+        f" hypervisors={len(cloud.hypervisors)} [{plan.describe()}]"
+    )
+    runner = ChaosRunner(
+        cloud,
+        plan,
+        retry_policy=policy,
+        migrate_probability=migrate_probability,
+    )
+    report = runner.run(steps)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_trace(run: str, *, max_smps: int, tree_only: bool) -> int:
     from repro.errors import ReproError
     from repro.obs import load_run, render_span_tree, render_timeline
@@ -406,6 +497,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             paper_scale=args.paper_scale,
             inject_fault=args.inject_fault,
             max_findings=args.max_findings,
+        )
+    elif args.command == "chaos":
+        rc = _cmd_chaos(
+            args.inject,
+            seed=args.seed,
+            steps=args.steps,
+            profile=args.profile,
+            scheme=args.scheme,
+            retries=args.retries,
+            migrate_probability=args.migrate_probability,
         )
     elif args.command == "report":
         from repro.analysis.report import generate_report

@@ -21,7 +21,7 @@ import abc
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.errors import ReconfigError
+from repro.errors import ReconfigError, TransportError
 from repro.sm.subnet_manager import SubnetManager
 from repro.sriov.base import VirtualFunction
 from repro.sriov.vswitch import VSwitchHCA
@@ -194,7 +194,15 @@ class DynamicLidScheme(LidScheme):
         lid = self.sm.lid_manager.assign_extra_lid(vsw.uplink_port)
         vf.lid = lid
         vf.attach(vm_name)
-        reconfig = self.reconfigurer.copy_path(pf_lid, lid)
+        try:
+            reconfig = self.reconfigurer.copy_path(pf_lid, lid)
+        except TransportError:
+            # The reconfigurer already restored the touched LFT entries;
+            # return the LID and the VF so the failed boot leaves no trace.
+            vf.release()
+            vf.lid = None
+            self.sm.lid_manager.release_lid(lid)
+            raise
         return VmBootReport(
             vf_name=vf.name, lid=lid, lft_smps=reconfig.lft_smps, reconfig=reconfig
         )

@@ -23,7 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.errors import MigrationError
+from repro.errors import (
+    DistributionError,
+    MigrationError,
+    ReconfigRollbackError,
+    SmpTimeoutError,
+    TransportError,
+)
 from repro.mad.smp import Smp, SmpKind, SmpMethod
 from repro.core.lid_schemes import LidScheme
 from repro.core.reconfig import ReconfigReport
@@ -72,6 +78,22 @@ class MigrationReport:
     address_update_smps: int = 0  # step (a) SMPs to the hypervisors
     copy_seconds: float = 0.0
     downtime_seconds: float = 0.0
+    #: ``completed`` | ``rolled_back`` (subnet restored to the exact
+    #: pre-migration state) | ``failed`` (rollback itself failed — the
+    #: subnet may be inconsistent and needs a full reconfiguration).
+    outcome: str = "completed"
+    #: The error that aborted the migration, when not completed.
+    failure: Optional[str] = None
+    #: Retransmissions / timeouts / retry waits over the whole migration
+    #: window — the fault-injection overhead on top of the ideal n'·m'.
+    smp_retries: int = 0
+    smp_timeouts: int = 0
+    retry_wait_seconds: float = 0.0
+
+    @property
+    def completed(self) -> bool:
+        """True iff the VM runs at the destination."""
+        return self.outcome == "completed"
 
     @property
     def total_smps(self) -> int:
@@ -116,7 +138,18 @@ class LiveMigrationOrchestrator:
         *,
         vm_memory_bytes: Optional[int] = None,
     ) -> MigrationReport:
-        """Migrate *vm* from *source* to *destination* (Algorithm 1 MAIN)."""
+        """Migrate *vm* from *source* to *destination* (Algorithm 1 MAIN).
+
+        On a healthy fabric this is the exact four-step flow; on a lossy
+        one it is a small state machine. A transport failure before the
+        point of no return rolls everything back — the VF re-attaches at
+        the source, the LFT entries are restored (the reconfigurer already
+        unwound them), the vGUID returns — and the report says
+        ``rolled_back``. If even the rollback cannot be completed the
+        report says ``failed`` and the subnet needs a full
+        reconfiguration. Failures are reported, not raised, so bulk
+        workloads (churn, chaos) keep going.
+        """
         self._validate(vm, source, destination)
         vm_lid = vm.lid
         assert vm_lid is not None  # _validate checked
@@ -137,6 +170,7 @@ class LiveMigrationOrchestrator:
             dest_port=destination.uplink_port,
         )
 
+        run_before = self.sm.transport.stats.snapshot()
         with span(
             "migration",
             vm=vm.name,
@@ -154,84 +188,132 @@ class LiveMigrationOrchestrator:
                 else self.default_vm_memory_bytes
             )
 
-            # Step 2+3a: the SM learns about the migration and updates the
-            # participating hypervisors' VF addresses — one SMP each, plus the
-            # vGUID transfer to the destination (sections V-C(a), VII-B step 3).
-            before = self.sm.transport.stats.snapshot()
-            with span("address_update"):
-                self.sm.transport.send(
-                    Smp(
-                        SmpMethod.SET,
-                        SmpKind.PORT_INFO,
-                        source.hca.name,
-                        payload={
-                            "port": 1,
-                            "vf": src_vf.index,
-                            "unset_lid": vm_lid,
-                        },
+            prev_dest_guid = dest_vf.guid
+            vguid_programmed = False
+            address_update_smps = 0
+            outcome = "completed"
+            failure: Optional[str] = None
+            reconfig = ReconfigReport(mode=mode)
+            try:
+                # Step 2+3a: the SM learns about the migration and updates
+                # the participating hypervisors' VF addresses — one SMP
+                # each, plus the vGUID transfer to the destination
+                # (sections V-C(a), VII-B step 3).
+                before = self.sm.transport.stats.snapshot()
+                with span("address_update"):
+                    self._send_checked(
+                        Smp(
+                            SmpMethod.SET,
+                            SmpKind.PORT_INFO,
+                            source.hca.name,
+                            payload={
+                                "port": 1,
+                                "vf": src_vf.index,
+                                "unset_lid": vm_lid,
+                            },
+                        )
                     )
-                )
-                self.sm.transport.send(
-                    Smp(
-                        SmpMethod.SET,
-                        SmpKind.PORT_INFO,
-                        destination.hca.name,
-                        payload={
-                            "port": 1,
-                            "vf": dest_vf.index,
-                            "set_lid": vm_lid,
-                        },
+                    self._send_checked(
+                        Smp(
+                            SmpMethod.SET,
+                            SmpKind.PORT_INFO,
+                            destination.hca.name,
+                            payload={
+                                "port": 1,
+                                "vf": dest_vf.index,
+                                "set_lid": vm_lid,
+                            },
+                        )
                     )
-                )
-                result = self.sm.transport.send(
-                    Smp(
-                        SmpMethod.SET,
-                        SmpKind.VGUID,
-                        destination.hca.name,
-                        payload={"vf": dest_vf.index, "vguid": vm.vguid},
+                    result = self._send_checked(
+                        Smp(
+                            SmpMethod.SET,
+                            SmpKind.VGUID,
+                            destination.hca.name,
+                            payload={"vf": dest_vf.index, "vguid": vm.vguid},
+                        )
                     )
+                assert result.data is not None
+                destination.vswitch.set_vguid(dest_vf, result.data["vguid"])
+                vguid_programmed = True
+                address_update_smps = (
+                    self.sm.transport.stats.snapshot().total_smps
+                    - before.total_smps
                 )
-            assert result.data is not None
-            destination.vswitch.set_vguid(dest_vf, result.data["vguid"])
-            address_update_smps = (
-                self.sm.transport.stats.snapshot().total_smps
-                - before.total_smps
-            )
 
-            # Step 3b: the LFT updates (UPDATELFTBLOCKSONALLSWITCHES), or the
-            # leaf-only minimal variant when enabled and applicable.
-            limit = None
-            if self.minimal_intra_leaf and skyline.intra_leaf:
-                leaf = source.uplink_port.remote
-                assert leaf is not None
-                limit = {leaf.node.index}
-            reconfig = self.scheme.migrate_lid(
-                vm_lid,
-                source.vswitch,
-                src_vf,
-                destination.vswitch,
-                dest_vf,
-                limit_switches=limit,
-            )
+                # Step 3b: the LFT updates (UPDATELFTBLOCKSONALLSWITCHES),
+                # or the leaf-only minimal variant when enabled and
+                # applicable.
+                limit = None
+                if self.minimal_intra_leaf and skyline.intra_leaf:
+                    leaf = source.uplink_port.remote
+                    assert leaf is not None
+                    limit = {leaf.node.index}
+                reconfig = self.scheme.migrate_lid(
+                    vm_lid,
+                    source.vswitch,
+                    src_vf,
+                    destination.vswitch,
+                    dest_vf,
+                    limit_switches=limit,
+                )
+            except ReconfigRollbackError as exc:
+                # The LFT rollback itself failed: the subnet holds a
+                # mixture of old and new entries. Restore the VM-side
+                # bookkeeping so the VM keeps running at the source, but
+                # report the subnet as needing repair.
+                outcome, failure = "failed", str(exc)
+                self._restore_vm_at_source(vm, src_vf)
+            except (TransportError, DistributionError) as exc:
+                # The reconfigurer already restored every touched LFT
+                # entry; unwind the address updates and the VM state too.
+                outcome, failure = "rolled_back", str(exc)
+                try:
+                    self._compensate_addresses(
+                        vm,
+                        source,
+                        destination,
+                        src_vf,
+                        dest_vf,
+                        vm_lid,
+                        prev_dest_guid,
+                        vguid_programmed,
+                    )
+                except TransportError as rb_exc:
+                    outcome = "failed"
+                    failure = f"{failure}; address rollback lost: {rb_exc}"
+                self._restore_vm_at_source(vm, src_vf)
+            else:
+                # Step 4: attach the destination VF and finish bookkeeping.
+                src_vf.release()
+                source.evict_vm(vm)
+                dest_vf.attach(vm.name)
+                # The scheme already moved the LIDs; attach() must not
+                # clobber them.
+                destination.vms[vm.name] = vm
+                vm.vf = dest_vf
+                vm.hypervisor_name = destination.name
+                vm.state = VmState.RUNNING
+                vm.migrations += 1
 
-            # Step 4: attach the destination VF and finish bookkeeping.
-            src_vf.release()
-            source.evict_vm(vm)
-            dest_vf.attach(vm.name)
-            # The scheme already moved the LIDs; attach() must not clobber
-            # them.
-            destination.vms[vm.name] = vm
-            vm.vf = dest_vf
-            vm.hypervisor_name = destination.name
-            vm.state = VmState.RUNNING
-            vm.migrations += 1
-
-            downtime = (
-                self.timing.vf_detach_seconds
-                + self.timing.final_pause_seconds
-                + reconfig.total_seconds_serial
-                + self.timing.vf_attach_seconds
-            )
+            run_delta = self.sm.transport.stats.delta_since(run_before)
+            if outcome == "completed":
+                downtime = (
+                    self.timing.vf_detach_seconds
+                    + self.timing.final_pause_seconds
+                    + reconfig.total_seconds_serial
+                    + self.timing.vf_attach_seconds
+                )
+            else:
+                # The VM still pays detach, the wasted control-plane work
+                # (including every retry timeout), and the re-attach at the
+                # source.
+                downtime = (
+                    self.timing.vf_detach_seconds
+                    + self.timing.final_pause_seconds
+                    + run_delta.serial_time
+                    + self.timing.vf_attach_seconds
+                )
             report = MigrationReport(
                 vm_name=vm.name,
                 source=source.name,
@@ -243,6 +325,11 @@ class LiveMigrationOrchestrator:
                 address_update_smps=address_update_smps,
                 copy_seconds=copy_seconds,
                 downtime_seconds=downtime,
+                outcome=outcome,
+                failure=failure,
+                smp_retries=run_delta.retransmissions,
+                smp_timeouts=run_delta.timeouts,
+                retry_wait_seconds=run_delta.retry_wait_seconds,
             )
             sp.set_attributes(
                 total_smps=report.total_smps,
@@ -250,17 +337,105 @@ class LiveMigrationOrchestrator:
                 switches_updated=reconfig.switches_updated,
                 downtime_seconds=downtime,
             )
+            if outcome != "completed":
+                sp.set_attributes(outcome=outcome, failure=failure)
         metrics = get_hub().metrics
-        metrics.counter("repro_migrations_total", mode=mode).add(1)
+        if outcome == "completed":
+            metrics.counter("repro_migrations_total", mode=mode).add(1)
+        else:
+            metrics.counter(
+                "repro_migration_failures_total", mode=mode, outcome=outcome
+            ).add(1)
         metrics.gauge("repro_migration_downtime_seconds", mode=mode).set(
             downtime
         )
         metrics.gauge("repro_migration_total_smps", mode=mode).set(
             report.total_smps
         )
-        for listener in self.listeners:
-            listener(report)
+        if outcome == "completed":
+            for listener in self.listeners:
+                listener(report)
         return report
+
+    # -- failure handling -----------------------------------------------------
+
+    def _send_checked(self, smp: Smp):
+        """Send one address-update SMP, surfacing a silent loss.
+
+        With a reliable sender attached, losses already raise after
+        retries; with the raw transport a dropped SET simply returns a
+        TIMEOUT result — promote that to :class:`SmpTimeoutError` so the
+        migration state machine treats both paths the same way.
+        """
+        result = self.sm.smp_sender.send(smp)
+        if not result.ok:
+            raise SmpTimeoutError(
+                f"address update {smp.kind.value} to {smp.target!r} lost"
+            )
+        return result
+
+    def _compensate_addresses(
+        self,
+        vm: VirtualMachine,
+        source: Hypervisor,
+        destination: Hypervisor,
+        src_vf,
+        dest_vf,
+        vm_lid: int,
+        prev_dest_guid,
+        vguid_programmed: bool,
+    ) -> None:
+        """Undo step (a): re-point the VF addresses at the source.
+
+        Mirrors the forward path — one SMP per touched hypervisor, plus
+        the vGUID return when it had been transferred.
+        """
+        with span("address_rollback"):
+            self.sm.smp_sender.send(
+                Smp(
+                    SmpMethod.SET,
+                    SmpKind.PORT_INFO,
+                    destination.hca.name,
+                    payload={
+                        "port": 1,
+                        "vf": dest_vf.index,
+                        "unset_lid": vm_lid,
+                    },
+                )
+            )
+            self.sm.smp_sender.send(
+                Smp(
+                    SmpMethod.SET,
+                    SmpKind.PORT_INFO,
+                    source.hca.name,
+                    payload={
+                        "port": 1,
+                        "vf": src_vf.index,
+                        "set_lid": vm_lid,
+                    },
+                )
+            )
+            if vguid_programmed:
+                self.sm.smp_sender.send(
+                    Smp(
+                        SmpMethod.SET,
+                        SmpKind.VGUID,
+                        destination.hca.name,
+                        payload={
+                            "vf": dest_vf.index,
+                            "vguid": prev_dest_guid,
+                        },
+                    )
+                )
+                destination.vswitch.set_vguid(dest_vf, prev_dest_guid)
+
+    @staticmethod
+    def _restore_vm_at_source(vm: VirtualMachine, src_vf) -> None:
+        """Re-attach the source VF: the VM keeps running where it was."""
+        src_vf.release()
+        src_vf.attach(vm.name)
+        vm.vf = src_vf
+        vm.state = VmState.RUNNING
 
     @staticmethod
     def _validate(

@@ -27,9 +27,9 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.constants import LFT_BLOCK_SIZE, LFT_DROP_PORT
-from repro.errors import ReconfigError
+from repro.errors import ReconfigError, ReconfigRollbackError, TransportError
 from repro.fabric.lft import lft_block_of
-from repro.mad.smp import make_set_lft_block
+from repro.mad.smp import Smp, SmpKind, SmpMethod, make_set_lft_block
 from repro.obs.hub import get_hub, span
 from repro.sm.subnet_manager import SubnetManager
 
@@ -111,15 +111,20 @@ class VSwitchReconfigurer:
             self._check_limit_safe((lid_a, lid_b), limit_switches)
         report = ReconfigReport(mode="swap")
         before = self.sm.transport.stats.snapshot()
+        undo: List[Tuple] = []
         with span("lft_swap", lid_a=lid_a, lid_b=lid_b):
-            for sw in self._switch_sweep(limit_switches):
-                pa, pb = sw.lft.get(lid_a), sw.lft.get(lid_b)
-                if pa == pb:
-                    continue  # same forwarding port: this switch keeps balance
-                blocks = sorted({lft_block_of(lid_a), lft_block_of(lid_b)})
-                desired = sw.lft.clone()
-                desired.swap(lid_a, lid_b)
-                self._send_blocks(sw, desired, blocks, report)
+            try:
+                for sw in self._switch_sweep(limit_switches):
+                    pa, pb = sw.lft.get(lid_a), sw.lft.get(lid_b)
+                    if pa == pb:
+                        continue  # same forwarding port: switch keeps balance
+                    blocks = sorted({lft_block_of(lid_a), lft_block_of(lid_b)})
+                    desired = sw.lft.clone()
+                    desired.swap(lid_a, lid_b)
+                    self._send_blocks(sw, desired, blocks, report, undo)
+            except TransportError:
+                self._rollback_blocks(undo)
+                raise
             self._finish(report, before)
         self._record_swap(lid_a, lid_b, limit_switches)
         return report
@@ -146,14 +151,19 @@ class VSwitchReconfigurer:
         report = ReconfigReport(mode="copy")
         before = self.sm.transport.stats.snapshot()
         block = lft_block_of(target_lid)
+        undo: List[Tuple] = []
         with span("lft_copy", template_lid=template_lid, target_lid=target_lid):
-            for sw in self._switch_sweep(limit_switches):
-                src_port = sw.lft.get(template_lid)
-                if sw.lft.get(target_lid) == src_port:
-                    continue
-                desired = sw.lft.clone()
-                desired.copy_entry(template_lid, target_lid)
-                self._send_blocks(sw, desired, [block], report)
+            try:
+                for sw in self._switch_sweep(limit_switches):
+                    src_port = sw.lft.get(template_lid)
+                    if sw.lft.get(target_lid) == src_port:
+                        continue
+                    desired = sw.lft.clone()
+                    desired.copy_entry(template_lid, target_lid)
+                    self._send_blocks(sw, desired, [block], report, undo)
+            except TransportError:
+                self._rollback_blocks(undo)
+                raise
             self._finish(report, before)
         self._record_copy(template_lid, target_lid, limit_switches)
         return report
@@ -184,35 +194,46 @@ class VSwitchReconfigurer:
             self._check_limit_safe((lid_a, lid_b), limit_switches)
         report = ReconfigReport(mode="safe-swap")
         before = self.sm.transport.stats.snapshot()
+        undo: List[Tuple] = []
         with span("lft_safe_swap", lid_a=lid_a, lid_b=lid_b):
             affected = [
                 sw
                 for sw in self._switch_sweep(limit_switches)
                 if sw.lft.get(lid_a) != sw.lft.get(lid_b)
             ]
-            # Phase 1: invalidate the moving LIDs on the affected switches.
-            with span("invalidate_phase"):
-                for sw in affected:
-                    desired = sw.lft.clone()
-                    desired.drop(lid_a)
-                    desired.drop(lid_b)
-                    blocks = sorted({lft_block_of(lid_a), lft_block_of(lid_b)})
-                    self._send_blocks(sw, desired, blocks, report)
-            # Phase 2: program the swapped entries (recomputed per switch from
-            # the pre-invalidation ports captured in the SM's tables).
-            tbl = self.sm.current_tables
-            with span("swap_phase"):
-                for sw in affected:
-                    desired = sw.lft.clone()
-                    if tbl is not None and max(lid_a, lid_b) <= tbl.top_lid:
-                        pa = tbl.port_for(sw.index, lid_a)
-                        pb = tbl.port_for(sw.index, lid_b)
-                    else:  # pragma: no cover - tables always exist in practice
-                        pa, pb = desired.get(lid_a), desired.get(lid_b)
-                    desired.set(lid_a, pb)
-                    desired.set(lid_b, pa)
-                    blocks = sorted({lft_block_of(lid_a), lft_block_of(lid_b)})
-                    self._send_blocks(sw, desired, blocks, report)
+            try:
+                # Phase 1: invalidate the moving LIDs on the affected
+                # switches.
+                with span("invalidate_phase"):
+                    for sw in affected:
+                        desired = sw.lft.clone()
+                        desired.drop(lid_a)
+                        desired.drop(lid_b)
+                        blocks = sorted(
+                            {lft_block_of(lid_a), lft_block_of(lid_b)}
+                        )
+                        self._send_blocks(sw, desired, blocks, report, undo)
+                # Phase 2: program the swapped entries (recomputed per switch
+                # from the pre-invalidation ports captured in the SM's
+                # tables).
+                tbl = self.sm.current_tables
+                with span("swap_phase"):
+                    for sw in affected:
+                        desired = sw.lft.clone()
+                        if tbl is not None and max(lid_a, lid_b) <= tbl.top_lid:
+                            pa = tbl.port_for(sw.index, lid_a)
+                            pb = tbl.port_for(sw.index, lid_b)
+                        else:  # pragma: no cover - tables always exist
+                            pa, pb = desired.get(lid_a), desired.get(lid_b)
+                        desired.set(lid_a, pb)
+                        desired.set(lid_b, pa)
+                        blocks = sorted(
+                            {lft_block_of(lid_a), lft_block_of(lid_b)}
+                        )
+                        self._send_blocks(sw, desired, blocks, report, undo)
+            except TransportError:
+                self._rollback_blocks(undo)
+                raise
             # blocks_per_switch was incremented per phase; n' is the number of
             # distinct switches, not phase-entries.
             report.switches_updated = len(affected)
@@ -227,13 +248,18 @@ class VSwitchReconfigurer:
         report = ReconfigReport(mode="invalidate")
         before = self.sm.transport.stats.snapshot()
         block = lft_block_of(lid)
+        undo: List[Tuple] = []
         with span("lft_invalidate", lid=lid):
-            for sw in self.sm.topology.switches:
-                if sw.lft.get(lid) == LFT_DROP_PORT:
-                    continue
-                desired = sw.lft.clone()
-                desired.drop(lid)
-                self._send_blocks(sw, desired, [block], report)
+            try:
+                for sw in self.sm.topology.switches:
+                    if sw.lft.get(lid) == LFT_DROP_PORT:
+                        continue
+                    desired = sw.lft.clone()
+                    desired.drop(lid)
+                    self._send_blocks(sw, desired, [block], report, undo)
+            except TransportError:
+                self._rollback_blocks(undo)
+                raise
             self._finish(report, before)
         if self.sm.current_tables is not None:
             tbl = self.sm.current_tables
@@ -294,24 +320,122 @@ class VSwitchReconfigurer:
                     " set; a restricted update would strand traffic"
                 )
 
-    def _send_blocks(self, sw, desired, blocks: List[int], report: ReconfigReport) -> None:
+    def _send_blocks(
+        self,
+        sw,
+        desired,
+        blocks: List[int],
+        report: ReconfigReport,
+        undo: Optional[List[Tuple]] = None,
+    ) -> None:
         sent = 0
+        # Read the resilience state off the SM at send time: a later
+        # enable_resilience() call upgrades reconfigurers that already
+        # exist (the cloud layer builds them at scheme construction).
+        verified = self.sm.distributor.transactional
         for block in blocks:
-            if np.array_equal(sw.lft.get_block(block), desired.get_block(block)):
+            pre = np.array(sw.lft.get_block(block), dtype=np.int16, copy=True)
+            entries = desired.get_block(block)
+            if np.array_equal(pre, entries):
                 continue
-            smp = make_set_lft_block(
-                sw.name,
-                block,
-                desired.get_block(block),
-                directed=not self.destination_routed,
-            )
-            self.sm.transport.send(smp)
+            if verified:
+                self._write_block_verified(sw, block, entries, pre, undo)
+            else:
+                result = self.sm.smp_sender.send(
+                    make_set_lft_block(
+                        sw.name,
+                        block,
+                        entries,
+                        directed=not self.destination_routed,
+                    )
+                )
+                if undo is not None and result.ok:
+                    undo.append((sw, block, pre))
             sent += 1
         if sent:
             report.switches_updated += 1
             report.blocks_per_switch[sw.name] = (
                 report.blocks_per_switch.get(sw.name, 0) + sent
             )
+
+    #: Read-back rounds per block when the SM runs transactionally.
+    VERIFY_ATTEMPTS = 3
+
+    def _write_block_verified(
+        self, sw, block: int, entries, pre, undo: Optional[List[Tuple]]
+    ) -> None:
+        """Write one block and prove it landed intact.
+
+        Mirrors the distributor's transactional mode for the migration
+        fast path: a SubnGet(LFT) read-back compares the switch's block
+        against the desired entries, and a mismatch — an in-flight
+        corruption silently applied — is re-synced. Exhausting the
+        attempts raises :class:`TransportError` so the caller's undo-log
+        rollback fires and the migration state machine compensates.
+        """
+        directed = not self.destination_routed
+        recorded = False
+        for attempt in range(self.VERIFY_ATTEMPTS):
+            result = self.sm.smp_sender.send(
+                make_set_lft_block(sw.name, block, entries, directed=directed)
+            )
+            if result.ok and not recorded and undo is not None:
+                undo.append((sw, block, pre))
+                recorded = True
+            readback = self.sm.smp_sender.send(
+                Smp(
+                    SmpMethod.GET,
+                    SmpKind.LFT_BLOCK,
+                    sw.name,
+                    payload={"block": block},
+                    directed=directed,
+                )
+            )
+            if (
+                readback.ok
+                and readback.data is not None
+                and np.array_equal(
+                    np.asarray(readback.data["entries"], dtype=np.int16),
+                    np.asarray(entries, dtype=np.int16),
+                )
+            ):
+                return
+        raise TransportError(
+            f"switch {sw.name!r} block {block} failed read-back"
+            f" verification after {self.VERIFY_ATTEMPTS} attempts"
+        )
+
+    def _rollback_blocks(self, undo: List[Tuple]) -> None:
+        """Restore the pre-image of every applied block write, newest first.
+
+        Turns a mid-flight transport failure into a clean "nothing
+        happened": the caller sees the original :class:`TransportError`
+        and every switch holds its pre-reconfiguration entries. If the
+        rollback writes themselves fail, the subnet is genuinely
+        inconsistent and :class:`ReconfigRollbackError` says so.
+        """
+        verified = self.sm.distributor.transactional
+        for sw, block, pre in reversed(undo):
+            try:
+                if verified:
+                    # Restores are read-back verified too: a rollback
+                    # write silently corrupted in flight would otherwise
+                    # leave a state neither old nor new.
+                    self._write_block_verified(sw, block, pre, pre, None)
+                else:
+                    self.sm.smp_sender.send(
+                        make_set_lft_block(
+                            sw.name,
+                            block,
+                            pre,
+                            directed=not self.destination_routed,
+                        )
+                    )
+            except TransportError as exc:
+                raise ReconfigRollbackError(
+                    f"rollback of switch {sw.name!r} block {block} failed;"
+                    " subnet may be inconsistent"
+                ) from exc
 
     def _finish(self, report: ReconfigReport, before) -> None:
         delta = self.sm.transport.stats.delta_since(before)

@@ -59,5 +59,34 @@ class SimulationError(ReproError):
     """Discrete-event engine misuse (time travel, stopped engine, ...)."""
 
 
+class TransportError(ReproError):
+    """SMP transport failure (unreachable target, exhausted retries, ...)."""
+
+
+class UnreachableTargetError(TransportError, TopologyError):
+    """The SMP's target node does not exist or has no live path/LID.
+
+    Also a :class:`TopologyError` so pre-existing callers that treated a
+    send to a dead node as a topology problem keep working.
+    """
+
+
+class SmpTimeoutError(TransportError):
+    """An SMP (or its whole retry budget) timed out without a response."""
+
+
+class FaultInjectionError(ReproError):
+    """Invalid fault plan or misuse of the fault-injection layer."""
+
+
+class DistributionError(ReproError):
+    """A transactional LFT distribution could not complete nor roll back."""
+
+
+class ReconfigRollbackError(ReconfigError):
+    """An LFT reconfiguration failed AND its rollback could not restore the
+    pre-operation state — the fabric may be inconsistent."""
+
+
 class StaticAnalysisError(ReproError):
     """A static fabric invariant (loop/deadlock/reachability) is violated."""

@@ -1,0 +1,32 @@
+"""Deterministic fault injection for the control plane.
+
+The paper's cost model (section VI, equations (1)-(5)) is derived on a
+perfect control plane; real MAD datagrams are unacknowledged UD packets
+that get dropped, reordered and corrupted, and real OpenSM retransmits on
+timeout. This package supplies the failure model:
+
+* :class:`~repro.faults.plan.FaultPlan` — a declarative, seeded
+  description of what should go wrong (SMP drop/corrupt/delay
+  probabilities, per-target overrides, scripted faults such as "drop the
+  3rd LFT-block SMP of switch 7", link flaps, switch failures, SM death);
+* :class:`~repro.faults.injector.FaultInjector` — the runtime that turns
+  a plan into per-SMP decisions, attached to an
+  :class:`~repro.mad.transport.SmpTransport`.
+
+Everything is driven by explicitly seeded RNGs, so a fault plan replays
+bit-identically (the deterministic-replay property the test suite and the
+``repro chaos`` CLI rely on). With no injector attached the transport's
+fast path is untouched — fault injection is strictly opt-in and zero-cost
+when disabled.
+"""
+
+from repro.faults.injector import FaultAction, FaultDecision, FaultInjector
+from repro.faults.plan import FaultPlan, ScriptedFault
+
+__all__ = [
+    "FaultAction",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "ScriptedFault",
+]

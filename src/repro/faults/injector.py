@@ -1,0 +1,171 @@
+"""The fault injector: turning a :class:`~repro.faults.plan.FaultPlan`
+into per-SMP decisions.
+
+The injector sits inside :meth:`repro.mad.transport.SmpTransport.send`:
+for every SMP about to be delivered it returns a :class:`FaultDecision` —
+deliver, drop (the sender observes a timeout), corrupt (the payload is
+damaged in flight and *applied damaged*, the silent failure a GetResp
+read-back is needed to catch), or delay (delivered late).
+
+Two independent seeded RNG streams are derived from the plan seed:
+
+* ``rng`` — consumed once per SMP-level decision, so the decision
+  sequence depends only on the sequence of sends;
+* ``fabric_rng`` — handed to the chaos runner for link-flap/switch-kill
+  scheduling, so fabric events never shift the SMP fault sequence.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan, ScriptedFault
+from repro.mad.smp import Smp
+
+__all__ = ["FaultAction", "FaultDecision", "FaultInjector"]
+
+
+class FaultAction(enum.Enum):
+    """What the injector does to one SMP."""
+
+    DELIVER = "deliver"
+    DROP = "drop"
+    CORRUPT = "corrupt"
+    DELAY = "delay"
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One per-SMP verdict (plus the extra latency for delays)."""
+
+    action: FaultAction
+    delay_seconds: float = 0.0
+    #: The scripted rule that fired, if any (for logging/tests).
+    scripted: Optional[ScriptedFault] = None
+
+
+_DELIVER = FaultDecision(FaultAction.DELIVER)
+
+
+class FaultInjector:
+    """Runtime state of one fault plan, attachable to an SmpTransport."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        #: SMP-level decision stream (one draw per probabilistic check).
+        self.rng = random.Random(plan.seed)
+        #: Independent stream for fabric-level events (chaos runner).
+        self.fabric_rng = random.Random((plan.seed << 1) ^ 0x5EED)
+        #: Decisions taken, by action name.
+        self.counts: Counter = Counter()
+        #: Per-rule (matches seen, fires done) bookkeeping.
+        self._rule_state: List[Tuple[int, int]] = [
+            (0, 0) for _ in plan.scripted
+        ]
+
+    # -- per-SMP decisions ---------------------------------------------------
+
+    def decide(self, smp: Smp, *, now: float = 0.0) -> FaultDecision:
+        """The verdict for one SMP about to be sent at sim time *now*."""
+        decision = self._decide(smp, now)
+        self.counts[decision.action.value] += 1
+        return decision
+
+    def _decide(self, smp: Smp, now: float) -> FaultDecision:
+        scripted = self._match_scripted(smp, now)
+        if scripted is not None:
+            return scripted
+        target_rate = self.plan.per_target_drop.get(smp.target)
+        if target_rate is not None and self.rng.random() < target_rate:
+            return FaultDecision(FaultAction.DROP)
+        if (
+            self.plan.smp_drop_rate
+            and self.rng.random() < self.plan.smp_drop_rate
+        ):
+            return FaultDecision(FaultAction.DROP)
+        if (
+            self.plan.smp_corrupt_rate
+            and self.rng.random() < self.plan.smp_corrupt_rate
+        ):
+            # Corruption is only meaningful where a damaged payload can be
+            # silently applied (SET LFT blocks); elsewhere the damaged MAD
+            # fails its CRC and is discarded — a drop.
+            if smp.is_lft_update:
+                return FaultDecision(FaultAction.CORRUPT)
+            return FaultDecision(FaultAction.DROP)
+        if (
+            self.plan.smp_delay_rate
+            and self.rng.random() < self.plan.smp_delay_rate
+        ):
+            return FaultDecision(
+                FaultAction.DELAY,
+                delay_seconds=self.plan.smp_delay_seconds,
+            )
+        return _DELIVER
+
+    def _match_scripted(
+        self, smp: Smp, now: float
+    ) -> Optional[FaultDecision]:
+        kind = smp.kind.name.lower()
+        for i, rule in enumerate(self.plan.scripted):
+            if rule.target is not None and rule.target != smp.target:
+                continue
+            if rule.kind is not None and rule.kind != kind:
+                continue
+            matches, fired = self._rule_state[i]
+            if rule.at_time is not None:
+                if now < rule.at_time or fired >= rule.count:
+                    continue
+                self._rule_state[i] = (matches, fired + 1)
+            else:
+                matches += 1
+                self._rule_state[i] = (matches, fired)
+                if matches < rule.nth or fired >= rule.count:
+                    continue
+                self._rule_state[i] = (matches, fired + 1)
+            if rule.action == "corrupt" and not smp.is_lft_update:
+                return FaultDecision(FaultAction.DROP, scripted=rule)
+            action = FaultAction(rule.action)
+            return FaultDecision(
+                action,
+                delay_seconds=rule.delay_seconds,
+                scripted=rule,
+            )
+        return None
+
+    # -- payload corruption ---------------------------------------------------
+
+    def corrupt_entries(self, entries: np.ndarray) -> np.ndarray:
+        """Damage one LFT-block payload in flight.
+
+        Flips a single entry to a pseudo-random port — the bit-rot a
+        GetResp read-back (transactional distribution) exists to catch.
+        """
+        damaged = np.array(entries, dtype=np.int16, copy=True)
+        slot = self.rng.randrange(len(damaged))
+        damaged[slot] = self.rng.randrange(1, 255)
+        return damaged
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def injected_total(self) -> int:
+        """Non-DELIVER decisions taken so far."""
+        return sum(
+            count
+            for action, count in self.counts.items()
+            if action != FaultAction.DELIVER.value
+        )
+
+    def summary(self) -> Dict[str, int]:
+        """Decision counts by action (stable key order)."""
+        return {
+            action.value: self.counts.get(action.value, 0)
+            for action in FaultAction
+        }

@@ -26,7 +26,14 @@ import numpy as np
 from repro.constants import LFT_BLOCK_SIZE
 from repro.errors import TopologyError
 
-__all__ = ["SmpKind", "SmpMethod", "Smp", "SmpResult", "make_set_lft_block"]
+__all__ = [
+    "SmpKind",
+    "SmpMethod",
+    "SmpStatus",
+    "Smp",
+    "SmpResult",
+    "make_set_lft_block",
+]
 
 
 class SmpMethod(enum.Enum):
@@ -78,6 +85,19 @@ class Smp:
         return self.kind is SmpKind.LFT_BLOCK and self.method is SmpMethod.SET
 
 
+class SmpStatus(enum.Enum):
+    """What happened to one SMP on the wire.
+
+    MADs are unacknowledged UD datagrams: the sender learns about a lost
+    packet only by timing out. ``TIMEOUT`` therefore covers both an
+    injected drop and a response that never arrived — the sender cannot
+    tell the difference, exactly as on real fabrics.
+    """
+
+    DELIVERED = "delivered"
+    TIMEOUT = "timeout"
+
+
 @dataclass
 class SmpResult:
     """Outcome of delivering one SMP."""
@@ -86,6 +106,12 @@ class SmpResult:
     hops: int
     latency: float
     data: Optional[Dict[str, Any]] = None
+    status: SmpStatus = SmpStatus.DELIVERED
+
+    @property
+    def ok(self) -> bool:
+        """True iff the SMP was delivered (and answered, for GETs)."""
+        return self.status is SmpStatus.DELIVERED
 
 
 def make_set_lft_block(

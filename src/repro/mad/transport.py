@@ -22,11 +22,11 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import TopologyError
+from repro.errors import TopologyError, UnreachableTargetError
 from repro.fabric.graph import bfs_distances
 from repro.fabric.node import HCA, Node, Switch
 from repro.fabric.topology import Topology
-from repro.mad.smp import Smp, SmpKind, SmpMethod, SmpResult
+from repro.mad.smp import Smp, SmpKind, SmpMethod, SmpResult, SmpStatus
 from repro.obs.flight import SmpFlightEvent
 from repro.obs.hub import get_hub
 from repro.obs.spans import current_span
@@ -57,6 +57,14 @@ class TransportStats:
     destination_routed_smps: int = 0
     total_hops: int = 0
     serial_time: float = 0.0
+    #: SMPs that never produced a response (injected drop/corrupt-discard).
+    timeouts: int = 0
+    #: Retransmissions performed by a ReliableSmpSender on this transport.
+    retransmissions: int = 0
+    #: SET-LFT payloads silently damaged in flight (injected corruption).
+    corrupted: int = 0
+    #: Sim time spent waiting out retry timeouts (downtime inflation).
+    retry_wait_seconds: float = 0.0
     #: Slowest single SMP seen (maintained even without samples, so
     #: ``pipelined_time`` keeps its lower bound).
     max_latency: float = 0.0
@@ -102,6 +110,10 @@ class TransportStats:
             destination_routed_smps=self.destination_routed_smps,
             total_hops=self.total_hops,
             serial_time=self.serial_time,
+            timeouts=self.timeouts,
+            retransmissions=self.retransmissions,
+            corrupted=self.corrupted,
+            retry_wait_seconds=self.retry_wait_seconds,
             max_latency=self.max_latency,
             by_kind=Counter(self.by_kind),
             by_target=Counter(self.by_target),
@@ -133,6 +145,12 @@ class TransportStats:
             ),
             total_hops=self.total_hops - before.total_hops,
             serial_time=serial,
+            timeouts=self.timeouts - before.timeouts,
+            retransmissions=self.retransmissions - before.retransmissions,
+            corrupted=self.corrupted - before.corrupted,
+            retry_wait_seconds=(
+                self.retry_wait_seconds - before.retry_wait_seconds
+            ),
             max_latency=max_lat,
             by_kind=self.by_kind - before.by_kind,
             by_target=self.by_target - before.by_target,
@@ -165,6 +183,9 @@ class SmpTransport:
         self.dr_overhead = dr_overhead
         self.stats = TransportStats(record_samples=record_samples)
         self._sm_node = sm_node
+        #: Optional fault injector (see :mod:`repro.faults`). None keeps
+        #: the delivery path exactly as it always was — zero cost.
+        self._injector = None
         self._dist_cache: Optional[np.ndarray] = None
         self._dist_version: int = -1
         #: Duck-typed shared distance cache (anything with a
@@ -199,6 +220,17 @@ class SmpTransport:
     def invalidate_distances(self) -> None:
         """Drop the BFS cache after a topology mutation."""
         self._dist_cache = None
+
+    # -- fault injection ------------------------------------------------------
+
+    @property
+    def fault_injector(self):
+        """The attached :class:`~repro.faults.FaultInjector`, if any."""
+        return self._injector
+
+    def set_fault_injector(self, injector) -> None:
+        """Attach (or detach with ``None``) a fault injector."""
+        self._injector = injector
 
     def _sm_root_switch(self) -> Switch:
         node = self.sm_node
@@ -259,15 +291,67 @@ class SmpTransport:
         SMP flight recorder, increments the labeled
         ``repro_smp_total`` counter, and — when a span is open in this
         context — attaches a per-SMP event to it.
+
+        With a fault injector attached the delivery may be dropped
+        (returned ``status`` is :attr:`~repro.mad.smp.SmpStatus.TIMEOUT`
+        and the effect is *not* applied), silently corrupted (SET-LFT
+        payload damaged in flight and applied damaged), or delayed. A
+        target that does not exist or has no live path from the SM raises
+        :class:`~repro.errors.UnreachableTargetError` — distinguishable
+        from a timeout, so retry layers do not burn their budget on a
+        dead node.
         """
-        target = self.topology.node(smp.target)
-        hops = self.hops_to(target)
+        target = self._resolve_target(smp)
+        try:
+            hops = self.hops_to(target)
+        except UnreachableTargetError:
+            raise
+        except TopologyError as exc:
+            # "unreachable from SM" / "not cabled" — a dead path, not a
+            # timeout; retry layers must not retransmit into it.
+            raise UnreachableTargetError(str(exc)) from None
         latency = hops * self.hop_latency
         if smp.directed:
             latency += hops * self.dr_overhead
-        data = self._apply(smp, target)
 
+        status = SmpStatus.DELIVERED
+        fault = "delivered"
+        data: Optional[Dict[str, object]] = None
         st = self.stats
+        decision = (
+            self._injector.decide(smp, now=get_hub().now())
+            if self._injector is not None
+            else None
+        )
+        if decision is None or decision.action.value == "deliver":
+            data = self._apply(smp, target)
+        elif decision.action.value == "delay":
+            latency += decision.delay_seconds
+            fault = "delayed"
+            data = self._apply(smp, target)
+        elif decision.action.value == "corrupt":
+            # The damaged payload is applied — a *silent* failure only a
+            # read-back (transactional distribution) can catch.
+            damaged = Smp(
+                smp.method,
+                smp.kind,
+                smp.target,
+                payload={
+                    **smp.payload,
+                    "entries": self._injector.corrupt_entries(
+                        smp.payload["entries"]
+                    ),
+                },
+                directed=smp.directed,
+            )
+            data = self._apply(damaged, target)
+            st.corrupted += 1
+            fault = "corrupt"
+        else:  # drop: the packet dies on the wire, the sender times out
+            status = SmpStatus.TIMEOUT
+            st.timeouts += 1
+            fault = "dropped"
+
         st.total_smps += 1
         st.total_hops += hops
         st.serial_time += latency
@@ -286,10 +370,53 @@ class SmpTransport:
         if smp.is_lft_update:
             st.lft_update_smps += 1
 
-        self._observe(smp, hops, latency)
-        return SmpResult(smp=smp, hops=hops, latency=latency, data=data)
+        self._observe(smp, hops, latency, fault=fault)
+        return SmpResult(
+            smp=smp, hops=hops, latency=latency, data=data, status=status
+        )
 
-    def _observe(self, smp: Smp, hops: int, latency: float) -> None:
+    def _resolve_target(self, smp: Smp) -> Node:
+        """Look the target up and validate its liveness.
+
+        Destination-routed SMPs additionally need the target to hold a
+        live (bound) LID — a packet addressed to an unbound LID has no
+        forwarding entry anywhere and can never arrive. The check only
+        applies once a LID manager has populated the registry; on a bare
+        fabric with no LIDs assigned at all, destination routing stays a
+        modeling convenience (and directed routing is what discovery
+        actually uses there, as on real fabrics).
+        """
+        if smp.target not in self.topology:
+            raise UnreachableTargetError(
+                f"SMP target {smp.target!r} does not exist in the subnet"
+            )
+        target = self.topology.node(smp.target)
+        if not smp.directed and self.topology.num_lids:
+            lid = target.lid
+            if lid is None or self.topology.port_of_lid(lid) is None:
+                raise UnreachableTargetError(
+                    f"SMP target {smp.target!r} has no live LID for"
+                    " destination routing"
+                )
+        return target
+
+    def charge_wait(self, seconds: float) -> None:
+        """Account a retry-timeout wait: sim time passes, nothing is sent.
+
+        Used by :class:`~repro.mad.reliable.ReliableSmpSender` between
+        retransmissions; the wait lands in ``serial_time`` (it *is*
+        control-plane wall time — the downtime inflation chaos runs
+        measure) and separately in ``retry_wait_seconds``.
+        """
+        if seconds <= 0:
+            return
+        self.stats.serial_time += seconds
+        self.stats.retry_wait_seconds += seconds
+        get_hub().advance(seconds)
+
+    def _observe(
+        self, smp: Smp, hops: int, latency: float, *, fault: str = "delivered"
+    ) -> None:
         """Feed the observability layer (flight recorder, span, metrics)."""
         hub = get_hub()
         now = hub.advance(latency)
@@ -304,6 +431,7 @@ class SmpTransport:
                 directed=smp.directed,
                 latency=latency,
                 lft_update=smp.is_lft_update,
+                status=fault,
             )
         )
         sp = current_span()
@@ -322,6 +450,12 @@ class SmpTransport:
             kind=kind,
             routed="directed" if smp.directed else "destination",
         ).add(1)
+        if fault != "delivered":
+            hub.metrics.counter(
+                "repro_faults_injected_total", action=fault
+            ).add(1)
+        if fault == "dropped":
+            hub.metrics.counter("repro_smp_timeouts_total", kind=kind).add(1)
 
     def _apply(self, smp: Smp, target: Node) -> Optional[Dict[str, object]]:
         """Execute the management operation on the target node."""

@@ -34,6 +34,10 @@ class SmpFlightEvent:
     directed: bool
     latency: float
     lft_update: bool
+    #: Wire outcome: ``delivered`` | ``dropped`` | ``corrupt`` | ``delayed``
+    #: (non-default values only appear with fault injection enabled; the
+    #: default keeps pre-fault-layer JSONL files loadable).
+    status: str = "delivered"
 
 
 class FlightRecorder:

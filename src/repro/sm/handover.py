@@ -19,7 +19,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.errors import ReproError
+from repro.errors import ReproError, TransportError
 from repro.fabric.addressing import GUID
 from repro.mad.smp import Smp, SmpKind, SmpMethod
 from repro.sm.subnet_manager import ConfigureReport, SubnetManager
@@ -112,18 +112,22 @@ class SmRedundancyManager:
     def poll_master(self) -> bool:
         """One standby polling round: SubnGet(SMInfo) to the master.
 
-        Returns True if the master answered; False (master dead) triggers
-        no action by itself — call :meth:`handover`.
+        Returns True if the master answered; False (master dead, poll
+        lost after retries, or master unreachable) triggers no action by
+        itself — call :meth:`handover`.
         """
         master = self.master
         if master is None:
             return False
         if not master.alive:
             return False
-        self.sm.transport.send(
-            Smp(SmpMethod.GET, SmpKind.SM_INFO, master.node_name)
-        )
-        return True
+        try:
+            result = self.sm.smp_sender.send(
+                Smp(SmpMethod.GET, SmpKind.SM_INFO, master.node_name)
+            )
+        except TransportError:
+            return False
+        return result.ok
 
     def kill_master(self) -> None:
         """Simulate the master node dying."""

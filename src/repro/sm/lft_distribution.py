@@ -12,20 +12,29 @@ supports three modes:
   (what OpenSM actually does on incremental changes);
 * both modes report serial and pipelined times (section VI-B notes OpenSM
   pipelines LFT updates).
+
+With :attr:`LftDistributor.transactional` set (normally via
+:meth:`repro.sm.subnet_manager.SubnetManager.enable_resilience`), every
+block write is *verified*: a SubnGet(LFT) read-back compares the switch's
+actual block against the SM's shadow copy, silently corrupted or dropped
+writes are re-synced from that shadow, and a distribution that cannot be
+completed is rolled back block-by-block — the subnet ends in either the
+new routing or the old one, never in between.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.constants import LFT_BLOCK_SIZE, LFT_UNSET
-from repro.errors import RoutingError
+from repro.errors import DistributionError, RoutingError, TransportError
 from repro.fabric.lft import lft_block_of
+from repro.fabric.node import Switch
 from repro.fabric.topology import Topology
-from repro.mad.smp import make_set_lft_block
+from repro.mad.smp import Smp, SmpKind, SmpMethod, make_set_lft_block
 from repro.mad.transport import SmpTransport
 from repro.obs.hub import get_hub, span
 from repro.sm.routing.base import RoutingTables
@@ -42,6 +51,12 @@ class DistributionReport:
     blocks_per_switch: Dict[str, int] = field(default_factory=dict)
     serial_time: float = 0.0
     pipelined_time: float = 0.0
+    #: Blocks whose read-back matched the shadow copy (transactional mode).
+    verified_blocks: int = 0
+    #: Block rewrites forced by a failed read-back (drop or corruption).
+    resyncs: int = 0
+    #: True when the pass failed and every applied block was restored.
+    rolled_back: bool = False
 
     @property
     def max_blocks_on_one_switch(self) -> int:
@@ -64,8 +79,19 @@ class LftDistributor:
             raise RoutingError("pipeline window must be >= 1")
         self.topology = topology
         self.transport = transport
+        #: What ``.send()`` actually goes through — the raw transport by
+        #: default, a :class:`~repro.mad.reliable.ReliableSmpSender` once
+        #: the SM enables resilience.
+        self.sender = transport
         self.pipeline_window = pipeline_window
         self.directed = directed
+        #: Verify every block write with a GetResp read-back, re-sync
+        #: mismatches from the shadow copy, roll back on failure.
+        self.transactional = False
+        #: Write+read-back rounds per block before declaring the switch
+        #: failed (each round's sends also retry internally when the
+        #: sender is reliable).
+        self.verify_attempts = 3
 
     def distribute(
         self,
@@ -115,32 +141,158 @@ class LftDistributor:
         force_full: bool,
         width: int,
     ) -> None:
-        for sw in self.topology.switches:
-            # Widen to whichever is larger: the new routing or the switch's
-            # existing table — stale entries above the new top LID must be
-            # cleared, not silently kept.
-            current = sw.lft.as_array()
-            full_width = max(width, len(current))
-            desired = np.full(full_width, LFT_UNSET, dtype=np.int16)
-            row = tables.ports[sw.index]
-            desired[: len(row)] = row
+        #: (switch, block, pre-image) of every write actually applied, so
+        #: a failed transactional pass can be unwound.
+        undo: List[Tuple[Switch, int, np.ndarray]] = []
+        try:
+            for sw in self.topology.switches:
+                # Widen to whichever is larger: the new routing or the
+                # switch's existing table — stale entries above the new top
+                # LID must be cleared, not silently kept.
+                current = sw.lft.as_array()
+                full_width = max(width, len(current))
+                desired = np.full(full_width, LFT_UNSET, dtype=np.int16)
+                row = tables.ports[sw.index]
+                desired[: len(row)] = row
 
-            if force_full:
-                blocks = self._used_blocks(desired)
-            else:
-                blocks = self._changed_blocks(current, desired)
-            if not blocks:
-                continue
-            report.switches_updated += 1
-            report.blocks_per_switch[sw.name] = len(blocks)
-            for block in blocks:
-                smp = make_set_lft_block(
+                if force_full:
+                    blocks = self._used_blocks(desired)
+                else:
+                    blocks = self._changed_blocks(current, desired)
+                if not blocks:
+                    continue
+                report.switches_updated += 1
+                report.blocks_per_switch[sw.name] = len(blocks)
+                for block in blocks:
+                    entries = desired[
+                        block * LFT_BLOCK_SIZE : (block + 1) * LFT_BLOCK_SIZE
+                    ]
+                    if self.transactional:
+                        self._write_block_verified(
+                            sw, block, entries, report, undo
+                        )
+                    else:
+                        self.sender.send(
+                            make_set_lft_block(
+                                sw.name, block, entries, directed=self.directed
+                            )
+                        )
+        except (TransportError, DistributionError) as exc:
+            self._rollback(undo)
+            report.rolled_back = True
+            raise DistributionError(
+                f"LFT distribution aborted ({exc}); rolled back"
+                f" {len(undo)} applied block writes"
+            ) from exc
+
+    def _write_block_verified(
+        self,
+        sw: Switch,
+        block: int,
+        entries: np.ndarray,
+        report: DistributionReport,
+        undo: List[Tuple[Switch, int, np.ndarray]],
+    ) -> None:
+        """Write one block and prove it landed intact.
+
+        A SubnGet(LFT) read-back compares the switch's block against the
+        shadow copy being distributed; a mismatch (dropped SET without a
+        reliable sender, or silent in-flight corruption) re-syncs the block
+        from the shadow, up to :attr:`verify_attempts` rounds.
+        """
+        pre = np.array(sw.lft.get_block(block), dtype=np.int16, copy=True)
+        recorded = False
+        for attempt in range(self.verify_attempts):
+            if attempt:
+                report.resyncs += 1
+            result = self.sender.send(
+                make_set_lft_block(
+                    sw.name, block, entries, directed=self.directed
+                )
+            )
+            if result.ok and not recorded:
+                undo.append((sw, block, pre))
+                recorded = True
+            readback = self.sender.send(
+                Smp(
+                    SmpMethod.GET,
+                    SmpKind.LFT_BLOCK,
                     sw.name,
-                    block,
-                    desired[block * LFT_BLOCK_SIZE : (block + 1) * LFT_BLOCK_SIZE],
+                    payload={"block": block},
                     directed=self.directed,
                 )
-                self.transport.send(smp)
+            )
+            if (
+                readback.ok
+                and readback.data is not None
+                and np.array_equal(
+                    np.asarray(readback.data["entries"], dtype=np.int16),
+                    np.asarray(entries, dtype=np.int16),
+                )
+            ):
+                report.verified_blocks += 1
+                return
+        raise DistributionError(
+            f"switch {sw.name!r} block {block} failed read-back"
+            f" verification after {self.verify_attempts} attempts"
+        )
+
+    def _rollback(
+        self, undo: List[Tuple[Switch, int, np.ndarray]]
+    ) -> None:
+        """Restore the pre-image of every applied write, newest first.
+
+        In transactional mode the restores themselves are read-back
+        verified — a rollback write silently corrupted in flight would
+        otherwise leave a third state neither old nor new.
+        """
+        for sw, block, pre in reversed(undo):
+            try:
+                if self.transactional:
+                    self._restore_block_verified(sw, block, pre)
+                else:
+                    self.sender.send(
+                        make_set_lft_block(
+                            sw.name, block, pre, directed=self.directed
+                        )
+                    )
+            except TransportError as exc:
+                raise DistributionError(
+                    f"rollback of switch {sw.name!r} block {block} failed;"
+                    " subnet may be inconsistent"
+                ) from exc
+
+    def _restore_block_verified(
+        self, sw: Switch, block: int, pre: np.ndarray
+    ) -> None:
+        for _ in range(self.verify_attempts):
+            self.sender.send(
+                make_set_lft_block(
+                    sw.name, block, pre, directed=self.directed
+                )
+            )
+            readback = self.sender.send(
+                Smp(
+                    SmpMethod.GET,
+                    SmpKind.LFT_BLOCK,
+                    sw.name,
+                    payload={"block": block},
+                    directed=self.directed,
+                )
+            )
+            if (
+                readback.ok
+                and readback.data is not None
+                and np.array_equal(
+                    np.asarray(readback.data["entries"], dtype=np.int16),
+                    np.asarray(pre, dtype=np.int16),
+                )
+            ):
+                return
+        raise TransportError(
+            f"restore of switch {sw.name!r} block {block} failed read-back"
+            f" verification after {self.verify_attempts} attempts"
+        )
 
     @staticmethod
     def _used_blocks(desired: np.ndarray) -> List[int]:

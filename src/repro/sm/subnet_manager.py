@@ -80,6 +80,11 @@ class SubnetManager:
             create_engine(fallback_engine) if fallback_engine else None
         )
         self.transport = transport or SmpTransport(topology)
+        #: What control-plane code actually sends through. Defaults to the
+        #: raw transport (the exact pre-resilience behavior);
+        #: :meth:`enable_resilience` swaps in a retransmitting
+        #: :class:`~repro.mad.reliable.ReliableSmpSender`.
+        self.smp_sender = self.transport
         #: Shared versioned routing cache: the engines' all-pairs distances
         #: and candidate arrays, the transport's SM-root BFS row, and the
         #: incremental post-failure repair state all live here.
@@ -95,11 +100,36 @@ class SubnetManager:
         self.current_tables: Optional[RoutingTables] = None
         self.last_request: Optional[RoutingRequest] = None
 
+    # -- resilience -----------------------------------------------------------
+
+    def enable_resilience(self, policy=None, *, transactional: bool = True):
+        """Turn on the lossy-fabric survival kit.
+
+        Wraps the transport in a retransmitting
+        :class:`~repro.mad.reliable.ReliableSmpSender` (MAD timeout +
+        capped exponential backoff; *policy* is a
+        :class:`~repro.mad.reliable.RetryPolicy`) and, unless
+        ``transactional=False``, flips the distributor into
+        read-back-verified, complete-or-rollback mode. Without faults
+        injected the reliable path sends exactly the same SMPs as before
+        (retries only ever trigger on a timeout), so enabling this on a
+        healthy fabric changes no report. Returns the sender.
+        """
+        from repro.mad.reliable import ReliableSmpSender
+
+        if not isinstance(self.smp_sender, ReliableSmpSender):
+            self.smp_sender = ReliableSmpSender(self.transport, policy)
+        elif policy is not None:
+            self.smp_sender.policy = policy
+        self.distributor.sender = self.smp_sender
+        self.distributor.transactional = transactional
+        return self.smp_sender
+
     # -- configuration steps -------------------------------------------------
 
     def discover(self) -> DiscoveryReport:
         """Directed-route sweep of the fabric."""
-        return discover_subnet(self.topology, self.transport)
+        return discover_subnet(self.topology, self.smp_sender)
 
     def assign_lids(self) -> Dict[str, int]:
         """Base LID assignment for switches and HCAs."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
-from repro.errors import VirtError
+from repro.errors import TransportError, VirtError
 from repro.fabric.addressing import GuidAllocator
 from repro.fabric.node import HCA
 from repro.fabric.topology import Topology
@@ -186,7 +186,16 @@ class CloudManager:
             )
         vm = VirtualMachine(name, self.guids.allocate_virtual())
         with span("boot_vm", vm=name, hypervisor=hyp.name):
-            boot = self.scheme.boot_vm(hyp.vswitch, name)
+            try:
+                boot = self.scheme.boot_vm(hyp.vswitch, name)
+            except TransportError:
+                # The scheme already rolled the allocation back; the cloud
+                # keeps no trace of the failed VM. Callers (churn, chaos)
+                # decide whether to retry.
+                get_hub().metrics.counter(
+                    "repro_vm_boot_failures_total"
+                ).add(1)
+                raise
             vf = hyp.vswitch.vf(int(boot.vf_name.rsplit("VF", 1)[1]))
             hyp.host_vm(vm, vf)
             self.vms[name] = vm

@@ -1,5 +1,6 @@
 """Workload generators: VM churn, migration patterns, traffic placement."""
 
+from repro.workloads.chaos import ChaosReport, ChaosRunner
 from repro.workloads.churn import ChurnReport, ChurnWorkload
 from repro.workloads.migration_patterns import (
     ANY,
@@ -12,6 +13,8 @@ from repro.workloads.scenario import Scenario, ScenarioSummary
 from repro.workloads.traffic import LinkLoadReport, all_to_all_flows, link_loads
 
 __all__ = [
+    "ChaosReport",
+    "ChaosRunner",
     "ChurnReport",
     "ChurnWorkload",
     "MigrationPlanner",

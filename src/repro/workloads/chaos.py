@@ -1,0 +1,480 @@
+"""Chaos runs: churn and migrations on a fabric that keeps breaking.
+
+The chaos runner is the integration point of the fault-injection layer:
+it drives a :class:`~repro.virt.cloud.CloudManager` through boot/stop/
+migrate steps while a :class:`~repro.faults.injector.FaultInjector`
+drops, corrupts and delays SMPs in flight, and while fabric-level events
+— link flaps through the :class:`~repro.sm.traps.FabricEventManager`,
+spine-switch deaths, the master SM dying mid-reconfiguration — hit the
+control plane. At the end it audits the subnet with
+:func:`~repro.analysis.verification.verify_subnet`: the run *passes*
+only if, despite everything, the forwarding state is exactly what a
+fault-free control plane would have produced.
+
+Two cost ledgers make the paper's argument measurable under faults:
+
+* **achieved vs ideal SMPs** — each migration's actual LFT SMP count
+  (retransmissions included) against the n'·m' the
+  :class:`~repro.core.reconfig.VSwitchReconfigurer` predictors say a
+  lossless fabric would need;
+* **downtime inflation** — how much of the total VM downtime is MAD
+  retry backoff (``retry_wait_seconds``) rather than useful work.
+
+Determinism: all randomness comes from two seeded streams — the
+injector's SMP stream and its ``fabric_rng`` for event scheduling — plus
+the churn RNG, all derived from the plan seed, so a chaos run replays
+bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import DistributionError, TopologyError, TransportError
+from repro.fabric.node import Switch
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.mad.reliable import RetryPolicy
+from repro.obs.hub import get_hub, span
+from repro.sm.handover import SmRedundancyManager
+from repro.sm.traps import FabricEventManager
+from repro.virt.cloud import CloudManager
+from repro.workloads.churn import ChurnReport, ChurnWorkload
+
+__all__ = ["ChaosReport", "ChaosRunner"]
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run."""
+
+    steps: int = 0
+    plan: str = ""
+    #: Boot/stop/migration outcomes (shared shape with plain churn runs).
+    churn: ChurnReport = field(default_factory=ChurnReport)
+    #: Fabric events performed / refused (refusals: the event would have
+    #: partitioned the fabric, so the SM declined it).
+    link_flaps: int = 0
+    refused_link_flaps: int = 0
+    switch_failures: int = 0
+    refused_switch_failures: int = 0
+    sm_failovers: int = 0
+    #: LFT SMPs spent reacting to fabric events (the *legitimate* heavy
+    #: reconfigurations, kept apart from the migration ledger).
+    reroute_smps: int = 0
+    #: Migration SMP ledger: what a lossless fabric would have needed
+    #: (the predictors' n'·m') vs what was actually sent, retries and all.
+    ideal_migration_smps: int = 0
+    achieved_migration_smps: int = 0
+    #: Downtime ledger across completed migrations.
+    total_downtime_seconds: float = 0.0
+    retry_wait_seconds: float = 0.0
+    smp_retries: int = 0
+    smp_timeouts: int = 0
+    #: Injector decision counts by action.
+    fault_summary: Dict[str, int] = field(default_factory=dict)
+    #: Control-plane operations that failed even after retries/rollback.
+    control_plane_errors: List[str] = field(default_factory=list)
+    #: Final subnet audit (populated once ``verified`` is True).
+    verified: bool = False
+    verification_failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff the end-state audit ran and found nothing wrong."""
+        return self.verified and not self.verification_failures
+
+    @property
+    def smp_overhead_ratio(self) -> float:
+        """achieved / ideal migration SMPs (1.0 on a lossless fabric)."""
+        if not self.ideal_migration_smps:
+            return 1.0
+        return self.achieved_migration_smps / self.ideal_migration_smps
+
+    @property
+    def downtime_inflation(self) -> float:
+        """Fraction of total migration downtime that was retry backoff."""
+        if not self.total_downtime_seconds:
+            return 0.0
+        return self.retry_wait_seconds / self.total_downtime_seconds
+
+    def render(self, *, max_problems: int = 10) -> str:
+        """Human-readable run summary (the ``repro chaos`` output)."""
+        c = self.churn
+        lines = [
+            f"chaos: {self.steps} steps [{self.plan}]",
+            (
+                f"workload: {c.boots} boots ({c.failed_boots} failed),"
+                f" {c.stops} stops, {c.migrations} migrations"
+                f" ({c.rolled_back_migrations} rolled back,"
+                f" {c.failed_migrations} failed)"
+            ),
+            (
+                f"fabric: {self.link_flaps} link flaps"
+                f" ({self.refused_link_flaps} refused),"
+                f" {self.switch_failures} switch failures"
+                f" ({self.refused_switch_failures} refused),"
+                f" {self.sm_failovers} SM failovers"
+            ),
+            (
+                f"migration SMPs: ideal n'*m'={self.ideal_migration_smps},"
+                f" achieved={self.achieved_migration_smps}"
+                f" ({self.smp_overhead_ratio:.2f}x);"
+                f" reroute SMPs={self.reroute_smps}"
+            ),
+            (
+                f"transport: {self.smp_retries} retries,"
+                f" {self.smp_timeouts} timeouts,"
+                f" retry wait {self.retry_wait_seconds * 1e3:.3f}ms"
+                f" ({self.downtime_inflation:.1%} of"
+                f" {self.total_downtime_seconds * 1e3:.3f}ms downtime)"
+            ),
+            "faults injected: "
+            + ", ".join(
+                f"{action}={count}"
+                for action, count in self.fault_summary.items()
+                if action != "deliver"
+            ),
+        ]
+        if self.control_plane_errors:
+            lines.append(
+                f"control-plane errors: {len(self.control_plane_errors)}"
+            )
+            lines.extend(
+                f"  {err}" for err in self.control_plane_errors[:max_problems]
+            )
+        if not self.verified:
+            lines.append("verification: NOT RUN")
+        elif self.verification_failures:
+            lines.append(
+                f"verification: FAILED"
+                f" ({len(self.verification_failures)} problems)"
+            )
+            lines.extend(
+                f"  {p}"
+                for p in self.verification_failures[:max_problems]
+            )
+        else:
+            lines.append("verification: clean (forwarding state exact)")
+        return "\n".join(lines)
+
+
+class ChaosRunner:
+    """Drive one cloud through a fault plan and audit the wreckage."""
+
+    def __init__(
+        self,
+        cloud: CloudManager,
+        plan: FaultPlan,
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
+        resilient: bool = True,
+        migrate_probability: float = 0.25,
+        target_utilization: float = 0.5,
+    ) -> None:
+        self.cloud = cloud
+        self.sm = cloud.sm
+        self.plan = plan
+        self.injector = FaultInjector(plan)
+        self.events = FabricEventManager(self.sm)
+        self.redundancy = SmRedundancyManager(self.sm)
+        self.migrate_probability = migrate_probability
+        #: Reused for its boot/stop mechanics and failure accounting; the
+        #: chaos runner makes the per-step decisions itself.
+        self.churn = ChurnWorkload(
+            cloud, seed=plan.seed, target_utilization=target_utilization
+        )
+        if resilient:
+            self.sm.enable_resilience(retry_policy, transactional=True)
+        self._register_sm_candidates()
+
+    def _register_sm_candidates(self) -> None:
+        """Master on the current SM node, one standby elsewhere."""
+        master_node = self.sm.transport.sm_node
+        hcas = self.sm.topology.hcas
+        standby_node = next(
+            (h for h in reversed(hcas) if h is not master_node), None
+        )
+        self.redundancy.register(
+            master_node.name,
+            getattr(master_node, "node_guid", None)
+            or self.cloud.guids.allocate_virtual(),
+            priority=10,
+        )
+        if standby_node is not None:
+            self.redundancy.register(
+                standby_node.name,
+                getattr(standby_node, "node_guid", None)
+                or self.cloud.guids.allocate_virtual(),
+                priority=5,
+            )
+        self.redundancy.elect()
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self, steps: int) -> ChaosReport:
+        """Perform *steps* chaos steps, then audit the subnet."""
+        report = ChaosReport(steps=steps, plan=self.plan.describe())
+        transport = self.sm.transport
+        if self.plan.injects_smp_faults:
+            transport.set_fault_injector(self.injector)
+        run_before = transport.stats.snapshot()
+        try:
+            with span(
+                "chaos_run", steps=steps, plan=self.plan.describe()
+            ):
+                for step in range(steps):
+                    self._step(step, report)
+        finally:
+            transport.set_fault_injector(None)
+        run_delta = transport.stats.delta_since(run_before)
+        report.smp_retries = run_delta.retransmissions
+        report.smp_timeouts = run_delta.timeouts
+        report.retry_wait_seconds = run_delta.retry_wait_seconds
+        report.fault_summary = self.injector.summary()
+        self._verify(report)
+        self._expose(report)
+        return report
+
+    def _step(self, step: int, report: ChaosReport) -> None:
+        if (
+            self.plan.sm_death_step is not None
+            and step == self.plan.sm_death_step
+        ):
+            self._sm_failover(step, report)
+        frng = self.injector.fabric_rng
+        if self.plan.link_flap_rate and frng.random() < self.plan.link_flap_rate:
+            self._link_flap(report)
+        if (
+            self.plan.switch_failure_rate
+            and frng.random() < self.plan.switch_failure_rate
+        ):
+            self._switch_failure(report)
+        self._workload_step(report)
+
+    # -- workload -----------------------------------------------------------
+
+    def _workload_step(self, report: ChaosReport) -> None:
+        rng = self.churn.rng
+        if (
+            self.migrate_probability
+            and rng.random() < self.migrate_probability
+        ):
+            self._migrate(report)
+            return
+        cap = self.cloud.total_capacity
+        running = self.cloud.running_vm_count
+        utilization = running / cap if cap else 1.0
+        boot_bias = (
+            0.9 if utilization < self.churn.target_utilization else 0.1
+        )
+        if running == 0 or rng.random() < boot_bias:
+            self.churn._boot(report.churn)
+        else:
+            self.churn._stop(report.churn)
+
+    def _migrate(self, report: ChaosReport) -> None:
+        rng = self.churn.rng
+        running = [vm for vm in self.cloud.vms.values() if vm.is_running]
+        if not running:
+            return
+        vm = rng.choice(running)
+        candidates = [
+            h
+            for h in self.cloud.hypervisors.values()
+            if h.name != vm.hypervisor_name and h.has_capacity()
+        ]
+        if not candidates:
+            return
+        dest = rng.choice(candidates)
+        ideal = self._predict_ideal_smps(vm, dest)
+        before = self.sm.transport.stats.snapshot()
+        outcome = self.cloud.live_migrate(vm.name, dest.name)
+        delta = self.sm.transport.stats.delta_since(before)
+        report.churn.migrations += 1
+        report.total_downtime_seconds += outcome.downtime_seconds
+        if outcome.outcome == "rolled_back":
+            report.churn.rolled_back_migrations += 1
+        elif outcome.outcome == "failed":
+            report.churn.failed_migrations += 1
+            report.control_plane_errors.append(
+                f"migration {vm.name}: {outcome.failure}"
+            )
+        else:
+            report.ideal_migration_smps += ideal
+            report.achieved_migration_smps += delta.lft_update_smps
+
+    def _predict_ideal_smps(self, vm, dest) -> int:
+        """The lossless n'·m' cost of the migration about to run."""
+        reconfigurer = self.cloud.scheme.reconfigurer
+        vm_lid = vm.vf.lid
+        if self.cloud.scheme.name == "prepopulated":
+            dest_vf = dest.vswitch.first_free_vf()
+            if dest_vf.lid is None:
+                return 0
+            return reconfigurer.predict_swap(vm_lid, dest_vf.lid)[1]
+        dest_pf_lid = dest.vswitch.pf_lid
+        if dest_pf_lid is None:
+            return 0
+        return reconfigurer.predict_copy(dest_pf_lid, vm_lid)[1]
+
+    # -- fabric events -------------------------------------------------------
+
+    def _link_flap(self, report: ChaosReport) -> None:
+        frng = self.injector.fabric_rng
+        links = [
+            link
+            for link in self.sm.topology.links
+            if all(isinstance(p.node, Switch) for p in link.ends)
+        ]
+        if not links:
+            return
+        link = frng.choice(links)
+        end_a, end_b = link.ends
+        a, pa = end_a.node, end_a.num
+        b, pb = end_b.node, end_b.num
+        before = self.sm.transport.stats.snapshot()
+        with span("link_flap", a=a.name, b=b.name) as sp:
+            try:
+                self.events.link_down(link)
+            except TopologyError:
+                # The cut would have partitioned the fabric: the SM
+                # refuses; replug the cable and re-converge.
+                sp.set_attribute("refused", True)
+                self._recover(report, lambda: self.events.link_up(a, pa, b, pb))
+                report.refused_link_flaps += 1
+                return
+            except (TransportError, DistributionError) as exc:
+                report.control_plane_errors.append(f"link flap down: {exc}")
+                self._recover(report, self.sm.distribute)
+            self._recover(
+                report,
+                lambda: self.events.link_up(a, pa, b, pb),
+                label="link flap up",
+            )
+        delta = self.sm.transport.stats.delta_since(before)
+        report.link_flaps += 1
+        report.reroute_smps += delta.lft_update_smps
+        get_hub().metrics.counter("repro_chaos_link_flaps_total").add(1)
+
+    def _switch_failure(self, report: ChaosReport) -> None:
+        frng = self.injector.fabric_rng
+        safe = [
+            sw
+            for sw in self.sm.topology.switches
+            if not sw.attached_hcas() and not self._would_partition(sw)
+        ]
+        if not safe:
+            report.refused_switch_failures += 1
+            return
+        victim = frng.choice(safe)
+        before = self.sm.transport.stats.snapshot()
+        with span("switch_failure", switch=victim.name):
+            self._recover(
+                report,
+                lambda: self.sm.handle_switch_failure(victim),
+                label=f"switch failure {victim.name}",
+            )
+        delta = self.sm.transport.stats.delta_since(before)
+        report.switch_failures += 1
+        report.reroute_smps += delta.lft_update_smps
+        get_hub().metrics.counter("repro_chaos_switch_failures_total").add(1)
+
+    def _would_partition(self, dead: Switch) -> bool:
+        """Whether removing *dead* disconnects the remaining switch graph."""
+        remaining = [
+            sw for sw in self.sm.topology.switches if sw is not dead
+        ]
+        if not remaining:
+            return True
+        adjacency: Dict[str, set] = {sw.name: set() for sw in remaining}
+        for link in self.sm.topology.links:
+            end_a, end_b = link.ends
+            if (
+                isinstance(end_a.node, Switch)
+                and isinstance(end_b.node, Switch)
+                and end_a.node is not dead
+                and end_b.node is not dead
+            ):
+                adjacency[end_a.node.name].add(end_b.node.name)
+                adjacency[end_b.node.name].add(end_a.node.name)
+        seen = {remaining[0].name}
+        stack = [remaining[0].name]
+        while stack:
+            for peer in adjacency[stack.pop()]:
+                if peer not in seen:
+                    seen.add(peer)
+                    stack.append(peer)
+        return len(seen) != len(remaining)
+
+    def _sm_failover(self, step: int, report: ChaosReport) -> None:
+        """The master dies mid-reconfiguration; the standby finishes it.
+
+        The dying master has just computed fresh tables but not yet
+        distributed them — the worst moment. The elected successor
+        inherits the SM state (state-sharing pair, no resweep) and
+        completes the pending distribution with a diff send.
+        """
+        master = self.redundancy.master
+        if master is None or not master.alive:
+            return
+        with span("sm_failover", step=step) as sp:
+            self.sm.compute_routing()
+            self.redundancy.kill_master()
+            self.redundancy.handover(resweep=False)
+            successor = self.redundancy.master
+            if successor is not None:
+                sp.set_attribute("new_master", successor.node_name)
+            self._recover(
+                report, self.sm.distribute, label="failover distribution"
+            )
+        report.sm_failovers += 1
+        get_hub().metrics.counter("repro_chaos_sm_failovers_total").add(1)
+
+    # -- resilience plumbing ---------------------------------------------------
+
+    def _recover(
+        self, report: ChaosReport, action, *, label: str = "reconfiguration"
+    ) -> None:
+        """Run one control-plane action; on failure re-drive distribution.
+
+        A transactional distribution that exhausts its retries rolls the
+        switches back but leaves the SM's *intent* (the computed tables)
+        standing, so simply re-distributing is the correct repair. Two
+        repair attempts, then the error lands in the report and the final
+        audit decides whether the fabric actually diverged.
+        """
+        try:
+            action()
+            return
+        except (TransportError, DistributionError) as exc:
+            last = exc
+        for _ in range(2):
+            try:
+                self.sm.distribute()
+                return
+            except (TransportError, DistributionError) as exc:
+                last = exc
+        report.control_plane_errors.append(f"{label}: {last}")
+
+    # -- audit --------------------------------------------------------------------
+
+    def _verify(self, report: ChaosReport) -> None:
+        from repro.analysis.verification import verify_subnet
+
+        audit = verify_subnet(self.sm)
+        report.verified = True
+        report.verification_failures = audit.problems()
+
+    def _expose(self, report: ChaosReport) -> None:
+        metrics = get_hub().metrics
+        metrics.gauge("repro_chaos_smp_overhead_ratio").set(
+            report.smp_overhead_ratio
+        )
+        metrics.gauge("repro_chaos_downtime_inflation").set(
+            report.downtime_inflation
+        )
+        metrics.gauge("repro_chaos_verification_problems").set(
+            len(report.verification_failures)
+        )

@@ -13,7 +13,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List
 
-from repro.errors import VirtError
+from repro.errors import TransportError, VirtError
 from repro.virt.cloud import CloudManager
 
 __all__ = ["ChurnReport", "ChurnWorkload"]
@@ -27,6 +27,15 @@ class ChurnReport:
     stops: int = 0
     rejected_boots: int = 0
     boot_lft_smps: List[int] = field(default_factory=list)
+    #: Boots aborted by the control plane (lost SMPs, exhausted retries);
+    #: the scheme rolled the LID/VF allocation back.
+    failed_boots: int = 0
+    #: Live migrations attempted (only with ``migrate_probability`` > 0).
+    migrations: int = 0
+    #: Migrations that aborted cleanly (subnet restored to pre-state).
+    rolled_back_migrations: int = 0
+    #: Migrations whose rollback also failed (subnet needs repair).
+    failed_migrations: int = 0
 
     @property
     def total_boot_smps(self) -> int:
@@ -52,21 +61,34 @@ class ChurnWorkload:
         *,
         seed: int = 0,
         target_utilization: float = 0.5,
+        migrate_probability: float = 0.0,
     ) -> None:
         if not 0.0 < target_utilization <= 1.0:
             raise VirtError("target_utilization must be in (0, 1]")
+        if not 0.0 <= migrate_probability <= 1.0:
+            raise VirtError("migrate_probability must be in [0, 1]")
         self.cloud = cloud
         self.rng = random.Random(seed)
         self.target_utilization = target_utilization
+        #: Probability that a step live-migrates a random running VM
+        #: instead of booting/stopping. At the default 0 no RNG draw is
+        #: made for it, so pre-existing seeded runs replay unchanged.
+        self.migrate_probability = migrate_probability
 
     def run(self, steps: int) -> ChurnReport:
-        """Perform *steps* boot-or-stop events.
+        """Perform *steps* boot-or-stop (or migrate) events.
 
         Boots are favoured below the target utilization, stops above it, so
         the cloud hovers around the target while continuously churning.
         """
         report = ChurnReport()
         for _ in range(steps):
+            if (
+                self.migrate_probability
+                and self.rng.random() < self.migrate_probability
+            ):
+                self._migrate(report)
+                continue
             cap = self.cloud.total_capacity
             running = self.cloud.running_vm_count
             utilization = running / cap if cap else 1.0
@@ -85,10 +107,36 @@ class ChurnWorkload:
             report.rejected_boots += 1
             return
         before = self.cloud.sm.transport.stats.lft_update_smps
-        self.cloud.boot_vm()
+        try:
+            self.cloud.boot_vm()
+        except TransportError:
+            # The scheme rolled the boot back (LID and VF returned); the
+            # churn keeps going on the degraded fabric.
+            report.failed_boots += 1
+            return
         after = self.cloud.sm.transport.stats.lft_update_smps
         report.boots += 1
         report.boot_lft_smps.append(after - before)
+
+    def _migrate(self, report: ChurnReport) -> None:
+        running = [vm for vm in self.cloud.vms.values() if vm.is_running]
+        if not running:
+            return
+        vm = self.rng.choice(running)
+        candidates = [
+            h
+            for h in self.cloud.hypervisors.values()
+            if h.name != vm.hypervisor_name and h.has_capacity()
+        ]
+        if not candidates:
+            return
+        dest = self.rng.choice(candidates)
+        outcome = self.cloud.live_migrate(vm.name, dest.name).outcome
+        report.migrations += 1
+        if outcome == "rolled_back":
+            report.rolled_back_migrations += 1
+        elif outcome == "failed":
+            report.failed_migrations += 1
 
     def _stop(self, report: ChurnReport) -> None:
         names = [

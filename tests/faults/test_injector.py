@@ -1,0 +1,134 @@
+"""FaultInjector: decision streams, scripted rules, determinism."""
+
+import numpy as np
+
+from repro.constants import LFT_BLOCK_SIZE
+from repro.faults.injector import FaultAction, FaultInjector
+from repro.faults.plan import FaultPlan, ScriptedFault
+from repro.mad.smp import Smp, SmpKind, SmpMethod, make_set_lft_block
+
+
+def lft_smp(target="sw0", block=0):
+    return make_set_lft_block(
+        target, block, np.zeros(LFT_BLOCK_SIZE, dtype=np.int16)
+    )
+
+
+def port_info_smp(target="sw0"):
+    return Smp(SmpMethod.SET, SmpKind.PORT_INFO, target)
+
+
+class TestProbabilisticDecisions:
+    def test_quiet_plan_always_delivers(self):
+        inj = FaultInjector(FaultPlan())
+        decisions = [inj.decide(lft_smp()) for _ in range(100)]
+        assert all(d.action is FaultAction.DELIVER for d in decisions)
+        assert inj.injected_total == 0
+
+    def test_drop_rate_roughly_honoured(self):
+        inj = FaultInjector(FaultPlan(seed=1, smp_drop_rate=0.3))
+        drops = sum(
+            inj.decide(lft_smp()).action is FaultAction.DROP
+            for _ in range(1000)
+        )
+        assert 200 < drops < 400
+
+    def test_decision_stream_is_deterministic(self):
+        plan = FaultPlan(seed=42, smp_drop_rate=0.2, smp_corrupt_rate=0.1)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        smps = [lft_smp(block=i % 4) for i in range(300)]
+        assert [a.decide(s).action for s in smps] == [
+            b.decide(s).action for s in smps
+        ]
+        assert a.summary() == b.summary()
+
+    def test_corrupt_downgraded_to_drop_off_lft(self):
+        inj = FaultInjector(FaultPlan(seed=5, smp_corrupt_rate=1.0))
+        assert inj.decide(lft_smp()).action is FaultAction.CORRUPT
+        # A damaged non-LFT MAD fails its CRC and is discarded: a drop.
+        assert inj.decide(port_info_smp()).action is FaultAction.DROP
+
+    def test_per_target_drop_overrides_global(self):
+        inj = FaultInjector(
+            FaultPlan(seed=3, per_target_drop={"victim": 1.0})
+        )
+        assert inj.decide(lft_smp("victim")).action is FaultAction.DROP
+        assert inj.decide(lft_smp("bystander")).action is FaultAction.DELIVER
+
+    def test_delay_carries_latency(self):
+        inj = FaultInjector(
+            FaultPlan(seed=2, smp_delay_rate=1.0, smp_delay_seconds=5e-3)
+        )
+        decision = inj.decide(lft_smp())
+        assert decision.action is FaultAction.DELAY
+        assert decision.delay_seconds == 5e-3
+
+
+class TestScriptedFaults:
+    def test_nth_matching_smp_dropped(self):
+        rule = ScriptedFault(
+            action="drop", target="switch7", kind="lft_block", nth=3
+        )
+        inj = FaultInjector(FaultPlan(scripted=(rule,)))
+        # Non-matching target never counts.
+        assert inj.decide(lft_smp("switch1")).action is FaultAction.DELIVER
+        actions = [inj.decide(lft_smp("switch7")).action for _ in range(5)]
+        assert actions == [
+            FaultAction.DELIVER,
+            FaultAction.DELIVER,
+            FaultAction.DROP,  # exactly the 3rd LFT-block SMP of switch7
+            FaultAction.DELIVER,
+            FaultAction.DELIVER,
+        ]
+
+    def test_at_time_arms_from_sim_time(self):
+        rule = ScriptedFault(action="drop", at_time=1.0)
+        inj = FaultInjector(FaultPlan(scripted=(rule,)))
+        assert inj.decide(lft_smp(), now=0.5).action is FaultAction.DELIVER
+        assert inj.decide(lft_smp(), now=1.5).action is FaultAction.DROP
+        # count=1: fires once, then disarms.
+        assert inj.decide(lft_smp(), now=2.0).action is FaultAction.DELIVER
+
+    def test_count_fires_repeatedly(self):
+        rule = ScriptedFault(action="drop", nth=1, count=2)
+        inj = FaultInjector(FaultPlan(scripted=(rule,)))
+        actions = [inj.decide(lft_smp()).action for _ in range(4)]
+        assert actions == [
+            FaultAction.DROP,
+            FaultAction.DROP,
+            FaultAction.DELIVER,
+            FaultAction.DELIVER,
+        ]
+
+    def test_scripted_corrupt_downgrades_off_lft(self):
+        rule = ScriptedFault(action="corrupt", kind="port_info")
+        inj = FaultInjector(FaultPlan(scripted=(rule,)))
+        decision = inj.decide(port_info_smp())
+        assert decision.action is FaultAction.DROP
+        assert decision.scripted is rule
+
+
+class TestCorruption:
+    def test_corrupt_entries_changes_exactly_one_slot(self):
+        inj = FaultInjector(FaultPlan(seed=8))
+        entries = np.full(LFT_BLOCK_SIZE, 7, dtype=np.int16)
+        damaged = inj.corrupt_entries(entries)
+        assert damaged is not entries
+        assert (damaged != entries).sum() <= 1
+        assert entries[entries != damaged].size <= 1
+        # Original payload untouched.
+        assert (entries == 7).all()
+
+
+class TestRngIsolation:
+    def test_fabric_rng_independent_of_decision_stream(self):
+        plan = FaultPlan(seed=4, smp_drop_rate=0.5)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        # a consumes SMP decisions; b does not. Fabric streams must agree.
+        for _ in range(50):
+            a.decide(lft_smp())
+        assert [a.fabric_rng.random() for _ in range(10)] == [
+            b.fabric_rng.random() for _ in range(10)
+        ]

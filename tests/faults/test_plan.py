@@ -1,0 +1,71 @@
+"""FaultPlan: validation, spec parsing, description."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults.plan import FaultPlan, ScriptedFault
+
+
+class TestValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(smp_drop_rate=1.5)
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(smp_corrupt_rate=-0.1)
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(link_flap_rate=2.0)
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(per_target_drop={"sw0": 1.01})
+
+    def test_scripted_validation(self):
+        with pytest.raises(FaultInjectionError):
+            ScriptedFault(action="explode")
+        with pytest.raises(FaultInjectionError):
+            ScriptedFault(nth=0)
+        with pytest.raises(FaultInjectionError):
+            ScriptedFault(action="delay", delay_seconds=0.0)
+
+    def test_scripted_list_coerced_to_tuple(self):
+        plan = FaultPlan(scripted=[ScriptedFault(action="drop")])
+        assert isinstance(plan.scripted, tuple)
+
+    def test_injects_smp_faults(self):
+        assert not FaultPlan().injects_smp_faults
+        assert not FaultPlan(link_flap_rate=0.5).injects_smp_faults
+        assert FaultPlan(smp_drop_rate=0.1).injects_smp_faults
+        assert FaultPlan(per_target_drop={"sw0": 0.5}).injects_smp_faults
+        assert FaultPlan(scripted=(ScriptedFault(),)).injects_smp_faults
+
+
+class TestFromSpec:
+    def test_full_spec(self):
+        plan = FaultPlan.from_spec(
+            "smp-drop=0.1,smp-corrupt=0.01,smp-delay=0.05,"
+            "link-flap=0.2,switch-fail=0.02,sm-death=7",
+            seed=9,
+        )
+        assert plan.seed == 9
+        assert plan.smp_drop_rate == 0.1
+        assert plan.smp_corrupt_rate == 0.01
+        assert plan.smp_delay_rate == 0.05
+        assert plan.link_flap_rate == 0.2
+        assert plan.switch_failure_rate == 0.02
+        assert plan.sm_death_step == 7
+
+    def test_empty_spec_is_quiet_plan(self):
+        plan = FaultPlan.from_spec("", seed=3)
+        assert plan == FaultPlan(seed=3)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown --inject"):
+            FaultPlan.from_spec("gremlins=1.0")
+
+    def test_malformed_item_rejected(self):
+        with pytest.raises(FaultInjectionError, match="key=value"):
+            FaultPlan.from_spec("smp-drop")
+
+    def test_describe_mentions_active_knobs(self):
+        text = FaultPlan.from_spec("smp-drop=0.1,sm-death=4", seed=2).describe()
+        assert "seed=2" in text
+        assert "drop=0.1" in text
+        assert "sm-death@4" in text

@@ -1,0 +1,146 @@
+"""ReliableSmpSender: MAD retry/timeout semantics over a lossy transport."""
+
+import numpy as np
+import pytest
+
+from repro.constants import LFT_BLOCK_SIZE
+from repro.errors import (
+    FaultInjectionError,
+    SmpTimeoutError,
+    TransportError,
+    UnreachableTargetError,
+)
+from repro.fabric.topology import Topology
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.mad.reliable import ReliableSmpSender, RetryPolicy
+from repro.mad.smp import Smp, SmpKind, SmpMethod, make_set_lft_block
+from repro.mad.transport import SmpTransport
+from repro.obs import get_hub
+
+
+def line_topology():
+    topo = Topology("line")
+    s0, s1 = topo.add_switch("s0", 4), topo.add_switch("s1", 4)
+    h0 = topo.add_hca("h0")
+    topo.connect(h0, 1, s0, 1)
+    topo.connect(s0, 2, s1, 1)
+    return topo
+
+
+def lossy_sender(plan, policy=None):
+    tr = SmpTransport(line_topology())
+    tr.set_fault_injector(FaultInjector(plan))
+    return ReliableSmpSender(tr, policy=policy)
+
+
+def lft_smp(target="s0", block=0):
+    return make_set_lft_block(
+        target, block, np.zeros(LFT_BLOCK_SIZE, dtype=np.int16)
+    )
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.retries == 4
+        assert policy.timeout_for(0) == policy.timeout_s
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(
+            retries=10, timeout_s=1e-3, backoff=2.0, max_timeout_s=4e-3
+        )
+        waits = [policy.timeout_for(i) for i in range(6)]
+        assert waits[0] == 1e-3
+        assert waits[1] == 2e-3
+        assert waits[2] == 4e-3
+        assert waits[5] == 4e-3  # capped
+
+    def test_validation(self):
+        with pytest.raises(FaultInjectionError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(FaultInjectionError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(FaultInjectionError):
+            RetryPolicy(backoff=0.5)
+
+    def test_worst_case_wait_sums_all_attempts(self):
+        policy = RetryPolicy(retries=2, timeout_s=1e-3, backoff=2.0)
+        # Initial send timeout + 2 retry timeouts.
+        assert policy.worst_case_wait() == pytest.approx(1e-3 + 2e-3 + 4e-3)
+
+
+class TestRecovery:
+    def test_lossless_transport_passes_through(self):
+        sender = lossy_sender(FaultPlan())
+        result = sender.send(lft_smp())
+        assert result.ok
+        assert sender.stats.retransmissions == 0
+
+    def test_recovers_from_partial_loss(self):
+        sender = lossy_sender(
+            FaultPlan(seed=1, smp_drop_rate=0.3),
+            RetryPolicy(retries=8),
+        )
+        results = [sender.send(lft_smp(block=i % 4)) for i in range(100)]
+        assert all(r.ok for r in results)
+        assert sender.stats.retransmissions > 0
+        assert sender.stats.timeouts > 0
+
+    def test_exhausted_retries_raise_timeout_error(self):
+        sender = lossy_sender(
+            FaultPlan(seed=2, smp_drop_rate=1.0),
+            RetryPolicy(retries=2),
+        )
+        with pytest.raises(SmpTimeoutError, match="after 3 attempts"):
+            sender.send(lft_smp())
+
+    def test_timeout_error_is_transport_error(self):
+        assert issubclass(SmpTimeoutError, TransportError)
+
+    def test_exhaustion_charges_full_backoff_wait(self):
+        policy = RetryPolicy(retries=3)
+        sender = lossy_sender(FaultPlan(seed=3, smp_drop_rate=1.0), policy)
+        with pytest.raises(SmpTimeoutError):
+            sender.send(lft_smp())
+        assert sender.stats.retry_wait_seconds == pytest.approx(
+            policy.worst_case_wait()
+        )
+
+    def test_unreachable_target_not_retried(self):
+        sender = lossy_sender(FaultPlan(), RetryPolicy(retries=5))
+        with pytest.raises(UnreachableTargetError):
+            sender.send(Smp(SmpMethod.GET, SmpKind.NODE_INFO, "ghost"))
+        assert sender.stats.retransmissions == 0
+
+
+class TestObservability:
+    def test_retry_span_and_metric_emitted(self):
+        sender = lossy_sender(
+            FaultPlan(seed=4, smp_drop_rate=1.0), RetryPolicy(retries=1)
+        )
+        with pytest.raises(SmpTimeoutError):
+            sender.send(lft_smp())
+        hub = get_hub()
+        spans = [s for s in hub.all_spans() if s.name == "smp_retry"]
+        assert len(spans) == 1
+        assert spans[0].attributes["recovered"] is False
+        assert "repro_smp_retries_total" in hub.metrics.render_prometheus()
+
+    def test_recovered_retry_span_marked(self):
+        tr = SmpTransport(line_topology())
+        # Drop exactly the first send; the retry succeeds.
+        from repro.faults.plan import ScriptedFault
+
+        tr.set_fault_injector(
+            FaultInjector(
+                FaultPlan(scripted=(ScriptedFault(action="drop", nth=1),))
+            )
+        )
+        sender = ReliableSmpSender(tr, policy=RetryPolicy(retries=2))
+        result = sender.send(lft_smp())
+        assert result.ok
+        spans = [s for s in get_hub().all_spans() if s.name == "smp_retry"]
+        assert spans[0].attributes["recovered"] is True
+        # The first send was dropped; attempt 2 (the first retry) landed.
+        assert spans[0].attributes["attempts"] == 2
