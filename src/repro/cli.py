@@ -141,7 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help=(
             "fault plan, e.g. 'smp-drop=0.1,smp-corrupt=0.01,"
-            "link-flap=0.05,switch-fail=0.02,sm-death=10'"
+            "link-flap=0.05,switch-fail=0.02,sm-death=10'; HA scenarios"
+            " add 'partition=N' (cut the master off the management plane"
+            " at step N), 'heal-after=K' (heal K steps later; the stale"
+            " master must be fenced+demoted), 'flap-storm=N' and"
+            " 'storm-size=K' (K down/up cycles of one link at step N,"
+            " absorbed by the trap queue)"
         ),
     )
     chaos.add_argument("--seed", type=int, default=0)

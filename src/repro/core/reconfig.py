@@ -265,6 +265,8 @@ class VSwitchReconfigurer:
             tbl = self.sm.current_tables
             if lid <= tbl.top_lid:
                 tbl.ports[:, lid] = LFT_DROP_PORT
+                if self.sm.ha is not None:
+                    self.sm.ha.note_vswitch({"op": "invalidate", "lid": lid})
         return report
 
     # -- prediction (no mutation) -----------------------------------------------
@@ -480,6 +482,19 @@ class VSwitchReconfigurer:
         col_a = tbl.ports[rows, lid_a].copy()
         tbl.ports[rows, lid_a] = tbl.ports[rows, lid_b]
         tbl.ports[rows, lid_b] = col_a
+        if self.sm.ha is not None:
+            self.sm.ha.note_vswitch(
+                {
+                    "op": "swap",
+                    "lid_a": lid_a,
+                    "lid_b": lid_b,
+                    "switches": (
+                        None
+                        if limit_switches is None
+                        else sorted(limit_switches)
+                    ),
+                }
+            )
 
     def _record_copy(
         self,
@@ -500,6 +515,19 @@ class VSwitchReconfigurer:
             else sorted(limit_switches)
         )
         tbl.ports[rows, target_lid] = tbl.ports[rows, template_lid]
+        if self.sm.ha is not None:
+            self.sm.ha.note_vswitch(
+                {
+                    "op": "copy",
+                    "template_lid": template_lid,
+                    "target_lid": target_lid,
+                    "switches": (
+                        None
+                        if limit_switches is None
+                        else sorted(limit_switches)
+                    ),
+                }
+            )
 
     def _grow_tables(self, lid: int) -> None:
         tbl = self.sm.current_tables

@@ -75,6 +75,23 @@ class SmpTimeoutError(TransportError):
     """An SMP (or its whole retry budget) timed out without a response."""
 
 
+class StaleGenerationError(TransportError):
+    """A fenced write carried an SM generation older than the fabric's.
+
+    Raised by :class:`~repro.mad.reliable.ReliableSmpSender` when the
+    transport rejects a SubnSet(LFT/PortInfo) whose generation number is
+    behind the fabric's — the split-brain fence stopping a stale master
+    (re-emerged after a partition heal) from corrupting routing state.
+    Retrying is pointless: the sender must re-run the SMInfo comparison
+    and, on losing, demote itself to STANDBY.
+    """
+
+
+class HighAvailabilityError(ReproError):
+    """SM high-availability protocol misuse or an unrecoverable HA state
+    (no electable standby, replica applied out of order, ...)."""
+
+
 class FaultInjectionError(ReproError):
     """Invalid fault plan or misuse of the fault-injection layer."""
 

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.faults.plan import FaultPlan, ScriptedFault
-from repro.mad.smp import Smp
+from repro.mad.smp import Smp, SmpKind
 
 __all__ = ["FaultAction", "FaultDecision", "FaultInjector"]
 
@@ -68,6 +68,27 @@ class FaultInjector:
         self._rule_state: List[Tuple[int, int]] = [
             (0, 0) for _ in plan.scripted
         ]
+        #: Nodes currently cut off from the *management plane*: SMInfo
+        #: SMPs addressed to them are dropped deterministically (no RNG
+        #: draw — healing a partition must not shift the fault sequence).
+        #: Their port firmware still answers everything else; the model is
+        #: an unreachable SM process, not a severed cable.
+        self._isolated: frozenset = frozenset()
+
+    # -- partitions ----------------------------------------------------------
+
+    def isolate(self, names) -> None:
+        """Partition *names* off the management plane (SMInfo blackhole)."""
+        self._isolated = frozenset(names)
+
+    def heal(self) -> None:
+        """End the partition: SMInfo traffic flows again."""
+        self._isolated = frozenset()
+
+    @property
+    def isolated(self) -> frozenset:
+        """Names currently partitioned off the management plane."""
+        return self._isolated
 
     # -- per-SMP decisions ---------------------------------------------------
 
@@ -78,6 +99,12 @@ class FaultInjector:
         return decision
 
     def _decide(self, smp: Smp, now: float) -> FaultDecision:
+        if (
+            self._isolated
+            and smp.kind is SmpKind.SM_INFO
+            and smp.target in self._isolated
+        ):
+            return FaultDecision(FaultAction.DROP)
         scripted = self._match_scripted(smp, now)
         if scripted is not None:
             return scripted

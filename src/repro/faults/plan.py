@@ -25,6 +25,15 @@ _SPEC_KEYS = {
     "switch-fail": "switch_failure_rate",
 }
 
+#: Integer-valued ``--inject`` keys (steps and counts, not rates).
+_INT_SPEC_KEYS = {
+    "sm-death": "sm_death_step",
+    "partition": "partition_step",
+    "heal-after": "partition_heal_steps",
+    "flap-storm": "link_flap_storm_step",
+    "storm-size": "link_flap_storm_size",
+}
+
 
 @dataclass(frozen=True)
 class ScriptedFault:
@@ -91,6 +100,21 @@ class FaultPlan:
     #: Chaos step (0-based) at which the master SM dies mid-run; the
     #: standby must take over and complete any pending distribution.
     sm_death_step: Optional[int] = None
+    #: Chaos step at which the master SM is partitioned from the rest of
+    #: the management plane: SMInfo SMPs to/from it are dropped (its node
+    #: firmware still answers PortInfo/NodeInfo — the management
+    #: *process* is unreachable, the cable is not cut).
+    partition_step: Optional[int] = None
+    #: Steps the partition lasts before healing. At the heal the old
+    #: master re-emerges and tries to act; the generation fence must
+    #: reject its writes and demote it.
+    partition_heal_steps: int = 4
+    #: Chaos step at which one link flaps repeatedly in a burst — the
+    #: trap pipeline must coalesce and throttle instead of paying one
+    #: reroute per flap.
+    link_flap_storm_step: Optional[int] = None
+    #: Down/up cycles in the storm burst.
+    link_flap_storm_size: int = 6
 
     def __post_init__(self) -> None:
         _check_rate("smp_drop_rate", self.smp_drop_rate)
@@ -100,6 +124,10 @@ class FaultPlan:
         _check_rate("switch_failure_rate", self.switch_failure_rate)
         if self.smp_delay_seconds < 0:
             raise FaultInjectionError("smp_delay_seconds must be >= 0")
+        if self.partition_heal_steps < 1:
+            raise FaultInjectionError("partition_heal_steps must be >= 1")
+        if self.link_flap_storm_size < 1:
+            raise FaultInjectionError("link_flap_storm_size must be >= 1")
         for name, rate in self.per_target_drop.items():
             _check_rate(f"per_target_drop[{name!r}]", rate)
         if isinstance(self.scripted, list):  # tolerate list literals
@@ -107,13 +135,18 @@ class FaultPlan:
 
     @property
     def injects_smp_faults(self) -> bool:
-        """True iff any SMP-level fault can ever fire."""
+        """True iff any SMP-level fault can ever fire.
+
+        A partition counts: isolation is enforced inside the injector
+        (deterministic SMInfo drops), so the transport needs it attached.
+        """
         return bool(
             self.smp_drop_rate
             or self.smp_corrupt_rate
             or self.smp_delay_rate
             or self.per_target_drop
             or self.scripted
+            or self.partition_step is not None
         )
 
     @classmethod
@@ -130,15 +163,26 @@ class FaultPlan:
                 )
             key, _, value = item.partition("=")
             key = key.strip()
-            if key == "sm-death":
-                kwargs["sm_death_step"] = int(value)
+            if key in _INT_SPEC_KEYS:
+                try:
+                    kwargs[_INT_SPEC_KEYS[key]] = int(value)
+                except ValueError:
+                    raise FaultInjectionError(
+                        f"--inject {key} needs an integer, got {value!r}"
+                    ) from None
                 continue
             if key not in _SPEC_KEYS:
                 raise FaultInjectionError(
                     f"unknown --inject key {key!r};"
-                    f" choose {sorted(_SPEC_KEYS)} or sm-death"
+                    f" choose {sorted(_SPEC_KEYS)} or"
+                    f" {sorted(_INT_SPEC_KEYS)}"
                 )
-            kwargs[_SPEC_KEYS[key]] = float(value)
+            try:
+                kwargs[_SPEC_KEYS[key]] = float(value)
+            except ValueError:
+                raise FaultInjectionError(
+                    f"--inject {key} needs a number, got {value!r}"
+                ) from None
         return cls(seed=seed, **kwargs)  # type: ignore[arg-type]
 
     def describe(self) -> str:
@@ -160,4 +204,14 @@ class FaultPlan:
             parts.append(f"scripted={len(self.scripted)}")
         if self.sm_death_step is not None:
             parts.append(f"sm-death@{self.sm_death_step}")
+        if self.partition_step is not None:
+            parts.append(
+                f"partition@{self.partition_step}"
+                f"+{self.partition_heal_steps}"
+            )
+        if self.link_flap_storm_step is not None:
+            parts.append(
+                f"flap-storm@{self.link_flap_storm_step}"
+                f"x{self.link_flap_storm_size}"
+            )
         return " ".join(parts)

@@ -29,8 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import FaultInjectionError, SmpTimeoutError
-from repro.mad.smp import Smp, SmpResult
+from repro.errors import (
+    FaultInjectionError,
+    SmpTimeoutError,
+    StaleGenerationError,
+)
+from repro.mad.smp import Smp, SmpResult, SmpStatus
 from repro.mad.transport import SmpTransport
 from repro.obs.hub import get_hub
 
@@ -83,9 +87,17 @@ class ReliableSmpSender:
         self,
         transport: SmpTransport,
         policy: Optional[RetryPolicy] = None,
+        *,
+        generation: Optional[int] = None,
     ) -> None:
         self.transport = transport
         self.policy = policy if policy is not None else RetryPolicy()
+        #: The SM generation this sender stamps on fenced writes (SET
+        #: LFT/PortInfo). ``None`` sends unfenced, the pre-HA behaviour.
+        #: The HA manager gives every SM candidate its own sender so a
+        #: stale master keeps writing with its old generation — and gets
+        #: fenced — while the new master writes with the bumped one.
+        self.generation = generation
 
     # Delegations that make the sender a drop-in for the transport at the
     # call sites that also peek at accounting or the SM attachment.
@@ -108,14 +120,31 @@ class ReliableSmpSender:
         """Deliver *smp*, retransmitting on timeout.
 
         Returns the first delivered result. Raises
-        :class:`SmpTimeoutError` once the retry budget is exhausted, and
-        lets :class:`~repro.errors.UnreachableTargetError` propagate
-        untouched.
+        :class:`SmpTimeoutError` once the retry budget is exhausted,
+        :class:`~repro.errors.StaleGenerationError` when a fenced write
+        is rejected (retrying a fenced-out write cannot succeed — the
+        caller must re-run the SMInfo comparison), and lets
+        :class:`~repro.errors.UnreachableTargetError` propagate untouched.
         """
+        if (
+            self.generation is not None
+            and smp.generation is None
+            and smp.is_fenced_write
+        ):
+            smp.generation = self.generation
         result = self.transport.send(smp)
         if result.ok:
             return result
+        if result.status is SmpStatus.STALE_GENERATION:
+            raise self._stale(smp)
         return self._retry(smp)
+
+    def _stale(self, smp: Smp) -> StaleGenerationError:
+        return StaleGenerationError(
+            f"SMP {smp.method.value}({smp.kind.value}) to {smp.target!r}"
+            f" fenced out: generation {smp.generation} is behind the"
+            f" fabric's {self.transport.fabric_generation}"
+        )
 
     def _retry(self, smp: Smp) -> SmpResult:
         hub = get_hub()
@@ -138,6 +167,9 @@ class ReliableSmpSender:
                 if result.ok:
                     sp.set_attributes(attempts=attempt + 1, recovered=True)
                     return result
+                if result.status is SmpStatus.STALE_GENERATION:
+                    sp.set_attributes(attempts=attempt + 1, recovered=False)
+                    raise self._stale(smp)
             # We also wait out the last attempt's timeout before giving up.
             self.transport.charge_wait(policy.timeout_for(policy.retries))
             sp.set_attributes(attempts=policy.retries + 1, recovered=False)

@@ -30,6 +30,7 @@ __all__ = [
     "SmpKind",
     "SmpMethod",
     "SmpStatus",
+    "SmInfoAttrMod",
     "Smp",
     "SmpResult",
     "make_set_lft_block",
@@ -51,6 +52,23 @@ class SmpKind(enum.Enum):
     LFT_BLOCK = "LinearForwardingTable"
     VGUID = "VirtualGUIDInfo"  # alias-GUID programming on a hypervisor HCA
     SM_INFO = "SMInfo"
+    NOTICE = "Notice"  # trap notices (IBA 13.4.8/13.4.9) riding VL15
+
+
+class SmInfoAttrMod(enum.IntEnum):
+    """AttributeModifier values of SubnSet(SMInfo) (IBA 14.4.1).
+
+    The master-election handshake of the HA protocol: a takeover sends
+    HANDOVER to the previous master and DISABLE to the remaining
+    standbys, which answer ACKNOWLEDGE; DISCOVER re-arms a standby's
+    polling after a demotion.
+    """
+
+    HANDOVER = 1
+    ACKNOWLEDGE = 2
+    DISABLE = 3
+    STANDBY = 4
+    DISCOVER = 5
 
 
 @dataclass
@@ -67,6 +85,12 @@ class Smp:
     target: str
     payload: Dict[str, Any] = field(default_factory=dict)
     directed: bool = True
+    #: SM generation number stamped on fenced writes (LFT/PortInfo SETs).
+    #: ``None`` means unfenced — the pre-HA behaviour. The transport
+    #: rejects fenced writes older than the fabric's generation, which is
+    #: how a stale master re-emerging after a partition heal is stopped
+    #: (see :mod:`repro.sm.ha`).
+    generation: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind is SmpKind.LFT_BLOCK and self.method is SmpMethod.SET:
@@ -84,6 +108,16 @@ class Smp:
         counts in Table I."""
         return self.kind is SmpKind.LFT_BLOCK and self.method is SmpMethod.SET
 
+    @property
+    def is_fenced_write(self) -> bool:
+        """True for the writes the split-brain fence guards: SubnSet of
+        an LFT block or of PortInfo (the routing-state mutations a stale
+        master must not be allowed to apply)."""
+        return self.method is SmpMethod.SET and self.kind in (
+            SmpKind.LFT_BLOCK,
+            SmpKind.PORT_INFO,
+        )
+
 
 class SmpStatus(enum.Enum):
     """What happened to one SMP on the wire.
@@ -96,6 +130,10 @@ class SmpStatus(enum.Enum):
 
     DELIVERED = "delivered"
     TIMEOUT = "timeout"
+    #: A fenced write rejected because its SM generation is behind the
+    #: fabric's (split-brain fencing; the effect was NOT applied). Unlike
+    #: a timeout this is definitive — retransmitting cannot succeed.
+    STALE_GENERATION = "stale-generation"
 
 
 @dataclass

@@ -59,6 +59,9 @@ class TransportStats:
     serial_time: float = 0.0
     #: SMPs that never produced a response (injected drop/corrupt-discard).
     timeouts: int = 0
+    #: Fenced writes rejected for carrying a stale SM generation
+    #: (split-brain fencing — see :mod:`repro.sm.ha`).
+    stale_rejected: int = 0
     #: Retransmissions performed by a ReliableSmpSender on this transport.
     retransmissions: int = 0
     #: SET-LFT payloads silently damaged in flight (injected corruption).
@@ -111,6 +114,7 @@ class TransportStats:
             total_hops=self.total_hops,
             serial_time=self.serial_time,
             timeouts=self.timeouts,
+            stale_rejected=self.stale_rejected,
             retransmissions=self.retransmissions,
             corrupted=self.corrupted,
             retry_wait_seconds=self.retry_wait_seconds,
@@ -146,6 +150,7 @@ class TransportStats:
             total_hops=self.total_hops - before.total_hops,
             serial_time=serial,
             timeouts=self.timeouts - before.timeouts,
+            stale_rejected=self.stale_rejected - before.stale_rejected,
             retransmissions=self.retransmissions - before.retransmissions,
             corrupted=self.corrupted - before.corrupted,
             retry_wait_seconds=(
@@ -186,6 +191,17 @@ class SmpTransport:
         #: Optional fault injector (see :mod:`repro.faults`). None keeps
         #: the delivery path exactly as it always was — zero cost.
         self._injector = None
+        #: Highest SM generation seen on an accepted fenced write — what
+        #: "the switches" believe the current master's generation to be.
+        #: A fenced write older than this is rejected (split-brain fence).
+        self._fabric_generation = 0
+        #: Nodes whose SM software is dead: SMInfo MADs addressed to them
+        #: get no response (the node's port firmware still answers
+        #: PortInfo/NodeInfo — only the SM agent is gone).
+        self._dead_sm_nodes: set = set()
+        #: Optional SM agent (see :class:`repro.sm.ha.HighAvailabilityManager`)
+        #: answering SMInfo GET/SET with real per-candidate state.
+        self._sm_agent = None
         self._dist_cache: Optional[np.ndarray] = None
         self._dist_version: int = -1
         #: Duck-typed shared distance cache (anything with a
@@ -231,6 +247,31 @@ class SmpTransport:
     def set_fault_injector(self, injector) -> None:
         """Attach (or detach with ``None``) a fault injector."""
         self._injector = injector
+
+    # -- HA hooks (generation fencing, SM liveness, SMInfo agent) ------------
+
+    @property
+    def fabric_generation(self) -> int:
+        """The highest SM generation accepted on a fenced write so far."""
+        return self._fabric_generation
+
+    def set_sm_agent(self, agent) -> None:
+        """Attach (or detach with ``None``) an SMInfo agent.
+
+        The agent answers SMInfo MADs with per-candidate state: it must
+        provide ``sminfo(node_name) -> dict`` for GETs and
+        ``handle_sminfo_set(node_name, payload) -> dict`` for SETs. With
+        no agent attached the legacy stub replies are kept.
+        """
+        self._sm_agent = agent
+
+    def mark_sm_dead(self, node_name: str) -> None:
+        """The SM software on *node_name* died: its SMInfo stops answering."""
+        self._dead_sm_nodes.add(node_name)
+
+    def mark_sm_alive(self, node_name: str) -> None:
+        """The SM software on *node_name* (re)started."""
+        self._dead_sm_nodes.discard(node_name)
 
     def _sm_root_switch(self) -> Switch:
         node = self.sm_node
@@ -318,17 +359,31 @@ class SmpTransport:
         fault = "delivered"
         data: Optional[Dict[str, object]] = None
         st = self.stats
-        decision = (
-            self._injector.decide(smp, now=get_hub().now())
-            if self._injector is not None
-            else None
-        )
-        if decision is None or decision.action.value == "deliver":
-            data = self._apply(smp, target)
+        if (
+            smp.kind is SmpKind.SM_INFO
+            and smp.target in self._dead_sm_nodes
+        ):
+            # The node's port is up but its SM agent is dead: the MAD
+            # arrives and nothing answers. No injector RNG is consumed,
+            # so SM death events never shift the SMP fault sequence.
+            status = SmpStatus.TIMEOUT
+            st.timeouts += 1
+            fault = "no-response"
+            decision = None
+        else:
+            decision = (
+                self._injector.decide(smp, now=get_hub().now())
+                if self._injector is not None
+                else None
+            )
+        if fault == "no-response":
+            pass
+        elif decision is None or decision.action.value == "deliver":
+            data, status, fault = self._deliver(smp, target, status, fault)
         elif decision.action.value == "delay":
             latency += decision.delay_seconds
             fault = "delayed"
-            data = self._apply(smp, target)
+            data, status, fault = self._deliver(smp, target, status, fault)
         elif decision.action.value == "corrupt":
             # The damaged payload is applied — a *silent* failure only a
             # read-back (transactional distribution) can catch.
@@ -343,10 +398,14 @@ class SmpTransport:
                     ),
                 },
                 directed=smp.directed,
+                generation=smp.generation,
             )
-            data = self._apply(damaged, target)
-            st.corrupted += 1
-            fault = "corrupt"
+            data, status, fault = self._deliver(
+                damaged, target, status, fault
+            )
+            if status is SmpStatus.DELIVERED:
+                st.corrupted += 1
+                fault = "corrupt"
         else:  # drop: the packet dies on the wire, the sender times out
             status = SmpStatus.TIMEOUT
             st.timeouts += 1
@@ -374,6 +433,28 @@ class SmpTransport:
         return SmpResult(
             smp=smp, hops=hops, latency=latency, data=data, status=status
         )
+
+    def _deliver(
+        self, smp: Smp, target: Node, status: SmpStatus, fault: str
+    ):
+        """Apply one SMP that survived the wire, enforcing the fence.
+
+        A fenced write (SET LFT/PortInfo carrying a generation) older
+        than the fabric's generation is rejected without effect — the
+        switch answers with a bad status instead of applying it, which is
+        exactly how a stale master re-emerging after a partition heal is
+        stopped from corrupting routing state.
+        """
+        if smp.generation is not None and smp.is_fenced_write:
+            if smp.generation < self._fabric_generation:
+                self.stats.stale_rejected += 1
+                get_hub().metrics.counter(
+                    "repro_sm_stale_writes_rejected_total",
+                    kind=smp.kind.name.lower(),
+                ).add(1)
+                return None, SmpStatus.STALE_GENERATION, "stale-rejected"
+            self._fabric_generation = smp.generation
+        return self._apply(smp, target), status, fault
 
     def _resolve_target(self, smp: Smp) -> Node:
         """Look the target up and validate its liveness.
@@ -450,11 +531,11 @@ class SmpTransport:
             kind=kind,
             routed="directed" if smp.directed else "destination",
         ).add(1)
-        if fault != "delivered":
+        if fault in ("dropped", "corrupt", "delayed"):
             hub.metrics.counter(
                 "repro_faults_injected_total", action=fault
             ).add(1)
-        if fault == "dropped":
+        if fault in ("dropped", "no-response"):
             hub.metrics.counter("repro_smp_timeouts_total", kind=kind).add(1)
 
     def _apply(self, smp: Smp, target: Node) -> Optional[Dict[str, object]]:
@@ -499,6 +580,18 @@ class SmpTransport:
             return dict(smp.payload)
 
         if smp.kind is SmpKind.SM_INFO:
+            if self._sm_agent is not None:
+                if smp.method is SmpMethod.SET:
+                    return self._sm_agent.handle_sminfo_set(
+                        target.name, dict(smp.payload)
+                    )
+                return self._sm_agent.sminfo(target.name)
             return {"sm": self.sm_node.name}
+
+        if smp.kind is SmpKind.NOTICE:
+            # A trap notice riding VL15 to the SM: the transport only
+            # times and accounts the MAD; the trap pipeline that sent it
+            # decides what to do with the event.
+            return dict(smp.payload)
 
         raise TopologyError(f"unhandled SMP kind {smp.kind}")  # pragma: no cover

@@ -44,6 +44,7 @@ _ATTR_IDS = {
     SmpKind.PORT_INFO: 0x0015,
     SmpKind.LFT_BLOCK: 0x0019,
     SmpKind.SM_INFO: 0x0020,
+    SmpKind.NOTICE: 0x0002,
     SmpKind.VGUID: 0xFF30,
 }
 _ATTR_BY_ID = {v: k for k, v in _ATTR_IDS.items()}
@@ -92,6 +93,12 @@ def encode_smp(smp: Smp, *, tid: int = 0) -> bytes:
         attr_mod = int(smp.payload.get("vf", 0))
         struct.pack_into(">Q", payload, 0, int(smp.payload.get("vguid", 0)))
 
+    # The reserved halfword carries the SM generation fence (vendor use:
+    # high bit = fenced, low 15 bits = generation modulo 2^15).
+    reserved = 0
+    if smp.generation is not None:
+        reserved = 0x8000 | (int(smp.generation) & 0x7FFF)
+
     header = _HEADER.pack(
         1,  # base version
         mgmt_class,
@@ -102,7 +109,7 @@ def encode_smp(smp: Smp, *, tid: int = 0) -> bytes:
         0,  # hop count
         tid,
         attr_id,
-        0,  # reserved
+        reserved,
         attr_mod,
     )
     body = header + _target_bytes(smp.target) + bytes(payload)
@@ -123,7 +130,7 @@ def decode_smp(wire: bytes) -> Tuple[Smp, int]:
         _hop_cnt,
         tid,
         attr_id,
-        _reserved,
+        reserved,
         attr_mod,
     ) = _HEADER.unpack_from(wire, 0)
     if base_version != 1:
@@ -159,4 +166,15 @@ def decode_smp(wire: bytes) -> Tuple[Smp, int]:
         (vguid,) = struct.unpack_from(">Q", payload_bytes, 0)
         payload["vguid"] = vguid
 
-    return Smp(method, kind, target, payload=payload, directed=directed), tid
+    generation = (reserved & 0x7FFF) if reserved & 0x8000 else None
+    return (
+        Smp(
+            method,
+            kind,
+            target,
+            payload=payload,
+            directed=directed,
+            generation=generation,
+        ),
+        tid,
+    )

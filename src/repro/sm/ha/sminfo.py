@@ -1,0 +1,83 @@
+"""SMInfo state machine: per-candidate SM state and election rules.
+
+Every SM-capable node carries an SMInfo attribute (IBA 14.2.5.13):
+state, priority, GUID, an activity counter, and — in this reproduction's
+vendor extension — the SM *generation* used for split-brain fencing.
+The state machine is the IBA's, reduced to the transitions the HA
+protocol exercises::
+
+    DISCOVERING ──elect──▶ STANDBY ──takeover──▶ MASTER
+                              ▲                    │
+                              └──── demotion ──────┘
+                    (HANDOVER received, or fenced out after a
+                     partition heal and SMInfo comparison lost)
+
+Election follows the IBA comparison: highest priority wins, ties broken
+by lowest GUID. Liveness is lease-based: standbys poll the master with
+SubnGet(SMInfo) heartbeats; ``missed_leases`` counts consecutive
+unanswered polls, and crossing the configured threshold is what arms a
+takeover (see :class:`repro.sm.ha.manager.HighAvailabilityManager`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.fabric.addressing import GUID
+
+__all__ = ["SmHaState", "SmParticipant"]
+
+
+class SmHaState(enum.Enum):
+    """SMInfo SM state (IBA 14.4.1, reduced)."""
+
+    DISCOVERING = "discovering"
+    STANDBY = "standby"
+    MASTER = "master"
+    NOT_ACTIVE = "not-active"
+
+
+@dataclass
+class SmParticipant:
+    """One SM candidate taking part in the HA protocol.
+
+    ``alive`` is ground truth about the SM *software* on the node (the
+    node's port firmware keeps answering PortInfo/NodeInfo either way);
+    peers only learn about a death through missed leases. ``state`` is
+    the participant's **own belief** — during a partition a fenced-out
+    master keeps believing ``MASTER`` until it is demoted, which is
+    exactly the split-brain window the generation fence closes.
+    """
+
+    node_name: str
+    guid: GUID
+    priority: int = 0
+    state: SmHaState = SmHaState.DISCOVERING
+    alive: bool = True
+    #: SM generation this participant last mastered with (0 = never).
+    generation: int = 0
+    #: IBA ActCount — bumped on every promotion to master.
+    act_count: int = 0
+    #: Consecutive heartbeat polls of the master this standby has lost.
+    missed_leases: int = 0
+
+    def election_key(self):
+        """Higher priority wins; ties broken by lowest GUID."""
+        return (-self.priority, self.guid)
+
+    @property
+    def is_master(self) -> bool:
+        return self.state is SmHaState.MASTER
+
+    def sminfo(self) -> Dict[str, Any]:
+        """The SMInfo GetResp payload for this participant."""
+        return {
+            "node": self.node_name,
+            "state": self.state.value,
+            "priority": self.priority,
+            "guid": self.guid,
+            "generation": self.generation,
+            "act_count": self.act_count,
+        }

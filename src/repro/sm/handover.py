@@ -19,7 +19,12 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.errors import ReproError, TransportError
+from repro.errors import (
+    ReproError,
+    SmpTimeoutError,
+    TransportError,
+    UnreachableTargetError,
+)
 from repro.fabric.addressing import GUID
 from repro.mad.smp import Smp, SmpKind, SmpMethod
 from repro.sm.subnet_manager import ConfigureReport, SubnetManager
@@ -112,46 +117,79 @@ class SmRedundancyManager:
     def poll_master(self) -> bool:
         """One standby polling round: SubnGet(SMInfo) to the master.
 
-        Returns True if the master answered; False (master dead, poll
-        lost after retries, or master unreachable) triggers no action by
-        itself — call :meth:`handover`.
+        The poll is a real SMP through the SM's (possibly resilient)
+        sender: a dead master is detected because its SMInfo agent stops
+        answering — not by peeking at ground truth. A poll lost after
+        retries and an unreachable master are the same verdict: the lease
+        was missed. Returns True iff the master answered; False triggers
+        no action by itself — call :meth:`handover`.
         """
         master = self.master
         if master is None:
-            return False
-        if not master.alive:
             return False
         try:
             result = self.sm.smp_sender.send(
                 Smp(SmpMethod.GET, SmpKind.SM_INFO, master.node_name)
             )
-        except TransportError:
+        except (SmpTimeoutError, UnreachableTargetError):
             return False
         return result.ok
 
     def kill_master(self) -> None:
-        """Simulate the master node dying."""
+        """Simulate the master's SM software dying.
+
+        The node's port firmware keeps answering PortInfo/NodeInfo — only
+        the SMInfo agent goes silent, which is what standby polls detect.
+        """
         master = self.master
         if master is None:
             raise ReproError("no master to kill")
         master.alive = False
         master.state = SmState.NOT_ACTIVE
+        self.sm.transport.mark_sm_dead(master.node_name)
 
     def handover(self, *, resweep: bool = False) -> ConfigureReport:
         """Standby takes over as master.
 
         With ``resweep=False`` (what a state-sharing OpenSM pair does) the
         new master adopts the existing LID assignments and LFTs: the
-        report carries zero path computation and zero LFT SMPs. With
+        report carries zero path computation and zero LFT SMPs — but NOT
+        zero cost. The SMInfo handshake (confirming the peers' states)
+        and the verification discovery sweep are real SMPs, accounted in
+        ``handshake_smps``/``handshake_seconds`` and ``discovery``; the
+        honest total is :attr:`ConfigureReport.control_smps`. With
         ``resweep=True`` it behaves like the naive restart of the
         reference-[10] prototype: full discovery, recompute, and a diff
         distribution (usually still zero changed blocks, but the PCt is
         paid again).
         """
-        self.elect()
+        winner = self.elect()
         self.handovers += 1
+        before = self.sm.transport.stats.snapshot()
+        # SMInfo handshake: the new master confirms every peer's state
+        # (the dead previous master simply times out — that timeout is
+        # part of the real takeover cost).
+        for cand in self.candidates():
+            if cand is winner:
+                continue
+            try:
+                self.sm.smp_sender.send(
+                    Smp(SmpMethod.GET, SmpKind.SM_INFO, cand.node_name)
+                )
+            except TransportError:
+                pass
+        handshake = self.sm.transport.stats.delta_since(before)
         if not resweep:
             report = ConfigureReport()
+            report.sweep_mode = "light"
             report.discovery = self.sm.discover()
-            return report
-        return self.sm.incremental_reroute()
+        else:
+            report = ConfigureReport()
+            report.sweep_mode = "heavy"
+            report.discovery = self.sm.discover()
+            tables = self.sm.compute_routing()
+            report.path_compute_seconds = tables.compute_seconds
+            report.distribution = self.sm.distribute()
+        report.handshake_smps = handshake.total_smps
+        report.handshake_seconds = handshake.serial_time
+        return report

@@ -294,6 +294,26 @@ class LftDistributor:
             f" verification after {self.verify_attempts} attempts"
         )
 
+    def pending_blocks(self, tables: RoutingTables) -> int:
+        """Count the block writes a diff distribution of *tables* would
+        send, without sending anything.
+
+        The HA acceptance check compares a light failover sweep's actual
+        block writes against this figure: a successor whose journal was
+        current must never program more than the pending diff.
+        """
+        top_lid = tables.top_lid
+        width = (lft_block_of(top_lid) + 1) * LFT_BLOCK_SIZE
+        pending = 0
+        for sw in self.topology.switches:
+            current = sw.lft.as_array()
+            full_width = max(width, len(current))
+            desired = np.full(full_width, LFT_UNSET, dtype=np.int16)
+            row = tables.ports[sw.index]
+            desired[: len(row)] = row
+            pending += len(self._changed_blocks(current, desired))
+        return pending
+
     @staticmethod
     def _used_blocks(desired: np.ndarray) -> List[int]:
         mask = (desired != LFT_UNSET).reshape(-1, LFT_BLOCK_SIZE)

@@ -33,16 +33,39 @@ __all__ = ["ConfigureReport", "SubnetManager"]
 
 @dataclass
 class ConfigureReport:
-    """Cost breakdown of one (re)configuration — the paper's RC_t."""
+    """Cost breakdown of one (re)configuration — the paper's RC_t.
+
+    A failover additionally accounts the SMInfo handshake traffic
+    (heartbeat/HANDOVER/ACKNOWLEDGE exchanges) and tags which sweep the
+    successor paid: ``"light"`` (journal current: verify sweep plus the
+    pending diff) or ``"heavy"`` (stale journal: full rediscovery and
+    recompute). Downtime figures must include this traffic — the
+    companion work's SM restart pays it too.
+    """
 
     path_compute_seconds: float = 0.0  # PC_t
     distribution: DistributionReport = field(default_factory=DistributionReport)
     discovery: Optional[DiscoveryReport] = None
+    #: SMInfo handshake SMPs spent negotiating a failover (heartbeats,
+    #: HANDOVER/ACKNOWLEDGE, fencing probe). Zero outside failovers.
+    handshake_smps: int = 0
+    handshake_seconds: float = 0.0
+    #: ``""`` for ordinary reconfigurations, else ``"light"``/``"heavy"``.
+    sweep_mode: str = ""
+    #: Journal entries the successor replayed to reconstruct state.
+    journal_entries_replayed: int = 0
 
     @property
     def lft_smps(self) -> int:
         """SubnSet(LFT) SMPs sent (the n*m term)."""
         return self.distribution.smps_sent
+
+    @property
+    def control_smps(self) -> int:
+        """Every SMP this operation cost: distribution, discovery sweep,
+        and SMInfo handshake — the honest failover-traffic figure."""
+        discovered = self.discovery.smps_sent if self.discovery else 0
+        return self.distribution.smps_sent + discovered + self.handshake_smps
 
     @property
     def total_seconds_serial(self) -> float:
@@ -53,6 +76,13 @@ class ConfigureReport:
     def total_seconds_pipelined(self) -> float:
         """RC_t with the SM's LFT pipelining (section VI-B)."""
         return self.path_compute_seconds + self.distribution.pipelined_time
+
+    @property
+    def downtime_seconds_serial(self) -> float:
+        """Serial RC_t plus discovery and handshake time — what the
+        subnet actually went without a master for during a failover."""
+        discovered = self.discovery.serial_time if self.discovery else 0.0
+        return self.total_seconds_serial + discovered + self.handshake_seconds
 
 
 class SubnetManager:
@@ -99,6 +129,11 @@ class SubnetManager:
         )
         self.current_tables: Optional[RoutingTables] = None
         self.last_request: Optional[RoutingRequest] = None
+        #: High-availability manager, once attached (see
+        #: :class:`repro.sm.ha.HighAvailabilityManager`). When set, the SM
+        #: journals LID/routing/distribution changes for hot-standby
+        #: replication.
+        self.ha = None
 
     # -- resilience -----------------------------------------------------------
 
@@ -133,7 +168,10 @@ class SubnetManager:
 
     def assign_lids(self) -> Dict[str, int]:
         """Base LID assignment for switches and HCAs."""
-        return self.lid_manager.assign_base_lids()
+        mapping = self.lid_manager.assign_base_lids()
+        if self.ha is not None and mapping:
+            self.ha.note_lids(mapping)
+        return mapping
 
     def compute_routing(self) -> RoutingTables:
         """Run the engine; stores and returns the tables (PCt stamped).
@@ -179,15 +217,20 @@ class SubnetManager:
         )
         self.current_tables = tables
         self.last_request = request
+        if self.ha is not None:
+            self.ha.note_tables(tables)
         return tables
 
     def distribute(self, *, force_full: bool = False) -> DistributionReport:
         """Send the current tables to the switches."""
         if self.current_tables is None:
             raise RoutingError("no routing computed yet")
-        return self.distributor.distribute(
+        report = self.distributor.distribute(
             self.current_tables, force_full=force_full
         )
+        if self.ha is not None:
+            self.ha.note_distribution(self.current_tables, report)
+        return report
 
     # -- high-level flows -------------------------------------------------------
 

@@ -5,6 +5,22 @@ traps 128/129-style). The event manager records the traps, debounces the
 two reports a single cable failure produces (one from each end), and
 triggers the SM's reaction — the *legitimate* heavy reconfiguration the
 paper contrasts with migration-triggered ones.
+
+Two ingestion paths exist:
+
+* the **legacy synchronous** path (:meth:`FabricEventManager.link_down` /
+  :meth:`~FabricEventManager.link_up`) reroutes once per event, exactly
+  as before;
+* the **hardened deferred** path (:meth:`~FabricEventManager.report_link_down`
+  / :meth:`~FabricEventManager.report_link_up` +
+  :meth:`~FabricEventManager.pump`) models the VL15 trap pipeline of a
+  production SM: trap notices ride a **bounded queue** (VL15 is
+  unacknowledged — overflow loses notices and forces a full sweep),
+  repeated flaps of the same link **coalesce** (a down immediately
+  followed by an up cancels out — no reroute at all), links flapping
+  above the storm threshold are **throttled** for one pump, and
+  everything still pending at pump time is batched into **one**
+  incremental reroute instead of one per event.
 """
 
 from __future__ import annotations
@@ -12,14 +28,16 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ReproError, TopologyError
 from repro.fabric.link import Link
 from repro.fabric.node import Switch
+from repro.mad.smp import Smp, SmpKind, SmpMethod
+from repro.obs.hub import get_hub, span
 from repro.sm.subnet_manager import ConfigureReport, SubnetManager
 
-__all__ = ["TrapType", "TrapRecord", "FabricEventManager"]
+__all__ = ["TrapType", "TrapRecord", "PendingEvent", "FabricEventManager"]
 
 
 class TrapType(enum.Enum):
@@ -39,15 +57,58 @@ class TrapRecord:
     port: int
 
 
+@dataclass
+class PendingEvent:
+    """One coalesced fabric event waiting in the VL15 trap queue."""
+
+    key: Tuple[str, str]
+    kind: TrapType
+    #: How many raw traps folded into this entry.
+    merged: int = 1
+    #: Throttled once already — eligible at the next pump regardless.
+    deferred: bool = False
+    #: Reconnect coordinates, kept for LINK_STATE_UP events.
+    endpoints: Optional[Tuple[str, int, str, int]] = None
+
+
 class FabricEventManager:
     """Receives fabric traps and drives the SM's reaction."""
 
-    def __init__(self, sm: SubnetManager) -> None:
+    def __init__(
+        self,
+        sm: SubnetManager,
+        *,
+        queue_capacity: int = 64,
+        storm_threshold: int = 3,
+    ) -> None:
+        if queue_capacity < 1:
+            raise ReproError("trap queue capacity must be >= 1")
+        if storm_threshold < 1:
+            raise ReproError("storm threshold must be >= 1")
         self.sm = sm
         self.traps: List[TrapRecord] = []
         self._seq = itertools.count(1)
         #: Reconfigurations performed in reaction to traps.
         self.reactions: List[ConfigureReport] = []
+        #: Bounded VL15 trap queue, keyed by normalized link endpoints.
+        #: Dict order (insertion) keeps draining deterministic.
+        self.queue_capacity = queue_capacity
+        self.storm_threshold = storm_threshold
+        self._queue: Dict[Tuple[str, str], PendingEvent] = {}
+        #: Raw flap count per link key since the last pump — the storm
+        #: detector's signal.
+        self._flap_counts: Dict[Tuple[str, str], int] = {}
+        #: Queue overflow lost a notice: the next pump cannot trust the
+        #: queue to be complete and must sweep regardless.
+        self.needs_full_sweep = False
+        self.overflows = 0
+        #: Down/up pairs that cancelled before any reroute was paid.
+        self.traps_coalesced = 0
+        #: Events pushed past a pump by the storm throttle.
+        self.traps_throttled = 0
+        #: Trap notices lost on the (unacknowledged) VL15 path.
+        self.traps_lost = 0
+        self.pumps = 0
 
     # -- trap ingestion -------------------------------------------------------
 
@@ -62,7 +123,7 @@ class FabricEventManager:
         """All received traps of one type, in arrival order."""
         return [t for t in self.traps if t.trap is trap]
 
-    # -- events ------------------------------------------------------------------
+    # -- legacy synchronous events --------------------------------------------
 
     def link_down(self, link: Link) -> ConfigureReport:
         """A cable died: both switch ends trap, the SM reroutes once.
@@ -95,6 +156,185 @@ class FabricEventManager:
         report.path_compute_seconds = tables.compute_seconds
         report.distribution = self.sm.distribute()
         self.reactions.append(report)
+        return report
+
+    # -- hardened deferred pipeline -------------------------------------------
+
+    @staticmethod
+    def _link_key(name_a: str, name_b: str) -> Tuple[str, str]:
+        return (name_a, name_b) if name_a <= name_b else (name_b, name_a)
+
+    def _notice(self, trap: TrapType, reporter: str, port: int) -> None:
+        """Deliver one trap notice to the SM over VL15.
+
+        Notices are unacknowledged: a lost SMP is only counted — the
+        reporting port keeps resending until the SM represses the notice,
+        so the *event* still lands in the queue either way.
+        """
+        self._record(trap, reporter, port)
+        result = self.sm.transport.send(
+            Smp(
+                SmpMethod.SET,
+                SmpKind.NOTICE,
+                self.sm.transport.sm_node.name,
+                payload={
+                    "trap": trap.value,
+                    "reporter": reporter,
+                    "port": port,
+                },
+            )
+        )
+        if not result.ok:
+            self.traps_lost += 1
+            get_hub().metrics.counter("repro_traps_lost_total").add(1)
+
+    def _enqueue(self, event: PendingEvent) -> None:
+        """Queue one event, coalescing and bounding.
+
+        An opposite-kind event already pending for the same link cancels
+        both out (the flap never surfaced to the routing layer); queueing
+        past capacity drops the notice and forces a full sweep at the
+        next pump.
+        """
+        metrics = get_hub().metrics
+        self._flap_counts[event.key] = self._flap_counts.get(event.key, 0) + 1
+        pending = self._queue.get(event.key)
+        if pending is not None:
+            if pending.kind is event.kind:
+                pending.merged += event.merged
+                metrics.counter("repro_traps_coalesced_total").add(1)
+                self.traps_coalesced += 1
+            else:
+                # down + up (or up + down) — net no-op, drop both.
+                del self._queue[event.key]
+                metrics.counter("repro_traps_coalesced_total").add(1)
+                self.traps_coalesced += 1
+            return
+        if len(self._queue) >= self.queue_capacity:
+            self.overflows += 1
+            self.needs_full_sweep = True
+            metrics.counter("repro_trap_queue_overflows_total").add(1)
+            return
+        self._queue[event.key] = event
+
+    def report_link_down(self, link: Link) -> None:
+        """Deferred link failure: the cable dies *now*, the reroute waits.
+
+        The topology change is immediate (packets blackhole until the
+        next :meth:`pump`, like on a real fabric); the trap notices ride
+        VL15 into the bounded queue. Raises
+        :class:`~repro.errors.TopologyError` — with the cable replugged —
+        if the cut would partition the switch fabric.
+        """
+        ends = [p for p in link.ends if isinstance(p.node, Switch)]
+        if not ends:
+            raise ReproError(
+                "report_link_down models inter-switch cables only"
+            )
+        end_a, end_b = link.ends
+        a, pa = end_a.node, end_a.num
+        b, pb = end_b.node, end_b.num
+        u = a.index if isinstance(a, Switch) else -1
+        v = b.index if isinstance(b, Switch) else -1
+        link.disconnect()
+        self.sm.transport.invalidate_distances()
+        self.sm.topology.invalidate_fabric_view()
+        try:
+            self.sm.topology.validate()
+        except TopologyError:
+            # The cut would partition the fabric: refuse, replug.
+            self.sm.topology.connect(a, pa, b, pb)
+            self.sm.transport.invalidate_distances()
+            self.sm.topology.invalidate_fabric_view()
+            raise
+        self.sm.routing_state.note_link_failure(u, v)
+        for port in ends:
+            self._notice(TrapType.LINK_STATE_DOWN, port.node.name, port.num)
+        self._enqueue(
+            PendingEvent(
+                key=self._link_key(a.name, b.name),
+                kind=TrapType.LINK_STATE_DOWN,
+            )
+        )
+
+    def report_link_up(self, a, port_a: int, b, port_b: int) -> Link:
+        """Deferred link recovery: reconnect *now*, reroute at the pump.
+
+        Returns the new :class:`~repro.fabric.link.Link`. If the same
+        link's DOWN event is still pending, the pair coalesces away — the
+        flap costs zero reroutes, only the trap traffic.
+        """
+        link = self.sm.topology.connect(a, port_a, b, port_b)
+        self.sm.transport.invalidate_distances()
+        self.sm.topology.invalidate_fabric_view()
+        for port in link.ends:
+            if isinstance(port.node, Switch):
+                self._notice(
+                    TrapType.LINK_STATE_UP, port.node.name, port.num
+                )
+        name_a = a if isinstance(a, str) else a.name
+        name_b = b if isinstance(b, str) else b.name
+        self._enqueue(
+            PendingEvent(
+                key=self._link_key(name_a, name_b),
+                kind=TrapType.LINK_STATE_UP,
+                endpoints=(name_a, port_a, name_b, port_b),
+            )
+        )
+        return link
+
+    @property
+    def pending_events(self) -> int:
+        """Events currently waiting in the trap queue."""
+        return len(self._queue)
+
+    def pump(self, *, force: bool = False) -> Optional[ConfigureReport]:
+        """Drain the trap queue into (at most) one batched reroute.
+
+        Links that flapped more than ``storm_threshold`` times since the
+        last pump are throttled: their events stay queued for one extra
+        pump (unless ``force``), so a storm settles before the SM pays a
+        reroute for it. Returns the reaction report, or ``None`` when
+        nothing needed rerouting.
+        """
+        self.pumps += 1
+        ready: List[PendingEvent] = []
+        for key in list(self._queue):
+            event = self._queue[key]
+            flaps = self._flap_counts.get(key, 0)
+            if (
+                not force
+                and flaps > self.storm_threshold
+                and not event.deferred
+            ):
+                event.deferred = True
+                self.traps_throttled += 1
+                get_hub().metrics.counter(
+                    "repro_traps_throttled_total"
+                ).add(1)
+                continue
+            ready.append(event)
+            del self._queue[key]
+        self._flap_counts = {
+            key: 0 for key in self._queue
+        }  # surviving (throttled) keys restart their storm window
+        if not ready and not self.needs_full_sweep:
+            return None
+        sweep = self.needs_full_sweep
+        self.needs_full_sweep = False
+        report = ConfigureReport()
+        with span(
+            "trap_pump",
+            events=len(ready),
+            full_sweep=sweep,
+            forced=force,
+        ):
+            report.discovery = self.sm.discover()
+            tables = self.sm.compute_routing()
+            report.path_compute_seconds = tables.compute_seconds
+            report.distribution = self.sm.distribute(force_full=sweep)
+        self.reactions.append(report)
+        get_hub().metrics.counter("repro_trap_pumps_total").add(1)
         return report
 
     @property

@@ -37,7 +37,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.mad.reliable import RetryPolicy
 from repro.obs.hub import get_hub, span
-from repro.sm.handover import SmRedundancyManager
+from repro.sm.ha import HighAvailabilityManager
 from repro.sm.traps import FabricEventManager
 from repro.virt.cloud import CloudManager
 from repro.workloads.churn import ChurnReport, ChurnWorkload
@@ -60,6 +60,29 @@ class ChaosReport:
     switch_failures: int = 0
     refused_switch_failures: int = 0
     sm_failovers: int = 0
+    #: Master SM deaths injected (each should produce one failover).
+    sm_deaths: int = 0
+    #: Management-plane partitions injected (and later healed).
+    partitions: int = 0
+    #: Fenced writes the fabric rejected as stale (split-brain fencing
+    #: doing its job — every one of these is a write a stale master was
+    #: NOT allowed to apply).
+    stale_writes_rejected: int = 0
+    #: Stale masters demoted after losing the SMInfo comparison.
+    sm_demotions: int = 0
+    #: Steps the workload sat out because no alive master existed (the
+    #: window between a master death and the standby's lease expiry).
+    stalled_steps: int = 0
+    #: Which sweep the last failover paid ("light"/"heavy") and its
+    #: handshake cost — the headline HA economics.
+    failover_sweep_mode: str = ""
+    failover_handshake_smps: int = 0
+    journal_entries_replayed: int = 0
+    #: Trap-pipeline pressure: injected flap storms and how the bounded
+    #: VL15 queue absorbed them.
+    trap_storms: int = 0
+    coalesced_traps: int = 0
+    throttled_traps: int = 0
     #: LFT SMPs spent reacting to fabric events (the *legitimate* heavy
     #: reconfigurations, kept apart from the migration ledger).
     reroute_smps: int = 0
@@ -116,6 +139,24 @@ class ChaosReport:
                 f" {self.switch_failures} switch failures"
                 f" ({self.refused_switch_failures} refused),"
                 f" {self.sm_failovers} SM failovers"
+            ),
+            (
+                f"ha: {self.sm_deaths} SM deaths, {self.partitions}"
+                f" partitions, {self.stale_writes_rejected} stale writes"
+                f" fenced, {self.sm_demotions} demotions,"
+                f" {self.stalled_steps} masterless steps"
+                + (
+                    f"; failover sweep={self.failover_sweep_mode}"
+                    f" (handshake {self.failover_handshake_smps} SMPs,"
+                    f" {self.journal_entries_replayed} journal entries)"
+                    if self.failover_sweep_mode
+                    else ""
+                )
+            ),
+            (
+                f"traps: {self.trap_storms} storms,"
+                f" {self.coalesced_traps} coalesced,"
+                f" {self.throttled_traps} throttled"
             ),
             (
                 f"migration SMPs: ideal n'*m'={self.ideal_migration_smps},"
@@ -178,7 +219,9 @@ class ChaosRunner:
         self.plan = plan
         self.injector = FaultInjector(plan)
         self.events = FabricEventManager(self.sm)
-        self.redundancy = SmRedundancyManager(self.sm)
+        self.ha = HighAvailabilityManager(self.sm)
+        #: Compat alias — callers used to reach the redundancy stub here.
+        self.redundancy = self.ha
         self.migrate_probability = migrate_probability
         #: Reused for its boot/stop mechanics and failure accounting; the
         #: chaos runner makes the per-step decisions itself.
@@ -188,28 +231,40 @@ class ChaosRunner:
         if resilient:
             self.sm.enable_resilience(retry_policy, transactional=True)
         self._register_sm_candidates()
+        #: Step at which the current partition heals (None = no partition
+        #: in flight) and who was cut off.
+        self._heal_step: Optional[int] = None
+        self._partitioned_master: Optional[str] = None
 
     def _register_sm_candidates(self) -> None:
-        """Master on the current SM node, one standby elsewhere."""
+        """Master on the current SM node, two standbys elsewhere.
+
+        Two standbys (not one) so the HA protocol survives a master
+        death *followed by* a partition of the successor: the second
+        standby is what supersedes the partitioned master and arms the
+        fence against it.
+        """
         master_node = self.sm.transport.sm_node
-        hcas = self.sm.topology.hcas
-        standby_node = next(
-            (h for h in reversed(hcas) if h is not master_node), None
-        )
-        self.redundancy.register(
+        self.ha.register(
             master_node.name,
             getattr(master_node, "node_guid", None)
             or self.cloud.guids.allocate_virtual(),
             priority=10,
         )
-        if standby_node is not None:
-            self.redundancy.register(
-                standby_node.name,
-                getattr(standby_node, "node_guid", None)
+        priority = 5
+        for hca in reversed(self.sm.topology.hcas):
+            if hca is master_node:
+                continue
+            self.ha.register(
+                hca.name,
+                getattr(hca, "node_guid", None)
                 or self.cloud.guids.allocate_virtual(),
-                priority=5,
+                priority=priority,
             )
-        self.redundancy.elect()
+            priority -= 4
+            if priority < 0:
+                break
+        self.ha.bootstrap()
 
     # -- the run ------------------------------------------------------------
 
@@ -233,6 +288,8 @@ class ChaosRunner:
         report.smp_timeouts = run_delta.timeouts
         report.retry_wait_seconds = run_delta.retry_wait_seconds
         report.fault_summary = self.injector.summary()
+        report.coalesced_traps = self.events.traps_coalesced
+        report.throttled_traps = self.events.traps_throttled
         self._verify(report)
         self._expose(report)
         return report
@@ -242,7 +299,20 @@ class ChaosRunner:
             self.plan.sm_death_step is not None
             and step == self.plan.sm_death_step
         ):
-            self._sm_failover(step, report)
+            self._sm_death(step, report)
+        if (
+            self.plan.partition_step is not None
+            and step == self.plan.partition_step
+        ):
+            self._partition(step, report)
+        if self._heal_step is not None and step == self._heal_step:
+            self._heal_partition(report)
+        if (
+            self.plan.link_flap_storm_step is not None
+            and step == self.plan.link_flap_storm_step
+        ):
+            self._link_flap_storm(step, report)
+        self._ha_tick(report)
         frng = self.injector.fabric_rng
         if self.plan.link_flap_rate and frng.random() < self.plan.link_flap_rate:
             self._link_flap(report)
@@ -251,7 +321,12 @@ class ChaosRunner:
             and frng.random() < self.plan.switch_failure_rate
         ):
             self._switch_failure(report)
-        self._workload_step(report)
+        if self.ha.has_master:
+            self._workload_step(report)
+        else:
+            # Nobody is master: migrations/boots would go unrouted. The
+            # cloud stalls until the lease protocol elects a successor.
+            report.stalled_steps += 1
 
     # -- workload -----------------------------------------------------------
 
@@ -408,29 +483,126 @@ class ChaosRunner:
                     stack.append(peer)
         return len(seen) != len(remaining)
 
-    def _sm_failover(self, step: int, report: ChaosReport) -> None:
-        """The master dies mid-reconfiguration; the standby finishes it.
+    def _sm_death(self, step: int, report: ChaosReport) -> None:
+        """The master dies mid-reconfiguration — at the worst moment.
 
-        The dying master has just computed fresh tables but not yet
-        distributed them — the worst moment. The elected successor
-        inherits the SM state (state-sharing pair, no resweep) and
-        completes the pending distribution with a diff send.
+        It has just computed (and journaled to its standbys) fresh tables
+        but not yet distributed them. Nothing is handed over here: the
+        standby must *detect* the death through missed leases and take
+        over on its own, completing the pending distribution from its
+        replica (see :meth:`_ha_tick`).
         """
-        master = self.redundancy.master
+        master = self.ha.master
         if master is None or not master.alive:
             return
-        with span("sm_failover", step=step) as sp:
-            self.sm.compute_routing()
-            self.redundancy.kill_master()
-            self.redundancy.handover(resweep=False)
-            successor = self.redundancy.master
-            if successor is not None:
-                sp.set_attribute("new_master", successor.node_name)
+        with span("sm_death", step=step, master=master.node_name):
             self._recover(
-                report, self.sm.distribute, label="failover distribution"
+                report, self.sm.compute_routing, label="pre-death routing"
             )
-        report.sm_failovers += 1
-        get_hub().metrics.counter("repro_chaos_sm_failovers_total").add(1)
+            self.ha.kill_master()
+        report.sm_deaths += 1
+        get_hub().metrics.counter("repro_chaos_sm_deaths_total").add(1)
+
+    def _partition(self, step: int, report: ChaosReport) -> None:
+        """Cut the master off the management plane (no cable is cut)."""
+        master = self.ha.master
+        if master is None or not master.alive:
+            return
+        with span("sm_partition", step=step, master=master.node_name):
+            self.injector.isolate([master.node_name])
+            self._partitioned_master = master.node_name
+            self._heal_step = step + self.plan.partition_heal_steps
+        report.partitions += 1
+        get_hub().metrics.counter("repro_chaos_partitions_total").add(1)
+
+    def _heal_partition(self, report: ChaosReport) -> None:
+        """The partition heals; the stale master re-emerges and must be
+        fenced out (writes rejected) and demoted (SMInfo comparison)."""
+        old_name = self._partitioned_master
+        self._partitioned_master = None
+        self._heal_step = None
+        self.injector.heal()
+        if old_name is None:
+            return
+        before = self.sm.transport.stats.snapshot()
+        with span("partition_heal", stale_master=old_name) as sp:
+            verdict = self.ha.reassert_stale_master(old_name)
+            sp.set_attribute("verdict", verdict)
+        delta = self.sm.transport.stats.delta_since(before)
+        report.stale_writes_rejected += delta.stale_rejected
+        if verdict == "demoted":
+            report.sm_demotions += 1
+
+    def _link_flap_storm(self, step: int, report: ChaosReport) -> None:
+        """One link flaps in a burst; the trap pipeline must absorb it.
+
+        Every down is immediately cancelled by the following up
+        (coalescing), the final odd down is throttled by the storm
+        detector, and the closing up cancels it too: the whole burst
+        costs trap traffic but ZERO reroutes — against one
+        reconfiguration per event on the legacy synchronous path.
+        """
+        frng = self.injector.fabric_rng
+        links = [
+            link
+            for link in self.sm.topology.links
+            if all(isinstance(p.node, Switch) for p in link.ends)
+        ]
+        if not links:
+            return
+        link = frng.choice(links)
+        end_a, end_b = link.ends
+        a, pa = end_a.node, end_a.num
+        b, pb = end_b.node, end_b.num
+        before = self.sm.transport.stats.snapshot()
+        with span(
+            "link_flap_storm", step=step, a=a.name, b=b.name
+        ) as sp:
+            try:
+                for _ in range(self.plan.link_flap_storm_size):
+                    self.events.report_link_down(link)
+                    # Reconnecting creates a fresh Link object.
+                    link = self.events.report_link_up(a, pa, b, pb)
+                self.events.report_link_down(link)
+            except TopologyError:
+                sp.set_attribute("refused", True)
+                report.refused_link_flaps += 1
+                return
+            self.events.pump()  # storm throttle defers the pending down
+            link = self.events.report_link_up(a, pa, b, pb)
+            self.events.pump(force=True)  # nothing left: flap cost 0 reroutes
+            sp.set_attributes(
+                coalesced=self.events.traps_coalesced,
+                throttled=self.events.traps_throttled,
+            )
+        delta = self.sm.transport.stats.delta_since(before)
+        report.link_flaps += self.plan.link_flap_storm_size + 1
+        report.reroute_smps += delta.lft_update_smps
+        report.trap_storms += 1
+        get_hub().metrics.counter("repro_chaos_trap_storms_total").add(1)
+
+    def _ha_tick(self, report: ChaosReport) -> None:
+        """One HA protocol round: leases, takeover, failover accounting."""
+        try:
+            result = self.ha.tick()
+        except (TransportError, DistributionError) as exc:
+            # The failover sweep itself died (lossy fabric). Promotion has
+            # already happened — re-driving the distribution repairs it.
+            report.control_plane_errors.append(f"ha failover: {exc}")
+            self._recover(
+                report, self.sm.distribute, label="failover repair"
+            )
+            result = self.ha.last_failover_report
+        if result is not None:
+            report.failover_sweep_mode = result.sweep_mode
+            report.failover_handshake_smps = result.handshake_smps
+            report.journal_entries_replayed = result.journal_entries_replayed
+        new = self.ha.failovers - report.sm_failovers
+        report.sm_failovers = self.ha.failovers
+        if new:
+            get_hub().metrics.counter(
+                "repro_chaos_sm_failovers_total"
+            ).add(new)
 
     # -- resilience plumbing ---------------------------------------------------
 

@@ -121,6 +121,34 @@ class TestCorruption:
         assert (entries == 7).all()
 
 
+class TestIsolation:
+    def test_isolation_drops_sminfo_to_isolated_nodes_only(self):
+        inj = FaultInjector(FaultPlan(seed=2))
+        inj.isolate(["h3"])
+        sminfo = Smp(SmpMethod.GET, SmpKind.SM_INFO, "h3")
+        assert inj.decide(sminfo).action is FaultAction.DROP
+        # Other kinds to the same node, and SMInfo to other nodes, pass.
+        assert inj.decide(port_info_smp("h3")).action is FaultAction.DELIVER
+        other = Smp(SmpMethod.GET, SmpKind.SM_INFO, "h4")
+        assert inj.decide(other).action is FaultAction.DELIVER
+        inj.heal()
+        assert inj.decide(sminfo).action is FaultAction.DELIVER
+
+    def test_isolation_does_not_shift_decision_stream(self):
+        # The partition check is deterministic (no RNG draw), so healing
+        # mid-run must not change later probabilistic decisions.
+        plan = FaultPlan(seed=11, smp_drop_rate=0.3)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        b.isolate(["h9"])
+        for _ in range(20):
+            b.decide(Smp(SmpMethod.GET, SmpKind.SM_INFO, "h9"))
+        b.heal()
+        got_a = [a.decide(lft_smp()).action for _ in range(100)]
+        got_b = [b.decide(lft_smp()).action for _ in range(100)]
+        assert got_a == got_b
+
+
 class TestRngIsolation:
     def test_fabric_rng_independent_of_decision_stream(self):
         plan = FaultPlan(seed=4, smp_drop_rate=0.5)

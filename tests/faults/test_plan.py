@@ -35,6 +35,14 @@ class TestValidation:
         assert FaultPlan(smp_drop_rate=0.1).injects_smp_faults
         assert FaultPlan(per_target_drop={"sw0": 0.5}).injects_smp_faults
         assert FaultPlan(scripted=(ScriptedFault(),)).injects_smp_faults
+        # A partition needs the injector attached: it drops SMInfo MADs.
+        assert FaultPlan(partition_step=3).injects_smp_faults
+
+    def test_partition_and_storm_validation(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(partition_step=2, partition_heal_steps=0)
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(link_flap_storm_step=2, link_flap_storm_size=0)
 
 
 class TestFromSpec:
@@ -64,8 +72,26 @@ class TestFromSpec:
         with pytest.raises(FaultInjectionError, match="key=value"):
             FaultPlan.from_spec("smp-drop")
 
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(FaultInjectionError, match="integer"):
+            FaultPlan.from_spec("flap-storm=oops")
+        with pytest.raises(FaultInjectionError, match="number"):
+            FaultPlan.from_spec("smp-drop=abc")
+
     def test_describe_mentions_active_knobs(self):
         text = FaultPlan.from_spec("smp-drop=0.1,sm-death=4", seed=2).describe()
         assert "seed=2" in text
         assert "drop=0.1" in text
         assert "sm-death@4" in text
+
+    def test_ha_spec_keys(self):
+        plan = FaultPlan.from_spec(
+            "partition=6,heal-after=3,flap-storm=11,storm-size=6", seed=1
+        )
+        assert plan.partition_step == 6
+        assert plan.partition_heal_steps == 3
+        assert plan.link_flap_storm_step == 11
+        assert plan.link_flap_storm_size == 6
+        text = plan.describe()
+        assert "partition@6+3" in text
+        assert "flap-storm@11x6" in text
