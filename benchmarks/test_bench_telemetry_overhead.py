@@ -1,0 +1,152 @@
+"""Benchmark E9 — telemetry cost: sweep MADs and counter-update overhead.
+
+Runs PerfManager sweeps over the paper-324 structural twin (``2l-small``)
+at MAD drop rates 0 and 0.01 with retries enabled, and measures what
+observability costs: MADs per sweep, the retransmission inflation loss
+adds (the acceptance gate: <= 10% at drop 0.01), and the data-plane
+throughput of natively maintained PMA counters.
+
+Results are written to ``BENCH_telemetry_overhead.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.fabric.presets import scaled_fattree
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.mad.reliable import RetryPolicy
+from repro.sim.dataplane import DataPlaneSimulator
+from repro.sm.subnet_manager import SubnetManager
+from repro.telemetry import PerfManager
+from repro.workloads.traffic import all_to_all_flows
+
+DROP_RATES = (0.0, 0.01)
+NUM_SWEEPS = 6
+#: Acceptance gate: sweep MADs may inflate at most 10% under drop 0.01.
+MAX_SWEEP_INFLATION = 1.10
+
+#: {label: {metric: value}} accumulated across the module.
+RESULTS = {}
+
+_OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_telemetry_overhead.json",
+)
+
+
+def build_sm():
+    built = scaled_fattree("2l-small")
+    sm = SubnetManager(built.topology, engine="minhop", built=built)
+    sm.initial_configure(with_discovery=False)
+    sm.enable_resilience(RetryPolicy(retries=16))
+    return sm
+
+
+def run_sweeps_at_drop_rate(drop):
+    sm = build_sm()
+    if drop:
+        sm.transport.set_fault_injector(
+            FaultInjector(FaultPlan(seed=17, smp_drop_rate=drop))
+        )
+    perf = PerfManager(sm)
+    t0 = time.perf_counter()
+    reports = [perf.sweep() for _ in range(NUM_SWEEPS)]
+    wall = time.perf_counter() - t0
+    sm.transport.set_fault_injector(None)
+    return {
+        "sweeps": len(reports),
+        "nodes_per_sweep": reports[0].nodes_swept,
+        "sweep_smps": sum(r.smps for r in reports),
+        "retransmissions": sum(r.retransmissions for r in reports),
+        "misses": sum(len(r.missed) for r in reports),
+        "samples": sum(r.samples for r in reports),
+        "series": len(perf.store),
+        "wall_s": wall,
+    }
+
+
+def run_counter_update_load(packets=20_000):
+    """Data-plane throughput with native PMA counter maintenance on."""
+    sm = build_sm()
+    lids = sorted(h.lid for h in sm.topology.hcas)[:12]
+    base = all_to_all_flows(lids)
+    flows = (base * (packets // len(base) + 1))[:packets]
+    sim = DataPlaneSimulator(sm.topology)
+    sim.inject_flows(flows, spacing=1e-8)
+    t0 = time.perf_counter()
+    stats = sim.run()
+    wall = time.perf_counter() - t0
+    touched = sum(len(sw.counters) for sw in sm.topology.switches)
+    return {
+        "packets": packets,
+        "delivered": stats.delivered,
+        "wall_s": wall,
+        "packets_per_s": packets / wall if wall else 0.0,
+        "switch_ports_touched": touched,
+    }
+
+
+def test_sweep_cost_and_loss_inflation(benchmark):
+    baseline = None
+    for drop in DROP_RATES:
+        run = run_sweeps_at_drop_rate(drop)
+        assert run["misses"] == 0, "retries must recover every sweep GET"
+        if drop == 0.0:
+            baseline = run
+            assert run["retransmissions"] == 0
+            inflation = 1.0
+        else:
+            inflation = run["sweep_smps"] / baseline["sweep_smps"]
+            # The acceptance gate from the issue: observability stays
+            # cheap even on a lossy fabric.
+            assert inflation <= MAX_SWEEP_INFLATION
+        RESULTS[f"drop-{drop}"] = {
+            "drop_rate": drop,
+            **{k: v for k, v in run.items()},
+            "smps_per_sweep": run["sweep_smps"] / run["sweeps"],
+            "sweep_smp_inflation": inflation,
+        }
+    benchmark.pedantic(
+        lambda: run_sweeps_at_drop_rate(0.0), rounds=1, iterations=1
+    )
+
+
+def test_counter_update_overhead(benchmark):
+    run = run_counter_update_load()
+    assert run["delivered"] > 0
+    assert run["switch_ports_touched"] > 0
+    RESULTS["counter-updates"] = run
+    benchmark.pedantic(
+        lambda: run_counter_update_load(packets=2_000),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_write_results(benchmark):
+    """Persist the measurements (runs last: files sort after the others)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not RESULTS:
+        pytest.skip("no measurements collected")
+    with open(_OUT_PATH, "w") as fh:
+        json.dump(RESULTS, fh, indent=2, sort_keys=True)
+    print(f"\nwrote {_OUT_PATH}")
+    for drop in DROP_RATES:
+        entry = RESULTS[f"drop-{drop}"]
+        print(
+            f"  drop-{drop}: {entry['sweep_smps']} sweep SMPs"
+            f" ({entry['smps_per_sweep']:.1f}/sweep,"
+            f" {entry['sweep_smp_inflation']:.3f}x inflation),"
+            f" {entry['retransmissions']} retransmissions"
+        )
+    cu = RESULTS["counter-updates"]
+    print(
+        f"  counter-updates: {cu['packets']} packets in"
+        f" {cu['wall_s']:.2f}s ({cu['packets_per_s']:,.0f}/s)"
+    )

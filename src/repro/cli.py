@@ -8,6 +8,8 @@
     python -m repro migrate-demo          # end-to-end migration walkthrough
     python -m repro check-fabric          # static verification matrix
     python -m repro chaos [--inject SPEC] # churn under injected faults
+    python -m repro perf [--export F]     # telemetry sweep + dashboard export
+    python -m repro top [--iterations N]  # hottest-links view
     python -m repro trace RUN             # replay a recorded run
     python -m repro metrics CMD [ARGS]    # run CMD, print the exposition
 
@@ -35,6 +37,8 @@ RUN_COMMANDS = (
     "migrate-demo",
     "check-fabric",
     "chaos",
+    "perf",
+    "top",
 )
 
 
@@ -171,7 +175,104 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="per-step live-migration probability (default 0.25)",
     )
+    chaos.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "run with fabric telemetry: measured traffic bursts between"
+            " steps, PerfManager counter sweeps through the (faulty) MAD"
+            " plane, observable flap windows, and telemetry rows in the"
+            " report"
+        ),
+    )
     add_record(chaos)
+
+    def add_fabric_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--profile", default="2l-small")
+        p.add_argument(
+            "--scheme",
+            choices=["prepopulated", "dynamic"],
+            default="prepopulated",
+        )
+        p.add_argument(
+            "--hosts",
+            type=int,
+            default=12,
+            metavar="N",
+            help="burst endpoints: the first N HCAs (default 12)",
+        )
+        p.add_argument(
+            "--credits",
+            type=int,
+            default=2,
+            help="per-VL channel credits in the burst simulator (default 2)",
+        )
+        p.add_argument(
+            "--top",
+            type=int,
+            default=5,
+            metavar="K",
+            help="show the K hottest egress ports (default 5)",
+        )
+
+    perf = sub.add_parser(
+        "perf",
+        help=(
+            "run measured traffic bursts, sweep the PMA counters through"
+            " MADs, and report utilization/congestion/traffic-matrix"
+            " analytics (non-zero exit if the matrix is empty or fails"
+            " its delivered-packet audit)"
+        ),
+    )
+    add_fabric_args(perf)
+    perf.add_argument(
+        "--sweeps",
+        type=int,
+        default=3,
+        metavar="N",
+        help="burst+sweep rounds to run (default 3)",
+    )
+    perf.add_argument(
+        "--vms",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "boot N VMs and burst between their LIDs instead of the"
+            " physical hosts' (adds per-VM/per-tenant matrices)"
+        ),
+    )
+    perf.add_argument(
+        "--drop",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="drop sweep MADs at RATE (exercises the retry path)",
+    )
+    perf.add_argument("--seed", type=int, default=0)
+    perf.add_argument(
+        "--export",
+        metavar="FILE",
+        default=None,
+        help="write the JSON telemetry dashboard (matrix, top talkers,"
+        " congestion findings, sweep costs) to FILE ('-' for stdout)",
+    )
+    add_record(perf)
+
+    top = sub.add_parser(
+        "top",
+        help="hottest-links view: repeated burst+sweep frames sorted by"
+        " transmit rate",
+    )
+    add_fabric_args(top)
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=1,
+        metavar="N",
+        help="frames to show (default 1)",
+    )
+    add_record(top)
 
     trace = sub.add_parser(
         "trace", help="replay a recorded run's span tree and SMP timeline"
@@ -363,6 +464,7 @@ def _cmd_chaos(
     scheme: str,
     retries: int,
     migrate_probability: float,
+    telemetry: bool = False,
 ) -> int:
     from repro.errors import FaultInjectionError, ReproError
     from repro.fabric.presets import scaled_fattree
@@ -397,10 +499,228 @@ def _cmd_chaos(
         plan,
         retry_policy=policy,
         migrate_probability=migrate_probability,
+        telemetry=telemetry,
     )
     report = runner.run(steps)
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _build_harness(
+    profile: str, scheme: str, *, hosts: int, credits: int, vms: int = 0
+):
+    """Bring up a cloud and a telemetry harness over it."""
+    from repro.fabric.presets import scaled_fattree
+    from repro.telemetry import TelemetryHarness
+    from repro.virt.cloud import CloudManager
+
+    built = scaled_fattree(profile)
+    cloud = CloudManager(
+        built.topology, built=built, lid_scheme=scheme, num_vfs=4
+    )
+    cloud.adopt_all_hcas()
+    cloud.bring_up_subnet()
+    harness = TelemetryHarness(
+        cloud.sm, max_endpoints=hosts, channel_credits=credits
+    )
+    if vms:
+        booted = [cloud.boot_vm() for _ in range(vms)]
+        harness.set_endpoints(sorted(vm.lid for vm in booted))
+    return cloud, harness
+
+
+def _port_rate_row(rate) -> str:
+    return (
+        f"  {rate.node:>10}:{rate.port:<3}"
+        f" {rate.xmit_bps / 1e6:>9.2f} MB/s"
+        f" ({rate.utilization:>6.2%} util,"
+        f" {rate.xmit_pps:>10.0f} pkt/s,"
+        f" wait {rate.wait_fraction:.2%},"
+        f" discards {rate.discard_rate:.0f}/s)"
+    )
+
+
+def _cmd_perf(
+    *,
+    profile: str,
+    scheme: str,
+    hosts: int,
+    vms: int,
+    credits: int,
+    sweeps: int,
+    top: int,
+    drop: float,
+    seed: int,
+    export: Optional[str],
+) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
+    from repro.telemetry import (
+        CongestionDetector,
+        lid_owner_map,
+        lid_tenant_map,
+        top_talkers,
+    )
+
+    try:
+        cloud, harness = _build_harness(
+            profile, scheme, hosts=hosts, credits=credits, vms=vms
+        )
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    sm = cloud.sm
+    if drop:
+        sm.enable_resilience()
+        sm.transport.set_fault_injector(
+            FaultInjector(FaultPlan(seed=seed, smp_drop_rate=drop))
+        )
+    detector = CongestionDetector()
+    print(
+        f"perf: profile={profile} scheme={scheme}"
+        f" endpoints={len(harness.endpoints())}"
+        f" credits={credits} rounds={sweeps}"
+        + (f" mad-drop={drop}" if drop else "")
+    )
+    try:
+        for round_no in range(1, sweeps + 1):
+            stats = harness.burst()
+            sweep = harness.sweep()
+            detector.scan(harness.store)
+            print(
+                f"round {round_no}: {stats.injected} injected,"
+                f" {stats.delivered} delivered,"
+                f" {stats.dropped_timeout + stats.dropped_no_route} dropped;"
+                f" sweep {sweep.smps} SMPs"
+                f" ({sweep.retransmissions} retransmissions,"
+                f" {len(sweep.missed)} missed),"
+                f" {sweep.samples} samples"
+            )
+    finally:
+        sm.transport.set_fault_injector(None)
+    hottest = top_talkers(harness.store, top=top)
+    print()
+    print(f"top {len(hottest)} talkers:")
+    for rate in hottest:
+        print(_port_rate_row(rate))
+    print(
+        f"congestion: {len(detector.findings)} findings,"
+        f" {detector.congestion_seconds * 1e3:.3f}ms attributed wait"
+    )
+    matrix = harness.matrix
+    consistent = harness.verify_matrix()
+    print(
+        f"traffic matrix: {len(matrix.endpoints)} endpoints,"
+        f" {matrix.total} delivered packets"
+        f" (audit vs data plane:"
+        f" {'consistent' if consistent else 'INCONSISTENT'})"
+    )
+    if export is not None:
+        dashboard = {
+            "profile": profile,
+            "scheme": scheme,
+            "rounds": sweeps,
+            "endpoints": harness.endpoints(),
+            "dataplane": {
+                "injected": harness.injected,
+                "delivered": harness.delivered,
+                "dropped_timeout": harness.dropped_timeout,
+                "dropped_no_route": harness.dropped_no_route,
+            },
+            "sweeps": {
+                "count": harness.perf.sweeps,
+                "smps": harness.perf.smps,
+                "misses": harness.perf.misses,
+            },
+            "series": {
+                "count": len(harness.store.keys()),
+                "samples": harness.store.samples_total,
+                "evictions": harness.store.evictions,
+            },
+            "top_talkers": [
+                {
+                    "node": r.node,
+                    "port": r.port,
+                    "xmit_bps": r.xmit_bps,
+                    "rcv_bps": r.rcv_bps,
+                    "utilization": r.utilization,
+                    "wait_fraction": r.wait_fraction,
+                    "discard_rate": r.discard_rate,
+                }
+                for r in hottest
+            ],
+            "congestion": [
+                {
+                    "time": f.time,
+                    "node": f.node,
+                    "port": f.port,
+                    "wait_seconds": f.wait_seconds,
+                    "discards": f.discards,
+                    "utilization": f.utilization,
+                }
+                for f in detector.findings
+            ],
+            "traffic_matrix": matrix.to_json(),
+        }
+        if vms:
+            dashboard["by_vm"] = {
+                f"{src}->{dst}": count
+                for (src, dst), count in sorted(
+                    matrix.aggregate(lid_owner_map(cloud)).items()
+                )
+            }
+            dashboard["by_tenant"] = {
+                f"{src}->{dst}": count
+                for (src, dst), count in sorted(
+                    matrix.aggregate(lid_tenant_map(cloud)).items()
+                )
+            }
+        text = json.dumps(dashboard, indent=2, sort_keys=True)
+        if export == "-":
+            print(text)
+        else:
+            Path(export).write_text(text + "\n", encoding="utf-8")
+            print(f"dashboard written to {export}")
+    if matrix.total == 0 or not consistent:
+        print(
+            "perf: FAILED (traffic matrix empty or inconsistent with the"
+            " data plane)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_top(
+    *,
+    profile: str,
+    scheme: str,
+    hosts: int,
+    credits: int,
+    top: int,
+    iterations: int,
+) -> int:
+    from repro.errors import ReproError
+    from repro.telemetry import top_talkers
+
+    try:
+        _cloud, harness = _build_harness(
+            profile, scheme, hosts=hosts, credits=credits
+        )
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for frame in range(1, iterations + 1):
+        harness.burst()
+        harness.sweep()
+        hottest = top_talkers(harness.store, top=top)
+        print(f"frame {frame} (t={harness.store.last_time * 1e3:.3f}ms):")
+        for rate in hottest:
+            print(_port_rate_row(rate))
+    return 0
 
 
 def _cmd_trace(run: str, *, max_smps: int, tree_only: bool) -> int:
@@ -512,6 +832,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             scheme=args.scheme,
             retries=args.retries,
             migrate_probability=args.migrate_probability,
+            telemetry=args.telemetry,
+        )
+    elif args.command == "perf":
+        rc = _cmd_perf(
+            profile=args.profile,
+            scheme=args.scheme,
+            hosts=args.hosts,
+            vms=args.vms,
+            credits=args.credits,
+            sweeps=args.sweeps,
+            top=args.top,
+            drop=args.drop,
+            seed=args.seed,
+            export=args.export,
+        )
+    elif args.command == "top":
+        rc = _cmd_top(
+            profile=args.profile,
+            scheme=args.scheme,
+            hosts=args.hosts,
+            credits=args.credits,
+            top=args.top,
+            iterations=args.iterations,
         )
     elif args.command == "report":
         from repro.analysis.report import generate_report

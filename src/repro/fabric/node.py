@@ -20,7 +20,20 @@ from repro.fabric.lft import LinearForwardingTable
 if TYPE_CHECKING:  # pragma: no cover
     from repro.fabric.link import Link
 
-__all__ = ["NodeType", "Port", "Node", "Switch", "HCA", "QueuePair", "PortCounters"]
+__all__ = [
+    "NodeType",
+    "Port",
+    "Node",
+    "Switch",
+    "HCA",
+    "QueuePair",
+    "PortCounters",
+    "PMA_COUNTER_WRAP",
+]
+
+#: PMA counters are 32-bit on the wire (IBA 16.1.3.5); reads wrap modulo
+#: this and the PerfManager reconstructs monotonic totals from deltas.
+PMA_COUNTER_WRAP = 2**32
 
 
 class NodeType(enum.Enum):
@@ -107,6 +120,17 @@ class Node:
         self.ports: Dict[int, Port] = {
             num: Port(self, num) for num in range(1, num_ports + 1)
         }
+        #: PMA-style per-port counters (created on first touch). Every
+        #: node — switch *and* HCA — carries them; port 0 (the switch
+        #: management port) is valid on switches only.
+        self.counters: Dict[int, "PortCounters"] = {}
+
+    def port_counters(self, port: int) -> "PortCounters":
+        """Counters for one port (created on first touch)."""
+        low = 0 if self.is_switch else 1
+        if not low <= port <= self.num_ports:
+            raise TopologyError(f"{self.name!r} has no port {port}")
+        return self.counters.setdefault(port, PortCounters())
 
     @property
     def num_ports(self) -> int:
@@ -140,28 +164,84 @@ class Node:
 
 
 class PortCounters:
-    """PMA-style per-port traffic counters (a subset of IBA PortCounters)."""
+    """PMA-style per-port traffic counters (a subset of IBA PortCounters).
 
-    __slots__ = ("xmit_packets", "rcv_packets", "xmit_discards")
+    Semantics follow the IBA PortCounters attribute: ``xmit_data`` /
+    ``rcv_data`` count octets, ``xmit_wait`` counts the ticks (modelled as
+    nanoseconds) a packet at the head of the transmit queue spent blocked
+    on flow-control credits — the congestion signal — and discards are
+    split by cause so HOQ-lifetime drops (resolved deadlocks, section
+    VI-C) are distinguishable from unroutable/blackholed traffic. The
+    live fields are unbounded Python ints; :meth:`pma_view` is the
+    *on-the-wire* read, wrapped to 32 bits like real hardware counters.
+    """
+
+    __slots__ = (
+        "xmit_packets",
+        "rcv_packets",
+        "xmit_data",
+        "rcv_data",
+        "xmit_wait",
+        "hoq_discards",
+        "unroutable_discards",
+        "symbol_errors",
+    )
+
+    #: Counter names exposed by :meth:`as_dict` / :meth:`pma_view`, in
+    #: exposition order.
+    FIELDS = (
+        "xmit_packets",
+        "rcv_packets",
+        "xmit_data",
+        "rcv_data",
+        "xmit_wait",
+        "xmit_discards",
+        "hoq_discards",
+        "unroutable_discards",
+        "symbol_errors",
+    )
 
     def __init__(self) -> None:
         self.xmit_packets = 0
         self.rcv_packets = 0
-        self.xmit_discards = 0
+        self.xmit_data = 0
+        self.rcv_data = 0
+        self.xmit_wait = 0
+        self.hoq_discards = 0
+        self.unroutable_discards = 0
+        self.symbol_errors = 0
+
+    @property
+    def xmit_discards(self) -> int:
+        """Total transmit discards (all causes), as IBA PortXmitDiscards."""
+        return self.hoq_discards + self.unroutable_discards
+
+    def add_wait(self, seconds: float) -> None:
+        """Accumulate credit-wait time into ``xmit_wait`` (1 tick = 1 ns)."""
+        if seconds > 0:
+            self.xmit_wait += int(round(seconds * 1e9))
 
     def as_dict(self) -> Dict[str, int]:
-        """Plain-dict snapshot."""
+        """Plain-dict snapshot (unwrapped totals)."""
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def pma_view(self) -> Dict[str, int]:
+        """The 32-bit wrapped values a PMA GET returns off the wire."""
         return {
-            "xmit_packets": self.xmit_packets,
-            "rcv_packets": self.rcv_packets,
-            "xmit_discards": self.xmit_discards,
+            name: getattr(self, name) % PMA_COUNTER_WRAP
+            for name in self.FIELDS
         }
 
     def reset(self) -> None:
         """Clear all counters (PortCounters set with reset bits)."""
         self.xmit_packets = 0
         self.rcv_packets = 0
-        self.xmit_discards = 0
+        self.xmit_data = 0
+        self.rcv_data = 0
+        self.xmit_wait = 0
+        self.hoq_discards = 0
+        self.unroutable_discards = 0
+        self.symbol_errors = 0
 
 
 class Switch(Node):
@@ -178,13 +258,6 @@ class Switch(Node):
         super().__init__(name, NodeType.SWITCH, num_ports)
         self.management_port = Port(self, 0)
         self.lft = LinearForwardingTable(top_lid=63)
-        self.counters: Dict[int, PortCounters] = {}
-
-    def port_counters(self, port: int) -> PortCounters:
-        """Counters for one port (created on first touch)."""
-        if not 0 <= port <= self.num_ports:
-            raise TopologyError(f"{self.name!r} has no port {port}")
-        return self.counters.setdefault(port, PortCounters())
 
     @property
     def lid(self) -> Optional[int]:

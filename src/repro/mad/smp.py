@@ -53,6 +53,10 @@ class SmpKind(enum.Enum):
     VGUID = "VirtualGUIDInfo"  # alias-GUID programming on a hypervisor HCA
     SM_INFO = "SMInfo"
     NOTICE = "Notice"  # trap notices (IBA 13.4.8/13.4.9) riding VL15
+    #: PMA PortCounters read/reset — what the PerfManager sweeps. GETs
+    #: return the 32-bit wrapped per-port counter view; SETs with a
+    #: ``reset`` payload clear the counters (PortCounters with reset bits).
+    PORT_COUNTERS = "PortCounters"
 
 
 class SmInfoAttrMod(enum.IntEnum):

@@ -31,12 +31,15 @@ from repro.obs.flight import SmpFlightEvent
 from repro.obs.hub import get_hub
 from repro.obs.spans import current_span
 
-__all__ = ["TransportStats", "SmpTransport"]
+__all__ = ["TransportStats", "SmpTransport", "MAD_BYTES"]
 
 #: Default per-hop wire+forwarding latency (the building block of ``k``).
 DEFAULT_HOP_LATENCY = 200e-9
 #: Default per-hop directed-routing processing overhead (``r`` per hop).
 DEFAULT_DR_OVERHEAD = 250e-9
+#: Octets charged to the PMA data counters per MAD (one 256-byte datagram,
+#: IBA 13.4.2).
+MAD_BYTES = 256
 
 
 @dataclass
@@ -355,6 +358,13 @@ class SmpTransport:
         if smp.directed:
             latency += hops * self.dr_overhead
 
+        # PMA accounting: the MAD leaves through the SM host's endpoint
+        # port whatever happens to it on the wire; arrival is counted in
+        # :meth:`_deliver` so dropped packets never show up as received.
+        tx = self._endpoint_counters(self.sm_node)
+        tx.xmit_packets += 1
+        tx.xmit_data += MAD_BYTES
+
         status = SmpStatus.DELIVERED
         fault = "delivered"
         data: Optional[Dict[str, object]] = None
@@ -406,6 +416,8 @@ class SmpTransport:
             if status is SmpStatus.DELIVERED:
                 st.corrupted += 1
                 fault = "corrupt"
+                # The receiving port accepted damaged symbols.
+                self._endpoint_counters(target).symbol_errors += 1
         else:  # drop: the packet dies on the wire, the sender times out
             status = SmpStatus.TIMEOUT
             st.timeouts += 1
@@ -434,6 +446,16 @@ class SmpTransport:
             smp=smp, hops=hops, latency=latency, data=data, status=status
         )
 
+    @staticmethod
+    def _endpoint_counters(node: Node):
+        """PMA counters of a node's MAD endpoint (switch port 0, HCA port 1).
+
+        Management traffic terminates at the endpoint — port 0 is the
+        switch management port, not a transit port — so MAD accounting
+        never perturbs the transit-port xmit==rcv conservation invariant.
+        """
+        return node.port_counters(0 if isinstance(node, Switch) else 1)
+
     def _deliver(
         self, smp: Smp, target: Node, status: SmpStatus, fault: str
     ):
@@ -445,6 +467,9 @@ class SmpTransport:
         exactly how a stale master re-emerging after a partition heal is
         stopped from corrupting routing state.
         """
+        rx = self._endpoint_counters(target)
+        rx.rcv_packets += 1
+        rx.rcv_data += MAD_BYTES
         if smp.generation is not None and smp.is_fenced_write:
             if smp.generation < self._fabric_generation:
                 self.stats.stale_rejected += 1
@@ -593,5 +618,34 @@ class SmpTransport:
             # times and accounts the MAD; the trap pipeline that sent it
             # decides what to do with the event.
             return dict(smp.payload)
+
+        if smp.kind is SmpKind.PORT_COUNTERS:
+            # PMA PortCounters: the attribute the PerfManager sweeps.
+            port_sel = smp.payload.get("port")
+            if smp.method is SmpMethod.SET:
+                if smp.payload.get("reset"):
+                    if port_sel is None:
+                        for num in sorted(target.counters):
+                            target.counters[num].reset()
+                    else:
+                        target.port_counters(int(port_sel)).reset()
+                return None
+            if port_sel is not None:
+                num = int(port_sel)
+                return {
+                    "node": target.name,
+                    "ports": {num: target.port_counters(num).pma_view()},
+                }
+            # All ports that have ever counted anything, plus the MAD
+            # endpoint port itself (which this GET is incrementing).
+            low = 0 if isinstance(target, Switch) else 1
+            return {
+                "node": target.name,
+                "ports": {
+                    num: target.counters[num].pma_view()
+                    for num in sorted(target.counters)
+                    if low <= num <= target.num_ports
+                },
+            }
 
         raise TopologyError(f"unhandled SMP kind {smp.kind}")  # pragma: no cover

@@ -43,7 +43,18 @@ ChannelId = Tuple[int, int]
 
 @dataclass
 class DataPlaneStats:
-    """Outcome counters of one data-plane run."""
+    """Outcome counters of one data-plane run.
+
+    ``dropped_by_port`` attributes every drop to the switch port whose
+    forwarding decision caused it, keyed ``(switch_name, out_port,
+    reason)`` with reason one of ``timeout`` (HOQ lifetime), ``no_route``
+    (unset or dead-port LFT entry) and ``port255`` (intentional
+    invalidation, section VI-C) — the per-cause view telemetry discard
+    counters and the static analyzer's LFT002 findings cross-check
+    against. ``flows`` counts *delivered* packets per (src LID, dst LID)
+    pair; its total equals ``delivered`` exactly, which is what makes a
+    measured traffic matrix auditable against this struct.
+    """
 
     injected: int = 0
     delivered: int = 0
@@ -51,6 +62,10 @@ class DataPlaneStats:
     dropped_timeout: int = 0
     dropped_port255: int = 0
     latencies: List[float] = field(default_factory=list)
+    dropped_by_port: Dict[Tuple[str, int, str], int] = field(
+        default_factory=dict
+    )
+    flows: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
     @property
     def in_flight(self) -> int:
@@ -84,6 +99,9 @@ class Packet:
         self.held: Optional[Tuple[int, int, int]] = None
         #: Switch index the packet currently sits at.
         self.at_switch: Optional[int] = None
+        #: Sim time this packet joined a channel's waiter queue (None when
+        #: not blocked) — the source of the PortXmitWait counter.
+        self.wait_start: Optional[float] = None
         self.hops = 0
         self.dropped = False
 
@@ -113,16 +131,23 @@ class DataPlaneSimulator:
         hop_time: float = 1e-6,
         hoq_timeout: float = 1e-3,
         lid_to_vl: Optional[Dict[int, int]] = None,
+        packet_bytes: int = 256,
     ) -> None:
         if channel_credits < 1:
             raise SimulationError("channels need at least one credit")
         if hop_time <= 0 or hoq_timeout <= 0:
             raise SimulationError("hop_time and hoq_timeout must be positive")
+        if packet_bytes < 1:
+            raise SimulationError("packet_bytes must be positive")
         self.topology = topology
         self.engine = engine or SimulationEngine()
         self.channel_credits = channel_credits
         self.hop_time = hop_time
         self.hoq_timeout = hoq_timeout
+        #: Octets charged to the PMA data counters per packet (the model
+        #: is bandwidth-abstract; a fixed MTU-sized payload keeps byte
+        #: counters proportional to packet counters).
+        self.packet_bytes = packet_bytes
         #: Destination LID -> virtual lane. Each VL has its own credit pool
         #: per physical channel, so traffic on different lanes never blocks
         #: each other — the mechanism behind DFSSSP/LASH deadlock freedom.
@@ -135,7 +160,9 @@ class DataPlaneSimulator:
         self._p2p: Dict[ChannelId, int] = {}
         #: (switch, out port) -> in-port on the peer, for rcv counters.
         self._peer_port: Dict[ChannelId, int] = {}
-        self._host_ports: Dict[ChannelId, str] = {}  # delivery edges
+        #: Delivery edges: (switch, out port) -> the HCA-side Port, so
+        #: delivery can feed the host port's PMA receive counters.
+        self._host_ports: Dict[ChannelId, object] = {}
         for sw in self._switches:
             for port in sw.connected_ports():
                 peer = port.remote
@@ -145,7 +172,7 @@ class DataPlaneSimulator:
                     self._p2p[key] = peer.node.index
                     self._peer_port[key] = peer.num
                 else:
-                    self._host_ports[key] = peer.node.name
+                    self._host_ports[key] = peer
         # Channels are keyed (switch, out port, VL) and created lazily:
         # each VL gets its own credit pool on every physical link.
         self._channels: Dict[Tuple[int, int, int], _Channel] = {}
@@ -163,10 +190,18 @@ class DataPlaneSimulator:
         pkt = Packet(src_lid, dst_lid, 0.0)
         self.stats.injected += 1
         leaf = entry.node.index
+        host_port, entry_port = port, entry
 
         def arrive() -> None:
             pkt.inject_time = self.engine.now
             pkt.at_switch = leaf
+            # Host edge: transmit on the HCA port, receive on the leaf.
+            hc = host_port.node.port_counters(host_port.num)
+            hc.xmit_packets += 1
+            hc.xmit_data += self.packet_bytes
+            ec = entry_port.node.port_counters(entry_port.num)
+            ec.rcv_packets += 1
+            ec.rcv_data += self.packet_bytes
             self._forward(pkt)
 
         self.engine.schedule(delay, arrive, label=f"inject#{pkt.id}")
@@ -198,14 +233,30 @@ class DataPlaneSimulator:
         if out == LFT_DROP_PORT or out == LFT_UNSET:
             # Port 255 / unprogrammed: the partially-static reconfiguration
             # of section VI-C intentionally drops this traffic.
-            self._drop(pkt, "port255" if out == LFT_DROP_PORT else "no_route")
+            self._drop(
+                pkt,
+                "port255" if out == LFT_DROP_PORT else "no_route",
+                port=0,
+            )
             return
         key = (pkt.at_switch, out)
         if key in self._host_ports:
-            self._deliver(pkt)
+            self._deliver(pkt, key)
             return
         if key not in self._p2p:
-            self._drop(pkt, "no_route")
+            # The LFT points at a port with no live peer (a cable that
+            # died after the tables were computed): the port transmits
+            # nothing, so the packet sits at the head of its queue for
+            # the HOQ lifetime — charged as xmit-wait — and is then
+            # discarded as unroutable.
+            def dead_port_drop() -> None:
+                if not pkt.dropped:
+                    sw.port_counters(out).add_wait(self.hoq_timeout)
+                    self._drop(pkt, "no_route", port=out)
+
+            self.engine.schedule(
+                self.hoq_timeout, dead_port_drop, label=f"dead#{pkt.id}"
+            )
             return
         vl = self.lid_to_vl.get(pkt.dst_lid, 0)
         vkey = (key[0], key[1], vl)
@@ -217,6 +268,7 @@ class DataPlaneSimulator:
             self._advance(pkt, vkey)
         else:
             channel.waiters.append(pkt)
+            pkt.wait_start = self.engine.now
             deadline_hops = pkt.hops
 
             def maybe_timeout() -> None:
@@ -228,7 +280,10 @@ class DataPlaneSimulator:
                     and pkt in channel.waiters
                 ):
                     channel.waiters.remove(pkt)
-                    self._drop(pkt, "timeout")
+                    # The full lifetime was spent blocked on this port.
+                    sw.port_counters(out).add_wait(self.hoq_timeout)
+                    pkt.wait_start = None
+                    self._drop(pkt, "timeout", port=out)
 
             self.engine.schedule(
                 self.hoq_timeout, maybe_timeout, label=f"hoq#{pkt.id}"
@@ -239,8 +294,17 @@ class DataPlaneSimulator:
         phys = channel_key[:2]
         nxt = self._p2p[phys]
         # PMA counters: transmit on the egress, receive on the far ingress.
-        self._switches[phys[0]].port_counters(phys[1]).xmit_packets += 1
-        self._switches[nxt].port_counters(self._peer_port[phys]).rcv_packets += 1
+        egress = self._switches[phys[0]].port_counters(phys[1])
+        if pkt.wait_start is not None:
+            # The packet queued for this credit: the blocked interval is
+            # the egress port's PortXmitWait.
+            egress.add_wait(self.engine.now - pkt.wait_start)
+            pkt.wait_start = None
+        egress.xmit_packets += 1
+        egress.xmit_data += self.packet_bytes
+        ingress = self._switches[nxt].port_counters(self._peer_port[phys])
+        ingress.rcv_packets += 1
+        ingress.rcv_data += self.packet_bytes
 
         def arrive() -> None:
             if pkt.dropped:
@@ -272,20 +336,41 @@ class DataPlaneSimulator:
         else:
             channel.credits += 1
 
-    def _deliver(self, pkt: Packet) -> None:
+    def _deliver(self, pkt: Packet, key: ChannelId) -> None:
         self._release_held(pkt)
+        # Host edge: transmit on the leaf's port, receive on the HCA port.
+        egress = self._switches[key[0]].port_counters(key[1])
+        egress.xmit_packets += 1
+        egress.xmit_data += self.packet_bytes
+        host = self._host_ports[key]
+        hc = host.node.port_counters(host.num)  # type: ignore[attr-defined]
+        hc.rcv_packets += 1
+        hc.rcv_data += self.packet_bytes
         self.stats.delivered += 1
+        flow = (pkt.src_lid, pkt.dst_lid)
+        self.stats.flows[flow] = self.stats.flows.get(flow, 0) + 1
         self.stats.latencies.append(
             self.engine.now + self.hop_time - pkt.inject_time
         )
 
-    def _drop(self, pkt: Packet, reason: str) -> None:
+    def _drop(
+        self, pkt: Packet, reason: str, *, port: Optional[int] = None
+    ) -> None:
         pkt.dropped = True
         if pkt.at_switch is not None:
             sw = self._switches[pkt.at_switch]
-            out = sw.lft.get(pkt.dst_lid)
-            port = out if 0 <= out <= sw.num_ports else 0
-            sw.port_counters(port).xmit_discards += 1
+            if port is None:
+                out = sw.lft.get(pkt.dst_lid)
+                port = out if 0 <= out <= sw.num_ports else 0
+            counters = sw.port_counters(port)
+            if reason == "timeout":
+                counters.hoq_discards += 1
+            else:
+                counters.unroutable_discards += 1
+            drop_key = (sw.name, port, reason)
+            self.stats.dropped_by_port[drop_key] = (
+                self.stats.dropped_by_port.get(drop_key, 0) + 1
+            )
         self._release_held(pkt)
         if reason == "timeout":
             self.stats.dropped_timeout += 1

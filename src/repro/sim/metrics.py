@@ -118,11 +118,38 @@ class Timer:
         return self.total / len(self.laps) if self.laps else 0.0
 
 
-class Histogram:
-    """A simple value accumulator with percentile queries."""
+#: Default histogram bucket upper bounds: one decade ladder from 1 ns to
+#: 10 s, wide enough for both MAD latencies and whole-run durations.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    10.0 ** e for e in range(-9, 2)
+)
 
-    def __init__(self, name: str) -> None:
+
+class Histogram:
+    """A value accumulator with percentile queries and Prometheus buckets.
+
+    Observations are kept raw (percentiles stay exact); the *buckets*
+    upper bounds only shape the cumulative ``_bucket{le=...}`` series of
+    the text exposition.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
         self.name = name
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        if not self.buckets:
+            raise SimulationError(
+                f"histogram {name}: needs at least one bucket bound"
+            )
+        if any(
+            b2 <= b1 for b1, b2 in zip(self.buckets, self.buckets[1:])
+        ) or any(math.isnan(b) for b in self.buckets):
+            raise SimulationError(
+                f"histogram {name}: bucket bounds must strictly increase"
+            )
         self._values: List[float] = []
 
     def observe(self, value: float) -> None:
@@ -173,6 +200,17 @@ class Histogram:
         """All observations as an array."""
         return np.asarray(self._values, dtype=np.float64)
 
+    def bucket_counts(self) -> List[int]:
+        """Cumulative observation counts per bucket bound (``le`` semantics).
+
+        Aligned with :attr:`buckets`; observations above the last bound
+        only appear in the implicit ``+Inf`` bucket (:attr:`count`).
+        """
+        if not self._values:
+            return [0] * len(self.buckets)
+        values = np.asarray(self._values, dtype=np.float64)
+        return [int(np.count_nonzero(values <= b)) for b in self.buckets]
+
 
 class MetricRegistry:
     """Named metric namespace for one experiment run.
@@ -205,9 +243,17 @@ class MetricRegistry:
         """Get or create a timer."""
         return self._timers.setdefault(name, Timer(name))
 
-    def histogram(self, name: str) -> Histogram:
-        """Get or create a histogram."""
-        return self._histograms.setdefault(name, Histogram(name))
+    def histogram(
+        self, name: str, *, buckets: Optional[Iterable[float]] = None
+    ) -> Histogram:
+        """Get or create a histogram (*buckets* applies on creation only)."""
+        if name not in self._histograms:
+            self._histograms[name] = (
+                Histogram(name, buckets)
+                if buckets is not None
+                else Histogram(name)
+            )
+        return self._histograms[name]
 
     def reset(self) -> None:
         """Drop every registered metric (start of a fresh run)."""
@@ -266,12 +312,13 @@ class MetricRegistry:
             lines.append(f"{prom}_seconds_sum {_fmt(t.total)}")
             lines.append(f"{prom}_seconds_count {len(t.laps)}")
         for name, h in sorted(self._histograms.items()):
-            type_line(name, "summary")
+            # Proper Prometheus histogram exposition: cumulative buckets
+            # (le semantics), then the implicit +Inf, _sum and _count.
+            type_line(name, "histogram")
             prom = _prom_name(name)
-            for q in (50, 99):
-                lines.append(
-                    f'{prom}{{quantile="0.{q}"}} {_fmt(h.percentile(q))}'
-                )
+            for bound, cum in zip(h.buckets, h.bucket_counts()):
+                lines.append(f'{prom}_bucket{{le="{_fmt(bound)}"}} {cum}')
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {h.count}')
             lines.append(f"{prom}_sum {_fmt(h.sum)}")
             lines.append(f"{prom}_count {h.count}")
         return "\n".join(lines) + ("\n" if lines else "")
@@ -299,6 +346,10 @@ class MetricRegistry:
                     "p50": h.percentile(50),
                     "p99": h.percentile(99),
                     "max": h.max,
+                    "buckets": [
+                        [bound, cum]
+                        for bound, cum in zip(h.buckets, h.bucket_counts())
+                    ],
                 }
                 for name, h in sorted(self._histograms.items())
             },

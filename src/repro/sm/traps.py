@@ -41,10 +41,17 @@ __all__ = ["TrapType", "TrapRecord", "PendingEvent", "FabricEventManager"]
 
 
 class TrapType(enum.Enum):
-    """Modelled trap numbers (IBA 13.4.9)."""
+    """Modelled trap numbers (IBA 13.4.9).
+
+    ``CONGESTION`` is not a wire trap: it is the PerfManager's threshold
+    event (OpenSM's perfmgr raises the analogous internal event when a
+    swept counter crosses its configured threshold), routed through the
+    same event manager so chaos runs see congestion next to link state.
+    """
 
     LINK_STATE_DOWN = 128
     LINK_STATE_UP = 129
+    CONGESTION = 144
 
 
 @dataclass(frozen=True)
@@ -55,6 +62,9 @@ class TrapRecord:
     trap: TrapType
     reporter: str  # switch that noticed
     port: int
+    #: Event-specific magnitude (congestion: xmit-wait seconds observed
+    #: in the window that tripped the threshold). 0.0 for wire traps.
+    severity: float = 0.0
 
 
 @dataclass
@@ -87,6 +97,8 @@ class FabricEventManager:
             raise ReproError("storm threshold must be >= 1")
         self.sm = sm
         self.traps: List[TrapRecord] = []
+        #: Congestion threshold events (TrapType.CONGESTION), arrival order.
+        self.congestion_events: List[TrapRecord] = []
         self._seq = itertools.count(1)
         #: Reconfigurations performed in reaction to traps.
         self.reactions: List[ConfigureReport] = []
@@ -112,9 +124,20 @@ class FabricEventManager:
 
     # -- trap ingestion -------------------------------------------------------
 
-    def _record(self, trap: TrapType, reporter: str, port: int) -> TrapRecord:
+    def _record(
+        self,
+        trap: TrapType,
+        reporter: str,
+        port: int,
+        *,
+        severity: float = 0.0,
+    ) -> TrapRecord:
         rec = TrapRecord(
-            seq=next(self._seq), trap=trap, reporter=reporter, port=port
+            seq=next(self._seq),
+            trap=trap,
+            reporter=reporter,
+            port=port,
+            severity=severity,
         )
         self.traps.append(rec)
         return rec
@@ -122,6 +145,27 @@ class FabricEventManager:
     def traps_of(self, trap: TrapType) -> List[TrapRecord]:
         """All received traps of one type, in arrival order."""
         return [t for t in self.traps if t.trap is trap]
+
+    # -- telemetry threshold events -------------------------------------------
+
+    def report_congestion(
+        self, reporter: str, port: int, *, severity: float = 0.0
+    ) -> TrapRecord:
+        """A PerfManager threshold event: one port's counters crossed the
+        congestion threshold (xmit-wait growth, discards, or saturation).
+
+        Unlike link-state traps this is SM-internal — no Notice MAD rides
+        VL15 and no reroute is queued; the event is recorded so operators
+        (and chaos reports) see congestion alongside link state.
+        """
+        rec = self._record(
+            TrapType.CONGESTION, reporter, port, severity=severity
+        )
+        self.congestion_events.append(rec)
+        get_hub().metrics.counter(
+            "repro_telemetry_congestion_events_total"
+        ).add(1)
+        return rec
 
     # -- legacy synchronous events --------------------------------------------
 

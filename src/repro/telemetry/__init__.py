@@ -1,0 +1,44 @@
+"""Fabric telemetry: PMA counter sweeps, time series, and analytics.
+
+The paper's balancing and migration-downtime claims are claims about
+*observable fabric load*; this package reproduces the layer that observes
+it. Per-port PMA counters (populated natively by the data-plane simulator
+and the MAD transport) are swept by a :class:`PerfManager` through costed,
+fault-injectable MADs into a bounded :class:`TimeSeriesStore`; analytics
+on top derive link utilization, hot ports, congestion threshold events
+(raised into the :class:`~repro.sm.traps.FabricEventManager`) and measured
+per-VM/per-tenant :class:`TrafficMatrix` exports — the input the
+traffic-aware migration planning item consumes.
+"""
+
+from repro.telemetry.analytics import (
+    LINK_BANDWIDTH_BYTES,
+    CongestionDetector,
+    CongestionFinding,
+    PortRate,
+    TrafficMatrix,
+    lid_owner_map,
+    lid_tenant_map,
+    port_rates,
+    top_talkers,
+)
+from repro.telemetry.harness import TelemetryHarness
+from repro.telemetry.perf import PerfManager, SweepReport
+from repro.telemetry.store import SeriesKey, TimeSeriesStore
+
+__all__ = [
+    "LINK_BANDWIDTH_BYTES",
+    "CongestionDetector",
+    "CongestionFinding",
+    "PortRate",
+    "TrafficMatrix",
+    "lid_owner_map",
+    "lid_tenant_map",
+    "port_rates",
+    "top_talkers",
+    "TelemetryHarness",
+    "PerfManager",
+    "SweepReport",
+    "SeriesKey",
+    "TimeSeriesStore",
+]

@@ -29,9 +29,15 @@ bit-identically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.errors import DistributionError, TopologyError, TransportError
+from repro.errors import (
+    DistributionError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+    TransportError,
+)
 from repro.fabric.node import Switch
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
@@ -39,10 +45,76 @@ from repro.mad.reliable import RetryPolicy
 from repro.obs.hub import get_hub, span
 from repro.sm.ha import HighAvailabilityManager
 from repro.sm.traps import FabricEventManager
+from repro.telemetry.analytics import CongestionDetector, top_talkers
+from repro.telemetry.harness import TelemetryHarness
+from repro.telemetry.perf import PerfManager
 from repro.virt.cloud import CloudManager
 from repro.workloads.churn import ChurnReport, ChurnWorkload
 
-__all__ = ["ChaosReport", "ChaosRunner"]
+__all__ = ["ChaosReport", "ChaosTelemetry", "ChaosRunner"]
+
+
+@dataclass
+class ChaosTelemetry:
+    """Fabric-telemetry rows of one chaos run (opt-in via ``telemetry=True``).
+
+    Populated by measured traffic bursts between chaos steps, PerfManager
+    sweeps through the (faulty) MAD plane, and the congestion detector;
+    the flap rows isolate what the flapped links' own ports recorded.
+    """
+
+    bursts: int = 0
+    packets_injected: int = 0
+    packets_delivered: int = 0
+    hoq_discards: int = 0
+    unroutable_discards: int = 0
+    xmit_wait_seconds: float = 0.0
+    #: Discards / wait observed on the switch ports of flapped links.
+    flapped_port_discards: int = 0
+    flapped_port_wait_seconds: float = 0.0
+    sweeps: int = 0
+    sweep_smps: int = 0
+    sweep_misses: int = 0
+    congestion_events: int = 0
+    congestion_seconds: float = 0.0
+    peak_utilization: float = 0.0
+    #: Hottest link seen in a sweep right after a completed migration.
+    peak_migration_utilization: float = 0.0
+    matrix_endpoints: int = 0
+    matrix_total: int = 0
+    matrix_consistent: bool = False
+
+    def render_lines(self) -> List[str]:
+        """The telemetry rows of :meth:`ChaosReport.render`."""
+        return [
+            (
+                f"telemetry: {self.bursts} bursts"
+                f" ({self.packets_injected} injected,"
+                f" {self.packets_delivered} delivered);"
+                f" discards hoq={self.hoq_discards}"
+                f" unroutable={self.unroutable_discards};"
+                f" xmit-wait {self.xmit_wait_seconds * 1e3:.3f}ms"
+            ),
+            (
+                f"telemetry flap windows: {self.flapped_port_discards}"
+                f" discards, {self.flapped_port_wait_seconds * 1e3:.3f}ms"
+                f" wait on flapped ports"
+            ),
+            (
+                f"telemetry sweeps: {self.sweeps}"
+                f" ({self.sweep_smps} SMPs, {self.sweep_misses} misses);"
+                f" congestion: {self.congestion_events} events,"
+                f" {self.congestion_seconds * 1e3:.3f}ms;"
+                f" peak util {self.peak_utilization:.1%}"
+                f" (post-migration {self.peak_migration_utilization:.1%})"
+            ),
+            (
+                f"telemetry matrix: {self.matrix_endpoints} endpoints,"
+                f" {self.matrix_total} delivered packets"
+                f" (row sums"
+                f" {'consistent' if self.matrix_consistent else 'INCONSISTENT'})"
+            ),
+        ]
 
 
 @dataclass
@@ -102,6 +174,8 @@ class ChaosReport:
     #: Final subnet audit (populated once ``verified`` is True).
     verified: bool = False
     verification_failures: List[str] = field(default_factory=list)
+    #: Fabric telemetry rows (None unless the runner ran with telemetry).
+    telemetry: Optional[ChaosTelemetry] = None
 
     @property
     def ok(self) -> bool:
@@ -178,6 +252,8 @@ class ChaosReport:
                 if action != "deliver"
             ),
         ]
+        if self.telemetry is not None:
+            lines.extend(self.telemetry.render_lines())
         if self.control_plane_errors:
             lines.append(
                 f"control-plane errors: {len(self.control_plane_errors)}"
@@ -213,6 +289,9 @@ class ChaosRunner:
         resilient: bool = True,
         migrate_probability: float = 0.25,
         target_utilization: float = 0.5,
+        telemetry: bool = False,
+        telemetry_interval: int = 4,
+        telemetry_endpoints: int = 8,
     ) -> None:
         self.cloud = cloud
         self.sm = cloud.sm
@@ -230,6 +309,26 @@ class ChaosRunner:
         )
         if resilient:
             self.sm.enable_resilience(retry_policy, transactional=True)
+        #: Telemetry mode: PerfManager sweeps + measured bursts between
+        #: steps, and flap windows observed through the flapped ports'
+        #: own counters. Built after ``enable_resilience`` so sweep MADs
+        #: go through the retrying sender (``sm.smp_sender``).
+        self.telemetry_enabled = telemetry
+        self.perf: Optional[PerfManager] = None
+        self.detector: Optional[CongestionDetector] = None
+        self.harness: Optional[TelemetryHarness] = None
+        self._telemetry_interval = max(1, telemetry_interval)
+        #: (switch name, port) pairs of successfully flapped link ends.
+        self._flapped_ports: List[Tuple[str, int]] = []
+        if telemetry:
+            self.perf = PerfManager(self.sm)
+            self.detector = CongestionDetector(self.events)
+            self.harness = TelemetryHarness(
+                self.sm,
+                perf=self.perf,
+                max_endpoints=telemetry_endpoints,
+                channel_credits=1,
+            )
         self._register_sm_candidates()
         #: Step at which the current partition heals (None = no partition
         #: in flight) and who was cut off.
@@ -271,6 +370,8 @@ class ChaosRunner:
     def run(self, steps: int) -> ChaosReport:
         """Perform *steps* chaos steps, then audit the subnet."""
         report = ChaosReport(steps=steps, plan=self.plan.describe())
+        if self.telemetry_enabled:
+            report.telemetry = ChaosTelemetry()
         transport = self.sm.transport
         if self.plan.injects_smp_faults:
             transport.set_fault_injector(self.injector)
@@ -290,6 +391,8 @@ class ChaosRunner:
         report.fault_summary = self.injector.summary()
         report.coalesced_traps = self.events.traps_coalesced
         report.throttled_traps = self.events.traps_throttled
+        if report.telemetry is not None:
+            self._finalize_telemetry(report)
         self._verify(report)
         self._expose(report)
         return report
@@ -327,6 +430,11 @@ class ChaosRunner:
             # Nobody is master: migrations/boots would go unrouted. The
             # cloud stalls until the lease protocol elects a successor.
             report.stalled_steps += 1
+        if (
+            self.telemetry_enabled
+            and step % self._telemetry_interval == 0
+        ):
+            self._telemetry_tick(report)
 
     # -- workload -----------------------------------------------------------
 
@@ -379,6 +487,10 @@ class ChaosRunner:
         else:
             report.ideal_migration_smps += ideal
             report.achieved_migration_smps += delta.lft_update_smps
+            if self.telemetry_enabled:
+                # Measure the fabric right after the move: the planner
+                # item wants post-migration hot-link evidence.
+                self._telemetry_tick(report, migration=True)
 
     def _predict_ideal_smps(self, vm, dest) -> int:
         """The lossless n'·m' cost of the migration about to run."""
@@ -406,6 +518,9 @@ class ChaosRunner:
         if not links:
             return
         link = frng.choice(links)
+        if self.telemetry_enabled:
+            self._telemetry_link_flap(report, link)
+            return
         end_a, end_b = link.ends
         a, pa = end_a.node, end_a.num
         b, pb = end_b.node, end_b.num
@@ -432,6 +547,136 @@ class ChaosRunner:
         report.link_flaps += 1
         report.reroute_smps += delta.lft_update_smps
         get_hub().metrics.counter("repro_chaos_link_flaps_total").add(1)
+
+    # -- telemetry mode ------------------------------------------------------
+
+    def _telemetry_link_flap(self, report: ChaosReport, link) -> None:
+        """Flap a link *observably*: traffic runs while it is down.
+
+        Uses the deferred trap path so there is a real blackhole window:
+        after :meth:`report_link_down` the LFTs still point at the dead
+        port until the pump reroutes. A burst run inside that window
+        charges xmit-wait (one HOQ lifetime per head-of-queue packet)
+        and unroutable discards to the flapped ports themselves — the
+        PMA-visible signature of a flap the acceptance gate checks.
+        """
+        end_a, end_b = link.ends
+        a, pa = end_a.node, end_a.num
+        b, pb = end_b.node, end_b.num
+        before = self.sm.transport.stats.snapshot()
+        with span(
+            "link_flap", a=a.name, b=b.name, telemetry=True
+        ) as sp:
+            try:
+                self.events.report_link_down(link)
+            except TopologyError:
+                # Cut would partition: refused with the cable replugged.
+                sp.set_attribute("refused", True)
+                report.refused_link_flaps += 1
+                return
+            self._flapped_ports.extend([(a.name, pa), (b.name, pb)])
+            self._telemetry_burst(report)
+            self._recover(
+                report,
+                lambda: self.events.pump(force=True),
+                label="flap reroute",
+            )
+            self._recover(
+                report,
+                lambda: self.events.report_link_up(a, pa, b, pb),
+                label="link flap up",
+            )
+            self._recover(
+                report,
+                lambda: self.events.pump(force=True),
+                label="flap-up reroute",
+            )
+        delta = self.sm.transport.stats.delta_since(before)
+        report.link_flaps += 1
+        report.reroute_smps += delta.lft_update_smps
+        get_hub().metrics.counter("repro_chaos_link_flaps_total").add(1)
+        # Sweep right away so the flap window's counters (and any
+        # congestion events they imply) land in the store this step.
+        self._telemetry_observe(report)
+
+    def _telemetry_tick(
+        self, report: ChaosReport, *, migration: bool = False
+    ) -> None:
+        """One burst + sweep + congestion scan (the periodic tick)."""
+        if report.telemetry is None or self.harness is None:
+            return
+        self._telemetry_burst(report)
+        self._telemetry_observe(report, migration=migration)
+
+    def _telemetry_burst(self, report: ChaosReport):
+        """Run one measured burst; ledger its packets. Returns stats."""
+        tel = report.telemetry
+        try:
+            stats = self.harness.burst()
+        except (ReproError, SimulationError) as exc:
+            report.control_plane_errors.append(f"telemetry burst: {exc}")
+            return None
+        tel.bursts += 1
+        tel.packets_injected += stats.injected
+        tel.packets_delivered += stats.delivered
+        return stats
+
+    def _telemetry_observe(
+        self, report: ChaosReport, *, migration: bool = False
+    ) -> None:
+        """Sweep the counters and scan them for congestion."""
+        tel = report.telemetry
+        try:
+            sweep = self.harness.sweep()
+        except (TransportError, DistributionError) as exc:
+            report.control_plane_errors.append(f"telemetry sweep: {exc}")
+            return
+        tel.sweeps += 1
+        tel.sweep_smps += sweep.smps
+        tel.sweep_misses += len(sweep.missed)
+        self.detector.scan(self.harness.store)
+        hot = top_talkers(self.harness.store, top=1)
+        utilization = hot[0].utilization if hot else 0.0
+        tel.peak_utilization = max(tel.peak_utilization, utilization)
+        if migration:
+            tel.peak_migration_utilization = max(
+                tel.peak_migration_utilization, utilization
+            )
+
+    def _finalize_telemetry(self, report: ChaosReport) -> None:
+        """Fold the run's counters/matrix into the telemetry rows."""
+        tel = report.telemetry
+        topo = self.sm.topology
+        for sw in topo.switches:
+            for num in sorted(sw.counters):
+                if num < 1:
+                    # Port 0 is the switch's MAD endpoint, not a link.
+                    continue
+                pc = sw.counters[num]
+                tel.hoq_discards += pc.hoq_discards
+                tel.unroutable_discards += pc.unroutable_discards
+                tel.xmit_wait_seconds += pc.xmit_wait / 1e9
+        seen = set()
+        for name, port in self._flapped_ports:
+            if (name, port) in seen:
+                continue
+            seen.add((name, port))
+            try:
+                pc = topo.node(name).port_counters(port)
+            except TopologyError:
+                # The switch died in a later switch-failure event.
+                continue
+            tel.flapped_port_discards += (
+                pc.hoq_discards + pc.unroutable_discards
+            )
+            tel.flapped_port_wait_seconds += pc.xmit_wait / 1e9
+        if self.harness is not None:
+            tel.matrix_endpoints = len(self.harness.matrix.endpoints)
+            tel.matrix_total = self.harness.matrix.total
+            tel.matrix_consistent = self.harness.verify_matrix()
+        tel.congestion_events = len(self.events.congestion_events)
+        if self.detector is not None:
+            tel.congestion_seconds = self.detector.congestion_seconds
 
     def _switch_failure(self, report: ChaosReport) -> None:
         frng = self.injector.fabric_rng
@@ -650,3 +895,15 @@ class ChaosRunner:
         metrics.gauge("repro_chaos_verification_problems").set(
             len(report.verification_failures)
         )
+        if report.telemetry is not None:
+            tel = report.telemetry
+            metrics.gauge("repro_telemetry_chaos_bursts").set(tel.bursts)
+            metrics.gauge("repro_telemetry_chaos_peak_utilization").set(
+                tel.peak_utilization
+            )
+            metrics.gauge(
+                "repro_telemetry_chaos_flapped_port_discards"
+            ).set(tel.flapped_port_discards)
+            metrics.gauge(
+                "repro_telemetry_chaos_xmit_wait_seconds"
+            ).set(tel.xmit_wait_seconds)

@@ -1,0 +1,65 @@
+"""Flight-recorder bounds and JSONL round-trip under telemetry load.
+
+The issue's satellite: drive a 10k-packet data-plane run with PerfManager
+sweeps interleaved, with a deliberately small flight ring, and prove the
+recorder (a) stays bounded while counting evictions and (b) round-trips
+its retained telemetry events (``port_counters`` kind included) through
+JSONL losslessly.
+"""
+
+from repro.fabric.builders.generic import build_single_switch
+from repro.obs import get_hub, reset_hub
+from repro.sm.subnet_manager import SubnetManager
+from repro.telemetry import TelemetryHarness
+
+#: Small enough that a run's MAD traffic (bring-up + 4 sweeps over the
+#: single-switch fabric) overflows it, proving eviction accounting.
+RING_CAPACITY = 24
+
+
+def telemetry_run(packets: int = 10_000):
+    """Single-switch fabric: *packets* data-plane packets + 4 sweeps."""
+    reset_hub(flight_capacity=RING_CAPACITY)
+    built = build_single_switch(8)
+    sm = SubnetManager(built.topology, engine="minhop", built=built)
+    sm.initial_configure(with_discovery=False)
+    harness = TelemetryHarness(sm, max_endpoints=8)
+    eps = harness.endpoints()
+    flows = [
+        (eps[i % len(eps)], eps[(i + 1 + i // len(eps)) % len(eps)])
+        for i in range(packets)
+    ]
+    # Drop self-flows introduced by the modular stride.
+    flows = [(s, d) if s != d else (s, eps[0] if s != eps[0] else eps[1]) for s, d in flows]
+    per_burst = packets // 4
+    for i in range(4):
+        harness.burst(flows[i * per_burst : (i + 1) * per_burst])
+        harness.sweep()
+    return sm, harness
+
+
+class TestFlightBoundsUnderTelemetry:
+    def test_ring_stays_bounded_and_counts_evictions(self):
+        sm, harness = telemetry_run()
+        flight = get_hub().flight
+        assert harness.injected == 10_000
+        assert len(flight) == RING_CAPACITY
+        assert flight.seen > RING_CAPACITY
+        assert flight.dropped == flight.seen - len(flight)
+        # Sweep MADs (PortCounters GETs) are what filled the ring: the
+        # run's tail is all telemetry traffic.
+        assert flight.by_kind()["port_counters"] > 0
+        assert len(flight.of_kind("port_counters")) == (
+            flight.by_kind()["port_counters"]
+        )
+
+    def test_jsonl_round_trip_is_lossless(self, tmp_path):
+        telemetry_run(packets=2_000)
+        flight = get_hub().flight
+        path = tmp_path / "flight.jsonl"
+        written = flight.to_jsonl(path)
+        assert written == len(flight)
+        loaded = type(flight).from_jsonl(path, capacity=RING_CAPACITY)
+        assert loaded.events() == flight.events()
+        assert loaded.by_kind() == flight.by_kind()
+        assert "port_counters" in loaded.by_kind()

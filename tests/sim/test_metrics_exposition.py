@@ -75,9 +75,36 @@ class TestPrometheusRendering:
         text = reg.render_prometheus()
         assert "compute_seconds_sum" in text
         assert "compute_seconds_count 1" in text
-        assert 'lat{quantile="0.50"} 2' in text
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="10"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
         assert "lat_sum 6" in text
         assert "lat_count 3" in text
+
+    def test_histogram_buckets_are_cumulative_and_custom(self):
+        reg = MetricRegistry()
+        h = reg.histogram("size", buckets=[1.0, 2.0, 4.0])
+        h.observe_many([0.5, 1.5, 3.0, 100.0])
+        assert h.bucket_counts() == [1, 2, 3]
+        text = reg.render_prometheus()
+        assert 'size_bucket{le="1"} 1' in text
+        assert 'size_bucket{le="2"} 2' in text
+        assert 'size_bucket{le="4"} 3' in text
+        # The over-the-top observation only shows in +Inf.
+        assert 'size_bucket{le="+Inf"} 4' in text
+        snap = json.loads(reg.dump_json())
+        assert snap["histograms"]["size"]["buckets"] == [
+            [1.0, 1],
+            [2.0, 2],
+            [4.0, 3],
+        ]
+
+    def test_histogram_bucket_bounds_must_increase(self):
+        with pytest.raises(SimulationError, match="strictly increase"):
+            Histogram("bad", buckets=[1.0, 1.0])
+        with pytest.raises(SimulationError, match="at least one"):
+            Histogram("bad", buckets=[])
 
     def test_json_snapshot_round_trips(self):
         reg = MetricRegistry()

@@ -34,17 +34,22 @@ class TestPortCounters:
         assert total_xmit > 0
 
     def test_xmit_equals_rcv_fabric_wide(self, loaded_subnet):
-        # Every inter-switch transmit is someone's receive.
+        # Every transit transmit is someone's receive. Port 0 is the
+        # management endpoint where MAD traffic *terminates* (the SM's
+        # LFT writes land there as receives with no matching switch
+        # transmit), so only external ports are conserved.
         sm, _ = loaded_subnet
         xmit = sum(
             c.xmit_packets
             for sw in sm.topology.switches
-            for c in sw.counters.values()
+            for num, c in sw.counters.items()
+            if num >= 1
         )
         rcv = sum(
             c.rcv_packets
             for sw in sm.topology.switches
-            for c in sw.counters.values()
+            for num, c in sw.counters.items()
+            if num >= 1
         )
         assert xmit == rcv
 
@@ -65,12 +70,35 @@ class TestPortCounters:
     def test_reset(self):
         c = PortCounters()
         c.xmit_packets = 5
+        c.hoq_discards = 2
+        c.add_wait(1e-6)
         c.reset()
-        assert c.as_dict() == {
-            "xmit_packets": 0,
-            "rcv_packets": 0,
-            "xmit_discards": 0,
-        }
+        assert all(v == 0 for v in c.as_dict().values())
+        assert set(c.as_dict()) == set(PortCounters.FIELDS)
+
+    def test_xmit_discards_sums_causes(self):
+        c = PortCounters()
+        c.hoq_discards = 3
+        c.unroutable_discards = 4
+        assert c.xmit_discards == 7
+        assert c.as_dict()["xmit_discards"] == 7
+
+    def test_pma_view_wraps_at_32_bits(self):
+        c = PortCounters()
+        c.xmit_packets = 2**32 + 5
+        c.rcv_data = 2**33 + 7
+        view = c.pma_view()
+        assert view["xmit_packets"] == 5
+        assert view["rcv_data"] == 7
+        # The live field keeps the unwrapped total.
+        assert c.xmit_packets == 2**32 + 5
+
+    def test_add_wait_accumulates_nanosecond_ticks(self):
+        c = PortCounters()
+        c.add_wait(1.5e-6)
+        c.add_wait(0.5e-6)
+        c.add_wait(-1.0)  # ignored: waits are non-negative
+        assert c.xmit_wait == 2000
 
 
 class TestPerformanceManager:

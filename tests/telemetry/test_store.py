@@ -1,0 +1,127 @@
+"""TimeSeriesStore: bounded rings, windowed rates, deterministic export."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import TimeSeriesStore
+
+
+class TestBounds:
+    def test_capacity_must_hold_two_samples(self):
+        with pytest.raises(ReproError, match=">= 2"):
+            TimeSeriesStore(capacity=1)
+
+    def test_ring_evicts_oldest_and_counts(self):
+        store = TimeSeriesStore(capacity=4)
+        for i in range(10):
+            store.append("sw", 1, "xmit_packets", float(i), i * 10)
+        samples = store.series("sw", 1, "xmit_packets")
+        assert len(samples) == 4
+        assert samples[0] == (6.0, 60)  # oldest six evicted
+        assert store.samples_total == 10
+        assert store.evictions == 6
+
+    def test_series_are_independent_rings(self):
+        store = TimeSeriesStore(capacity=2)
+        store.append("sw", 1, "xmit_packets", 0.0, 1)
+        store.append("sw", 2, "xmit_packets", 0.0, 2)
+        store.append("sw", 1, "rcv_packets", 0.0, 3)
+        assert len(store) == 3
+        assert store.evictions == 0
+
+
+class TestLookup:
+    def test_keys_and_endpoints_sorted(self):
+        store = TimeSeriesStore()
+        store.append("b", 2, "xmit_packets", 0.0, 1)
+        store.append("a", 1, "rcv_packets", 0.0, 1)
+        store.append("a", 1, "xmit_packets", 0.0, 1)
+        assert store.keys() == [
+            ("a", 1, "rcv_packets"),
+            ("a", 1, "xmit_packets"),
+            ("b", 2, "xmit_packets"),
+        ]
+        assert store.endpoints() == [("a", 1), ("b", 2)]
+
+    def test_latest_and_counters_at(self):
+        store = TimeSeriesStore()
+        store.append("sw", 1, "xmit_packets", 0.0, 5)
+        store.append("sw", 1, "xmit_packets", 1.0, 9)
+        store.append("sw", 1, "xmit_wait", 1.0, 100)
+        assert store.latest("sw", 1, "xmit_packets") == (1.0, 9)
+        assert store.latest("sw", 9, "xmit_packets") is None
+        assert store.counters_at("sw", 1) == {
+            "xmit_packets": 9,
+            "xmit_wait": 100,
+        }
+
+    def test_last_time_tracks_newest_sample(self):
+        store = TimeSeriesStore()
+        assert store.last_time == 0.0
+        store.append("a", 1, "xmit_packets", 2.5, 1)
+        store.append("b", 1, "xmit_packets", 1.5, 1)
+        assert store.last_time == 2.5
+
+
+class TestRates:
+    def test_rate_over_all_samples(self):
+        store = TimeSeriesStore()
+        store.append("sw", 1, "xmit_packets", 0.0, 0)
+        store.append("sw", 1, "xmit_packets", 2.0, 100)
+        assert store.rate("sw", 1, "xmit_packets") == pytest.approx(50.0)
+
+    def test_windowed_rate_uses_trailing_samples_only(self):
+        store = TimeSeriesStore()
+        store.append("sw", 1, "xmit_packets", 0.0, 0)
+        store.append("sw", 1, "xmit_packets", 10.0, 1000)
+        store.append("sw", 1, "xmit_packets", 11.0, 1100)
+        # Full span: 1100/11 = 100/s; trailing 2 s: 100/1 = 100... use
+        # distinct slopes so the window matters.
+        store.append("sw", 1, "xmit_packets", 12.0, 1400)
+        assert store.rate(
+            "sw", 1, "xmit_packets", window=2.0
+        ) == pytest.approx((1400 - 1000) / 2.0)
+
+    def test_window_falls_back_to_last_two(self):
+        store = TimeSeriesStore()
+        store.append("sw", 1, "xmit_packets", 0.0, 0)
+        store.append("sw", 1, "xmit_packets", 10.0, 500)
+        # Window shorter than the sample spacing: only one sample is
+        # inside, so the rate falls back to the last two.
+        assert store.rate(
+            "sw", 1, "xmit_packets", window=1.0
+        ) == pytest.approx(50.0)
+
+    def test_degenerate_rates_are_zero(self):
+        store = TimeSeriesStore()
+        assert store.rate("sw", 1, "xmit_packets") == 0.0
+        store.append("sw", 1, "xmit_packets", 1.0, 5)
+        assert store.rate("sw", 1, "xmit_packets") == 0.0
+        store.append("sw", 1, "xmit_packets", 1.0, 9)  # zero time span
+        assert store.rate("sw", 1, "xmit_packets") == 0.0
+
+    def test_non_positive_window_raises(self):
+        store = TimeSeriesStore()
+        store.append("sw", 1, "xmit_packets", 0.0, 0)
+        store.append("sw", 1, "xmit_packets", 1.0, 1)
+        with pytest.raises(ReproError, match="window"):
+            store.rate("sw", 1, "xmit_packets", window=0.0)
+
+
+class TestExport:
+    def test_to_json_shape(self):
+        store = TimeSeriesStore(capacity=8)
+        store.append("sw", 1, "xmit_packets", 0.0, 1)
+        store.append("sw", 1, "xmit_packets", 1.0, 3)
+        dump = store.to_json()
+        assert dump["capacity"] == 8
+        assert dump["samples_total"] == 2
+        assert dump["evictions"] == 0
+        assert dump["series"] == [
+            {
+                "node": "sw",
+                "port": 1,
+                "counter": "xmit_packets",
+                "samples": [[0.0, 1], [1.0, 3]],
+            }
+        ]

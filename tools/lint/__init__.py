@@ -98,6 +98,8 @@ _ORDERING_CRITICAL = (
     "repro/fabric/",
     "repro/virt/",
     "repro/sriov/",
+    # Sweep order and analytics sort order feed SMP streams and reports.
+    "repro/telemetry/",
 )
 
 #: Module-path prefixes holding cost-model / calibration float math (DET004).
