@@ -7,7 +7,8 @@ each returns structured results so callers can render, assert or sweep.
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Sequence, Tuple
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.figures import Fig7Series
 from repro.core.cost_model import Table1Row, table1_row
@@ -25,6 +26,7 @@ from repro.sm.subnet_manager import SubnetManager
 __all__ = [
     "paper_scale_enabled",
     "fig7_topologies",
+    "fig7_budget_seconds",
     "measure_path_computation",
     "run_fig7",
     "table1_for_topology",
@@ -33,6 +35,27 @@ __all__ = [
 
 #: Engines timed in Fig. 7, in the figure's bar order.
 FIG7_ENGINES: Tuple[str, ...] = ("ftree", "minhop", "dfsssp", "lash")
+
+#: Default wall-clock budget of one full Fig. 7 sweep, seconds.
+DEFAULT_FIG7_BUDGET = 1800.0
+
+#: Sentinel distinguishing "caller passed nothing" from an explicit None
+#: (= unlimited) for :func:`run_fig7`'s ``budget_seconds``.
+_BUDGET_UNSET = object()
+
+
+def fig7_budget_seconds() -> Optional[float]:
+    """Wall-clock budget for one Fig. 7 sweep, or ``None`` for unlimited.
+
+    ``REPRO_FIG7_BUDGET`` overrides the default; ``0``/``off``/``none``
+    disables the guard entirely.
+    """
+    raw = os.environ.get("REPRO_FIG7_BUDGET", "").strip().lower()
+    if not raw:
+        return DEFAULT_FIG7_BUDGET
+    if raw in ("0", "off", "none", "unlimited"):
+        return None
+    return float(raw)
 
 
 def paper_scale_enabled() -> bool:
@@ -56,17 +79,23 @@ def fig7_topologies(*, paper_scale: Optional[bool] = None) -> List[BuiltTopology
 def measure_path_computation(
     built: BuiltTopology,
     engines: Sequence[str] = FIG7_ENGINES,
+    *,
+    workers: int = 1,
 ) -> Fig7Series:
     """Time each routing engine's path computation on one topology.
 
     Mirrors the paper's ibsim methodology: LIDs are assigned once, then
     each engine computes routes for the identical subnet; only the
-    computation (PCt) is timed, not LFT distribution.
+    computation (PCt) is timed, not LFT distribution. Every engine gets a
+    *fresh* routing state (sharded over *workers* processes when > 1), so
+    each bar is a cold PCt — no engine rides a predecessor's warm distance
+    matrix.
     """
+    from repro.sm.routing.cache import RoutingState
+
     topo = built.topology
-    sm = SubnetManager(topo, built=built)
+    sm = SubnetManager(topo, built=built, workers=workers)
     sm.assign_lids()
-    request = RoutingRequest.from_topology(topo, built=built)
     series = Fig7Series(
         label=topo.name,
         num_nodes=topo.num_hcas,
@@ -74,6 +103,10 @@ def measure_path_computation(
     )
     for name in engines:
         engine = create_engine(name)
+        state = RoutingState(topo, workers=workers)
+        request = RoutingRequest.from_topology(
+            topo, built=built, state=state
+        )
         tables = engine.timed_compute(request)
         series.record(name, tables.compute_seconds)
     # The vSwitch reconfiguration performs zero path computation for any
@@ -86,12 +119,49 @@ def run_fig7(
     *,
     engines: Sequence[str] = FIG7_ENGINES,
     paper_scale: Optional[bool] = None,
+    workers: int = 1,
+    budget_seconds: object = _BUDGET_UNSET,
 ) -> List[Fig7Series]:
-    """The full Fig. 7 sweep: all four topologies, all engines."""
-    return [
-        measure_path_computation(built, engines)
-        for built in fig7_topologies(paper_scale=paper_scale)
-    ]
+    """The full Fig. 7 sweep: all four topologies, all engines.
+
+    A wall-clock *budget* (default :func:`fig7_budget_seconds`) guards the
+    paper-scale sizes: before each engine runs, its time is projected from
+    the previous size's measurement with the engine-agnostic
+    ``(switches ratio)^2`` growth of the all-pairs work, and rows that
+    cannot fit are *skipped with a printed message* instead of hanging the
+    sweep. Skipped cells render as ``-``.
+    """
+    if budget_seconds is _BUDGET_UNSET:
+        budget_seconds = fig7_budget_seconds()
+    start = time.perf_counter()
+    prev_times: Dict[str, float] = {}
+    prev_switches = 0
+    out: List[Fig7Series] = []
+    for built in fig7_topologies(paper_scale=paper_scale):
+        topo = built.topology
+        n_sw = topo.num_switches
+        keep: List[str] = []
+        for name in engines:
+            if budget_seconds is not None:
+                elapsed = time.perf_counter() - start
+                est = 0.0
+                if prev_switches and name in prev_times:
+                    est = prev_times[name] * (n_sw / prev_switches) ** 2
+                if elapsed + est > budget_seconds:
+                    print(
+                        f"fig7: skipping {name} on {topo.name}: projected"
+                        f" ~{est:.0f}s with {elapsed:.0f}s already spent"
+                        f" would exceed the {budget_seconds:.0f}s budget"
+                        " (set REPRO_FIG7_BUDGET to raise or disable)"
+                    )
+                    continue
+            keep.append(name)
+        series = measure_path_computation(built, keep, workers=workers)
+        for name in keep:
+            prev_times[name] = series.seconds_by_engine[name]
+        prev_switches = n_sw
+        out.append(series)
+    return out
 
 
 def table1_for_topology(built: BuiltTopology) -> Table1Row:

@@ -163,12 +163,15 @@ def run_case(
     *,
     inject_fault: bool = False,
     emit_metrics: bool = True,
+    workers: int = 1,
 ) -> FabricCheckResult:
     """Build the preset, bring the subnet up, analyse the hardware LFTs."""
     from repro.sm.subnet_manager import SubnetManager
 
     built = preset_builders()[case.preset]()
-    sm = SubnetManager(built.topology, built=built, engine=case.engine)
+    sm = SubnetManager(
+        built.topology, built=built, engine=case.engine, workers=workers
+    )
     sm.initial_configure()
     injected = (
         inject_forwarding_loop(built.topology) if inject_fault else None

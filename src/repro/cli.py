@@ -77,6 +77,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="ftree,minhop,dfsssp,lash",
         help="comma-separated engine list",
     )
+    fig7.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "shard all-pairs path computation over N processes"
+            " (-1 = cpu count; results are byte-identical to serial)"
+        ),
+    )
+    fig7.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help=(
+            "wall-clock budget in seconds; rows projected to exceed it are"
+            " skipped with a message (default: REPRO_FIG7_BUDGET or 1800)"
+        ),
+    )
     add_record(fig7)
 
     add_record(sub.add_parser("cost-model", help="sweep equations (1)-(5)"))
@@ -122,6 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
             "corrupt one LFT entry into a forwarding loop after bring-up"
             " to demonstrate failure reporting (exits non-zero)"
         ),
+    )
+    check.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard all-pairs path computation over N processes",
     )
     check.add_argument(
         "--max-findings",
@@ -328,13 +352,23 @@ def _cmd_table1() -> int:
     return 0
 
 
-def _cmd_fig7(paper_scale: bool, engines: str) -> int:
+def _cmd_fig7(
+    paper_scale: bool,
+    engines: str,
+    workers: int = 1,
+    budget: Optional[float] = None,
+) -> int:
     from repro.analysis.experiments import run_fig7
     from repro.analysis.figures import render_fig7
 
+    kwargs = {}
+    if budget is not None:
+        kwargs["budget_seconds"] = None if budget <= 0 else budget
     series = run_fig7(
         engines=tuple(e.strip() for e in engines.split(",") if e.strip()),
         paper_scale=paper_scale,
+        workers=workers,
+        **kwargs,
     )
     print(render_fig7(series))
     return 0
@@ -421,6 +455,7 @@ def _cmd_check_fabric(
     paper_scale: bool,
     inject_fault: bool,
     max_findings: int,
+    workers: int = 1,
 ) -> int:
     from repro.analysis.static import default_cases, run_case
     from repro.errors import StaticAnalysisError
@@ -434,7 +469,7 @@ def _cmd_check_fabric(
         return 2
     failed = 0
     for case in cases:
-        result = run_case(case, inject_fault=inject_fault)
+        result = run_case(case, inject_fault=inject_fault, workers=workers)
         cell = f"{case.preset:>10} x {case.engine:<7}"
         if result.injected is not None:
             print(f"{cell}  injected fault: {result.injected}")
@@ -810,7 +845,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table1":
         rc = _cmd_table1()
     elif args.command == "fig7":
-        rc = _cmd_fig7(args.paper_scale, args.engines)
+        rc = _cmd_fig7(
+            args.paper_scale, args.engines, args.workers, args.budget
+        )
     elif args.command == "cost-model":
         rc = _cmd_cost_model()
     elif args.command == "migrate-demo":
@@ -822,6 +859,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             paper_scale=args.paper_scale,
             inject_fault=args.inject_fault,
             max_findings=args.max_findings,
+            workers=args.workers,
         )
     elif args.command == "chaos":
         rc = _cmd_chaos(

@@ -24,6 +24,7 @@ from repro.fabric.topology import SwitchFabricView
 
 __all__ = [
     "bfs_distances",
+    "bfs_tree",
     "all_pairs_switch_distances",
     "equal_cost_candidates",
     "equal_cost_candidates_batch",
@@ -64,6 +65,59 @@ def bfs_distances(view: SwitchFabricView, source: int) -> np.ndarray:
         # distance d was just stamped, so select them by value.
         frontier = np.flatnonzero(dist == d)
     return dist
+
+
+def bfs_tree(
+    view: SwitchFabricView, dest: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """BFS in-tree toward *dest*: ``(next_hop, out_port, dist)`` per switch.
+
+    ``next_hop[s]`` is the switch one hop closer to *dest* (-1 at *dest*
+    and unreachable switches) and ``out_port[s]`` the local output port of
+    that hop. The parent choice is **bit-identical** to a textbook
+    deque-BFS that scans each popped switch's CSR row in order: the
+    expansion below concatenates the frontier's CSR rows in frontier
+    order, keeps the *first* occurrence of every newly discovered switch,
+    and appends discoveries to the next frontier in that same order —
+    exactly the order a FIFO queue would discover them in.
+    """
+    n = view.num_switches
+    nxt = np.full(n, -1, dtype=np.int64)
+    port = np.full(n, -1, dtype=np.int32)
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[dest] = 0
+    frontier = np.array([dest], dtype=np.int64)
+    d = 0
+    while frontier.size:
+        starts = view.indptr[frontier]
+        ends = view.indptr[frontier + 1]
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        idx = np.repeat(starts, counts) + (np.arange(total) - offsets)
+        nbrs = view.peer[idx]
+        srcs = np.repeat(frontier, counts)
+        unvisited = dist[nbrs] < 0
+        cand = nbrs[unvisited]
+        if cand.size == 0:
+            break
+        cand_edge = idx[unvisited]
+        cand_src = srcs[unvisited]
+        # First occurrence of each switch in (frontier-order, CSR-order)
+        # concatenation == the deque discovery; keep discovery order.
+        _, first = np.unique(cand, return_index=True)
+        first.sort()
+        fresh = cand[first]
+        d += 1
+        dist[fresh] = d
+        nxt[fresh] = cand_src[first]
+        # The forward edge fresh->parent uses the reverse port of the
+        # discovered parent->fresh edge.
+        port[fresh] = view.in_port[cand_edge[first]]
+        frontier = fresh
+    return nxt, port, dist
 
 
 def all_pairs_switch_distances(view: SwitchFabricView) -> np.ndarray:

@@ -134,6 +134,47 @@ class LftDistributor:
         )
         return report
 
+    def _diff_plan(
+        self, tables: RoutingTables, force_full: bool, width: int
+    ) -> Tuple[List[Tuple[Switch, np.ndarray, int]], np.ndarray]:
+        """Per-switch block send lists, from one stacked block compare.
+
+        Returns ``(plan, desired)``: ``plan`` is ``[(switch, blocks, row)]``
+        in switch order and ``desired`` the stacked (num_switches, width)
+        target LFT matrix. The whole diff is three array ops — stack, block
+        reshape, ``any`` reduction — instead of a per-switch/per-block
+        Python loop. Computing the plan up front is equivalent to the old
+        interleaved diff-while-sending: a switch's LFT is only mutated by
+        its *own* sends, so the pre-send state each old diff read is
+        exactly the state read here.
+        """
+        switches = self.topology.switches
+        # Widen to whichever is larger: the new routing or the largest
+        # existing table — stale entries above the new top LID must be
+        # cleared, not silently kept.
+        currents = [sw.lft.as_array() for sw in switches]
+        full_width = max([width] + [len(c) for c in currents])
+        n_blocks = full_width // LFT_BLOCK_SIZE
+        s = len(switches)
+        desired = np.full((s, full_width), LFT_UNSET, dtype=np.int16)
+        idx = [sw.index for sw in switches]
+        row_width = min(tables.ports.shape[1], full_width)
+        desired[:, :row_width] = tables.ports[idx, :row_width]
+        if force_full:
+            send = (desired != LFT_UNSET).reshape(s, n_blocks, LFT_BLOCK_SIZE)
+        else:
+            cur = np.full((s, full_width), LFT_UNSET, dtype=np.int16)
+            for i, c in enumerate(currents):
+                cur[i, : len(c)] = c
+            send = (cur != desired).reshape(s, n_blocks, LFT_BLOCK_SIZE)
+        send_blocks = send.any(axis=2)  # (num_switches, n_blocks)
+        plan: List[Tuple[Switch, np.ndarray, int]] = []
+        for i, sw in enumerate(switches):
+            blocks = np.flatnonzero(send_blocks[i])
+            if blocks.size:
+                plan.append((sw, blocks, i))
+        return plan, desired
+
     def _distribute_blocks(
         self,
         tables: RoutingTables,
@@ -144,27 +185,14 @@ class LftDistributor:
         #: (switch, block, pre-image) of every write actually applied, so
         #: a failed transactional pass can be unwound.
         undo: List[Tuple[Switch, int, np.ndarray]] = []
+        plan, desired = self._diff_plan(tables, force_full, width)
         try:
-            for sw in self.topology.switches:
-                # Widen to whichever is larger: the new routing or the
-                # switch's existing table — stale entries above the new top
-                # LID must be cleared, not silently kept.
-                current = sw.lft.as_array()
-                full_width = max(width, len(current))
-                desired = np.full(full_width, LFT_UNSET, dtype=np.int16)
-                row = tables.ports[sw.index]
-                desired[: len(row)] = row
-
-                if force_full:
-                    blocks = self._used_blocks(desired)
-                else:
-                    blocks = self._changed_blocks(current, desired)
-                if not blocks:
-                    continue
+            for sw, blocks, row in plan:
                 report.switches_updated += 1
                 report.blocks_per_switch[sw.name] = len(blocks)
-                for block in blocks:
-                    entries = desired[
+                drow = desired[row]
+                for block in blocks.tolist():
+                    entries = drow[
                         block * LFT_BLOCK_SIZE : (block + 1) * LFT_BLOCK_SIZE
                     ]
                     if self.transactional:
@@ -304,15 +332,8 @@ class LftDistributor:
         """
         top_lid = tables.top_lid
         width = (lft_block_of(top_lid) + 1) * LFT_BLOCK_SIZE
-        pending = 0
-        for sw in self.topology.switches:
-            current = sw.lft.as_array()
-            full_width = max(width, len(current))
-            desired = np.full(full_width, LFT_UNSET, dtype=np.int16)
-            row = tables.ports[sw.index]
-            desired[: len(row)] = row
-            pending += len(self._changed_blocks(current, desired))
-        return pending
+        plan, _ = self._diff_plan(tables, False, width)
+        return sum(len(blocks) for _, blocks, _ in plan)
 
     @staticmethod
     def _used_blocks(desired: np.ndarray) -> List[int]:

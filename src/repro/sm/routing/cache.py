@@ -34,7 +34,6 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.fabric.graph import (
-    all_pairs_switch_distances,
     bfs_distances,
     edge_sources,
     equal_cost_candidates,
@@ -43,6 +42,7 @@ from repro.fabric.graph import (
     switch_removal_affected_sources,
 )
 from repro.fabric.topology import Topology
+from repro.sm.routing.parallel import ParallelRouter
 
 __all__ = ["RoutingCacheStats", "RepairEvent", "RoutingState"]
 
@@ -116,10 +116,14 @@ class RoutingState:
         topology: Topology,
         *,
         candidate_cache_limit: int = DEFAULT_CANDIDATE_CACHE_LIMIT,
+        workers: int = 1,
     ) -> None:
         self.topology = topology
         self.stats = RoutingCacheStats()
         self.candidate_cache_limit = candidate_cache_limit
+        #: Sharded full recomputes (``workers > 1``); repairs stay serial —
+        #: they resweep only a handful of sources by design.
+        self.router = ParallelRouter(workers)
         self._version = -1
         self._pending: List[RepairEvent] = []
         self._dist: Optional[np.ndarray] = None
@@ -157,7 +161,7 @@ class RoutingState:
         self._sync()
         if self._dist is None:
             view = self.topology.fabric_view()
-            self._dist = all_pairs_switch_distances(view)
+            self._dist = self.router.all_pairs(view)
             self.stats.bfs_sweeps += view.num_switches
             self.stats.misses += 1
             self.stats.full_recomputes += 1

@@ -98,6 +98,7 @@ class SubnetManager:
         pipeline_window: int = 8,
         lft_smp_directed: bool = True,
         fallback_engine: Optional[str] = None,
+        workers: int = 1,
     ) -> None:
         self.topology = topology
         self.built = built
@@ -118,7 +119,7 @@ class SubnetManager:
         #: Shared versioned routing cache: the engines' all-pairs distances
         #: and candidate arrays, the transport's SM-root BFS row, and the
         #: incremental post-failure repair state all live here.
-        self.routing_state = RoutingState(topology)
+        self.routing_state = RoutingState(topology, workers=workers)
         self.transport.set_distance_source(self.routing_state)
         self.lid_manager = LidManager(topology)
         self.distributor = LftDistributor(
@@ -197,6 +198,10 @@ class SubnetManager:
             sp.set_attribute("cache_hit", delta["misses"] == 0)
             sp.set_attribute("bfs_sweeps", delta["bfs_sweeps"])
             sp.set_attribute("sources_repaired", delta["sources_repaired"])
+            sp.set_attribute("workers", self.routing_state.router.workers)
+            sp.set_attribute(
+                "compute_mode", self.routing_state.router.last_mode
+            )
         metrics = get_hub().metrics
         metrics.counter("repro_path_computations_total").add(1)
         metrics.gauge(
