@@ -35,7 +35,7 @@ def _request(built):
     return RoutingRequest.from_topology(built.topology, built=built)
 
 
-def _record(label, built, engine, seconds):
+def _record(label, built, engine, seconds, tables=None):
     series = RESULTS.setdefault(
         label,
         Fig7Series(
@@ -45,6 +45,10 @@ def _record(label, built, engine, seconds):
         ),
     )
     series.record(engine, seconds)
+    if tables is not None:
+        # Lane usage (LASH layer counts at 5832/11664 are a figure
+        # artifact in their own right) rides along in the JSON payload.
+        series.record_vls(engine, tables.vl_summary())
 
 
 @pytest.mark.parametrize("engine", ENGINES)
@@ -57,14 +61,14 @@ def test_fig7_path_computation(benchmark, bench_fattrees, engine):
         # once; cheap ones take the best of three and mid-cost ones the
         # best of two to suppress timer noise on loaded machines.
         t0 = time.perf_counter()
-        eng.compute(request)
+        tables = eng.compute(request)
         best = time.perf_counter() - t0
         extra_reps = 2 if best < 0.5 else (1 if best < 15.0 else 0)
         for _ in range(extra_reps):
             t0 = time.perf_counter()
             eng.compute(request)
             best = min(best, time.perf_counter() - t0)
-        _record(label, built, engine, best)
+        _record(label, built, engine, best, tables)
     # Benchmark the engine properly on the smallest instance for stable
     # pytest-benchmark statistics.
     label, built, _ = bench_fattrees[0]
@@ -156,6 +160,7 @@ def test_fig7_write_results(benchmark):
             "num_nodes": s.num_nodes,
             "num_switches": s.num_switches,
             "seconds_by_engine": s.seconds_by_engine,
+            "vls_by_engine": s.vls_by_engine,
         }
         for label, s in RESULTS.items()
     }

@@ -5,7 +5,7 @@ side-by-side comparison."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.tables import render_table
 
@@ -33,10 +33,18 @@ class Fig7Series:
     num_nodes: int
     num_switches: int
     seconds_by_engine: Dict[str, float] = field(default_factory=dict)
+    #: Engine -> :meth:`RoutingTables.vl_summary` dict, for the VL engines
+    #: (LASH layer counts at scale are a Fig. 7 reporting artifact).
+    vls_by_engine: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def record(self, engine: str, seconds: float) -> None:
         """Store one engine's PCt."""
         self.seconds_by_engine[engine] = seconds
+
+    def record_vls(self, engine: str, summary: Optional[Dict[str, Any]]) -> None:
+        """Store one engine's lane-usage summary (multi-VL engines only)."""
+        if summary and summary.get("kind") in ("pair", "dest"):
+            self.vls_by_engine[engine] = summary
 
 
 def render_fig7(series: Sequence[Fig7Series]) -> str:
@@ -56,16 +64,16 @@ def render_fig7(series: Sequence[Fig7Series]) -> str:
     ]
     rows = []
     for e in engines:
-        rows.append(
-            [e]
-            + [
-                (
-                    f"{s.seconds_by_engine[e]:.4f}s"
-                    if e in s.seconds_by_engine
-                    else "-"
-                )
-                for s in series
-            ]
-        )
+        cells = []
+        for s in series:
+            if e not in s.seconds_by_engine:
+                cells.append("-")
+                continue
+            cell = f"{s.seconds_by_engine[e]:.4f}s"
+            vls = s.vls_by_engine.get(e)
+            if vls:
+                cell += f" [{vls['num_vls']}VL]"
+            cells.append(cell)
+        rows.append([e] + cells)
     rows.append(["vswitch-reconfig"] + ["0.0000s"] * len(series))
     return render_table(headers, rows)

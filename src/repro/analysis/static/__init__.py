@@ -3,9 +3,10 @@
 Layer 1 of the repository's static-analysis suite (layer 2 is the
 ``tools.lint`` determinism linter): given a topology and routing tables,
 prove loop-freedom, black-hole-freedom, reachability, deadlock-freedom
-(channel-dependency-graph acyclicity), Up*/Down* and dimension-order
-legality, vSwitch LID-table consistency, and section VI-D skyline
-disjointness for concurrent migrations. See docs/STATIC_ANALYSIS.md.
+(channel-dependency-graph acyclicity — per virtual lane for the VL
+engines), Up*/Down* and dimension-order legality, vSwitch LID-table
+consistency, and section VI-D skyline disjointness for concurrent
+migrations. See docs/STATIC_ANALYSIS.md.
 """
 
 from repro.analysis.static.analyzer import (
@@ -24,23 +25,41 @@ from repro.analysis.static.checks import (
     check_updn_legality,
     check_vswitch_lids,
 )
-from repro.analysis.static.findings import RULES, Finding, StaticAnalysisReport
+from repro.analysis.static.findings import (
+    NOTICE_RULES,
+    RULES,
+    Finding,
+    StaticAnalysisReport,
+)
 from repro.analysis.static.suite import (
+    VL_ENGINES,
     FabricCheckCase,
     FabricCheckResult,
+    corrupt_vl_assignment,
     default_cases,
     inject_forwarding_loop,
     run_case,
     run_matrix,
+)
+from repro.analysis.static.vl_checks import (
+    PerVlDependencies,
+    build_per_vl_dependencies,
+    check_vl_capacity,
+    check_vl_consistency,
+    check_vl_deadlock_freedom,
+    check_vl_transition_deadlock,
 )
 
 __all__ = [
     "Finding",
     "StaticAnalysisReport",
     "RULES",
+    "NOTICE_RULES",
     "FabricSnapshot",
     "FabricCheckCase",
     "FabricCheckResult",
+    "VL_ENGINES",
+    "corrupt_vl_assignment",
     "default_cases",
     "inject_forwarding_loop",
     "run_case",
@@ -56,4 +75,10 @@ __all__ = [
     "check_dor_order",
     "check_vswitch_lids",
     "check_skyline_disjointness",
+    "PerVlDependencies",
+    "build_per_vl_dependencies",
+    "check_vl_deadlock_freedom",
+    "check_vl_consistency",
+    "check_vl_capacity",
+    "check_vl_transition_deadlock",
 ]

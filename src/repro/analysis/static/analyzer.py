@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.fabric.graph import bfs_distances
 from repro.fabric.topology import Topology
+from repro.sm.routing.vl import VlAssignment
 from repro.analysis.static.checks import (
     FabricSnapshot,
     check_deadlock_freedom,
@@ -37,7 +38,14 @@ from repro.analysis.static.checks import (
     check_updn_legality,
     check_vswitch_lids,
 )
-from repro.analysis.static.findings import StaticAnalysisReport
+from repro.analysis.static.findings import Finding, StaticAnalysisReport
+from repro.analysis.static.vl_checks import (
+    build_per_vl_dependencies,
+    check_vl_capacity,
+    check_vl_consistency,
+    check_vl_deadlock_freedom,
+    check_vl_transition_deadlock,
+)
 
 __all__ = [
     "analyze_fabric",
@@ -74,6 +82,21 @@ def _grid_hints(metadata: dict, hints: dict) -> Optional[Tuple[int, int]]:
     return None
 
 
+def _emit_vl_metrics(fabric: str, vl, per_vl) -> None:
+    """Publish ``repro_static_vl_*`` gauges for one per-VL pass."""
+    from repro.obs import get_hub
+
+    metrics = get_hub().metrics
+    metrics.counter("repro_static_vl_checks_total").add(1)
+    metrics.gauge("repro_static_vl_layers", fabric=fabric).set(
+        float(vl.num_vls)
+    )
+    for v, count in enumerate(per_vl.dependency_counts()):
+        metrics.gauge(
+            "repro_static_vl_dependencies", fabric=fabric, vl=str(v)
+        ).set(float(count))
+
+
 def analyze_fabric(
     topology: Topology,
     *,
@@ -88,6 +111,7 @@ def analyze_fabric(
     lids: Optional[Sequence[int]] = None,
     fabric: Optional[str] = None,
     emit_metrics: bool = True,
+    workers: int = 1,
 ) -> StaticAnalysisReport:
     """Run every applicable static check over one fabric state.
 
@@ -95,17 +119,50 @@ def analyze_fabric(
     ``RoutingTables.ports`` to analyse intent instead. ``engine`` selects
     the extra legality checks (``"updn"`` -> UPDN001, ``"dor"`` ->
     DOR001); ``metadata``/``hints`` supply their rank and grid inputs.
+
+    When ``metadata`` carries a VL assignment (LASH/DFSSSP), the
+    single-VL CDG001 pass is replaced by the per-VL rules VLC001-VLC003
+    — CDG001 would false-positive on lane-layered routing — and a
+    META002 notice records the downgrade. ``workers`` shards the per-VL
+    dependency construction (pair-keyed assignments on large fabrics).
     """
     metadata = metadata or {}
     hints = hints or {}
-    snap = FabricSnapshot.from_topology(topology, ports)
+    vl = VlAssignment.from_metadata(metadata)
+    snap = FabricSnapshot.from_topology(topology, ports, vl=vl)
     report = StaticAnalysisReport(
         fabric=fabric or topology.name,
         lids_analyzed=int(snap.lids.size),
         switches_analyzed=snap.num_switches,
     )
     report.extend("reachability", check_reachability(snap, lids=lids))
-    report.extend("cdg", check_deadlock_freedom(snap, lids=lids))
+    if vl is None:
+        report.extend("cdg", check_deadlock_freedom(snap, lids=lids))
+    else:
+        report.extend(
+            "cdg",
+            [
+                Finding(
+                    rule="META002",
+                    message=(
+                        f"single-VL CDG001 skipped:"
+                        f" {engine or 'the engine'} declares"
+                        f" {vl.num_vls} data VL(s) ({vl.kind}-keyed);"
+                        " per-VL checks cover deadlock freedom"
+                    ),
+                    detail={"num_vls": vl.num_vls, "kind": vl.kind},
+                )
+            ],
+        )
+        report.extend("vl-consistency", check_vl_consistency(snap))
+        report.extend("vl-capacity", check_vl_capacity(snap))
+        per_vl = build_per_vl_dependencies(snap, workers=workers)
+        report.extend(
+            "cdg-per-vl",
+            check_vl_deadlock_freedom(snap, deps=per_vl),
+        )
+        if emit_metrics:
+            _emit_vl_metrics(report.fabric, vl, per_vl)
     if engine in _UPDN_ENGINES:
         rank = _updn_rank(snap, metadata, root_indices)
         if rank is not None:
@@ -143,13 +200,16 @@ def analyze_subnet(
     skylines: Sequence[object] = (),
     lids: Optional[Sequence[int]] = None,
     emit_metrics: bool = True,
+    workers: int = 1,
 ) -> StaticAnalysisReport:
     """Analyse a live subnet manager's fabric.
 
     ``source`` selects what is proven: ``"hardware"`` (default) reads the
     switches' programmed LFTs — the state packets actually follow;
     ``"recorded"`` reads the SM's last computed
-    :class:`~repro.sm.routing.base.RoutingTables`.
+    :class:`~repro.sm.routing.base.RoutingTables`. Either way the SM's
+    recorded metadata supplies the VL assignment, so VL-routed fabrics
+    get the per-VL deadlock rules.
     """
     from repro.errors import StaticAnalysisError
 
@@ -184,6 +244,7 @@ def analyze_subnet(
         lids=lids,
         fabric=f"{sm.topology.name}:{source}",
         emit_metrics=emit_metrics,
+        workers=workers,
     )
 
 
@@ -211,25 +272,40 @@ def analyze_transition(
     old_ports: np.ndarray,
     new_ports: np.ndarray,
     *,
+    old_metadata: Optional[dict] = None,
+    new_metadata: Optional[dict] = None,
     lids: Optional[Sequence[int]] = None,
     emit_metrics: bool = True,
+    workers: int = 1,
 ) -> StaticAnalysisReport:
     """Section VI-C: is the old/new routing *union* deadlock-free?
 
     Both matrices must describe the current switch graph. The result's
-    CDG002 findings carry the offending dependency cycle.
+    CDG002 findings carry the offending dependency cycle. When either
+    side's metadata declares a VL assignment, the check generalizes to
+    the per-lane VLC004 rule: old and new dependencies must union
+    acyclically on every data VL (a side without an assignment
+    contributes its whole dependency set on lane 0).
     """
-    old = FabricSnapshot.from_topology(topology, old_ports)
-    new = FabricSnapshot.from_topology(topology, new_ports)
+    old_vl = VlAssignment.from_metadata(old_metadata)
+    new_vl = VlAssignment.from_metadata(new_metadata)
+    old = FabricSnapshot.from_topology(topology, old_ports, vl=old_vl)
+    new = FabricSnapshot.from_topology(topology, new_ports, vl=new_vl)
     report = StaticAnalysisReport(
         fabric=f"{topology.name}:transition",
         lids_analyzed=int(new.lids.size),
         switches_analyzed=new.num_switches,
     )
-    report.extend(
-        "transition-cdg",
-        check_transition_deadlock(old, new, lids=lids),
-    )
+    if old_vl is None and new_vl is None:
+        report.extend(
+            "transition-cdg",
+            check_transition_deadlock(old, new, lids=lids),
+        )
+    else:
+        report.extend(
+            "transition-cdg-per-vl",
+            check_vl_transition_deadlock(old, new, workers=workers),
+        )
     if emit_metrics:
         report.emit_metrics()
     return report

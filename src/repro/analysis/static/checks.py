@@ -33,6 +33,7 @@ from repro.constants import LFT_UNSET
 from repro.errors import StaticAnalysisError
 from repro.fabric.topology import SwitchFabricView, Topology
 from repro.sm.deadlock import Channel, ChannelDependencyGraph
+from repro.sm.routing.vl import VlAssignment
 from repro.analysis.static.findings import Finding
 
 __all__ = [
@@ -66,6 +67,10 @@ class FabricSnapshot:
     #: Endpoint (non-switch) LIDs, ascending — the data-VL destinations.
     terminal_lids: np.ndarray
     switch_names: List[str] = field(default_factory=list)
+    #: The routing engine's virtual-lane assignment, when exported
+    #: (LASH/DFSSSP); drives the per-VL checks of
+    #: :mod:`repro.analysis.static.vl_checks`.
+    vl: Optional[VlAssignment] = None
     #: Dense ``(num_switches, 256)`` port -> peer-switch map (-1 = exit).
     _p2p: Optional[np.ndarray] = None
 
@@ -85,12 +90,16 @@ class FabricSnapshot:
         cls,
         topology: Topology,
         ports: Optional[np.ndarray] = None,
+        *,
+        vl: Optional[VlAssignment] = None,
     ) -> "FabricSnapshot":
         """Snapshot *topology*; ``ports`` defaults to the hardware LFTs.
 
         Passing an engine's ``RoutingTables.ports`` analyses the *intended*
         routing instead of the programmed one — both views matter: the SM's
         function must be correct, and the switches must agree with it.
+        ``vl`` carries the engine's virtual-lane assignment into the
+        snapshot for the per-VL deadlock checks.
         """
         switches = topology.switches
         n = len(switches)
@@ -142,6 +151,7 @@ class FabricSnapshot:
                 dtype=np.int64,
             ),
             switch_names=[sw.name for sw in switches],
+            vl=vl,
         )
 
     # -- derived arrays ------------------------------------------------------

@@ -22,8 +22,16 @@ DOR001    dimension-order violation: a Y-phase hop followed by an X hop
 VSW001    vSwitch VF LID does not resolve to its hypervisor's PF port
 VSW002    vSwitch PF LID disagrees with the uplink port's LID
 SKY001    concurrent migrations with overlapping switch skylines
+VLC001    per-VL channel-dependency cycle: a data lane admits a deadlock
+VLC002    VL assignment inconsistent: nonexistent lane or dangling entry
+VLC003    VL capacity violation: layer overflow or unassigned pair/LID
+VLC004    per-VL transition CDG cycle: old+new union deadlocks on a lane
 META001   suppression notice: per-rule finding cap reached (not a fault)
+META002   notice: single-VL CDG001 skipped, per-VL checks cover the CDG
 ========  ==============================================================
+
+META-class rules are *notices*: they carry context, never fail a report
+(:attr:`StaticAnalysisReport.ok` ignores them).
 """
 
 from __future__ import annotations
@@ -31,7 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
-__all__ = ["Finding", "StaticAnalysisReport", "RULES"]
+__all__ = ["Finding", "StaticAnalysisReport", "RULES", "NOTICE_RULES"]
 
 #: rule id -> one-line description (kept in sync with the module docstring).
 RULES: Dict[str, str] = {
@@ -46,8 +54,17 @@ RULES: Dict[str, str] = {
     "VSW001": "VF LID not bound to its hypervisor's PF port",
     "VSW002": "PF LID inconsistent with uplink port LID",
     "SKY001": "overlapping concurrent-migration skylines",
+    "VLC001": "per-VL channel-dependency cycle (deadlock on a data lane)",
+    "VLC002": "VL assignment inconsistent (nonexistent lane or dangling entry)",
+    "VLC003": "VL capacity violation (layer overflow or unassigned pair)",
+    "VLC004": "per-VL transition channel-dependency cycle (deadlock)",
     "META001": "per-rule finding cap reached; further findings suppressed",
+    "META002": "single-VL CDG001 skipped; per-VL checks cover deadlock freedom",
 }
+
+#: Rules that are informational notices, not faults: a report consisting
+#: only of these is still ``ok``.
+NOTICE_RULES = frozenset({"META002"})
 
 
 @dataclass(frozen=True)
@@ -89,9 +106,19 @@ class StaticAnalysisReport:
     switches_analyzed: int = 0
 
     @property
+    def faults(self) -> List[Finding]:
+        """Findings that constitute actual violations (notices excluded)."""
+        return [f for f in self.findings if f.rule not in NOTICE_RULES]
+
+    @property
+    def notices(self) -> List[Finding]:
+        """Informational findings (META002-class); never fail a report."""
+        return [f for f in self.findings if f.rule in NOTICE_RULES]
+
+    @property
     def ok(self) -> bool:
-        """True iff every executed check held."""
-        return not self.findings
+        """True iff every executed check held (notices don't count)."""
+        return not self.faults
 
     def findings_for(self, rule: str) -> List[Finding]:
         """All findings of one rule."""
@@ -118,19 +145,23 @@ class StaticAnalysisReport:
             f" checks: {', '.join(self.checks_run) or 'none'}"
         )
         if self.ok:
-            return head + "\n  OK — all invariants hold"
-        lines = [head, f"  {len(self.findings)} finding(s):"]
-        for f in self.findings[:max_findings]:
+            lines = [head, "  OK — all invariants hold"]
+            for f in self.notices:
+                lines.append(f"  note: {f.render()}")
+            return "\n".join(lines)
+        faults = self.faults
+        lines = [head, f"  {len(faults)} finding(s):"]
+        for f in faults[:max_findings]:
             lines.append(f"  - {f.render()}")
-        if len(self.findings) > max_findings:
-            lines.append(
-                f"  ... and {len(self.findings) - max_findings} more"
-            )
+        if len(faults) > max_findings:
+            lines.append(f"  ... and {len(faults) - max_findings} more")
+        for f in self.notices:
+            lines.append(f"  note: {f.render()}")
         return "\n".join(lines)
 
     def failure_messages(self) -> List[str]:
-        """Findings rendered as flat strings (VerificationReport format)."""
-        return [f.render() for f in self.findings]
+        """Faults rendered as flat strings (VerificationReport format)."""
+        return [f.render() for f in self.faults]
 
     def emit_metrics(self) -> None:
         """Publish finding counts to the process-wide metrics registry."""
@@ -147,12 +178,13 @@ class StaticAnalysisReport:
         )
 
     def raise_if_failed(self) -> None:
-        """Raise :class:`~repro.errors.StaticAnalysisError` on findings."""
-        if self.findings:
+        """Raise :class:`~repro.errors.StaticAnalysisError` on faults."""
+        faults = self.faults
+        if faults:
             from repro.errors import StaticAnalysisError
 
-            shown = "; ".join(f.render() for f in self.findings[:5])
+            shown = "; ".join(f.render() for f in faults[:5])
             raise StaticAnalysisError(
-                f"static analysis found {len(self.findings)} violation(s):"
+                f"static analysis found {len(faults)} violation(s):"
                 f" {shown}"
             )

@@ -159,8 +159,10 @@ def verify_sm_consistency(
                     f"LID {lid} at {sw.name}: hardware={hw} recorded={soft}"
                 )
     if static:
+        # Faults only: META notices (e.g. "CDG001 superseded by per-VL
+        # checks" on LASH/DFSSSP fabrics) are context, not failures.
         report.findings.extend(
-            analyze_subnet(sm, source="hardware").findings
+            analyze_subnet(sm, source="hardware").faults
         )
     return report
 

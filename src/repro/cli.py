@@ -142,6 +142,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     check.add_argument(
+        "--corrupt-vl",
+        action="store_true",
+        help=(
+            "corrupt one virtual-lane assignment after bring-up; the"
+            " per-VL rules (VLC001/VLC002) must fire (exits non-zero;"
+            " VL engines only)"
+        ),
+    )
+    check.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -454,10 +463,11 @@ def _cmd_check_fabric(
     *,
     paper_scale: bool,
     inject_fault: bool,
+    corrupt_vl: bool = False,
     max_findings: int,
     workers: int = 1,
 ) -> int:
-    from repro.analysis.static import default_cases, run_case
+    from repro.analysis.static import VL_ENGINES, default_cases, run_case
     from repro.errors import StaticAnalysisError
 
     try:
@@ -467,9 +477,23 @@ def _cmd_check_fabric(
     except StaticAnalysisError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if corrupt_vl:
+        cases = [c for c in cases if c.engine in VL_ENGINES]
+        if not cases:
+            print(
+                "--corrupt-vl needs a VL engine cell"
+                f" ({'/'.join(VL_ENGINES)}); none selected",
+                file=sys.stderr,
+            )
+            return 2
     failed = 0
     for case in cases:
-        result = run_case(case, inject_fault=inject_fault, workers=workers)
+        result = run_case(
+            case,
+            inject_fault=inject_fault,
+            corrupt_vl=corrupt_vl,
+            workers=workers,
+        )
         cell = f"{case.preset:>10} x {case.engine:<7}"
         if result.injected is not None:
             print(f"{cell}  injected fault: {result.injected}")
@@ -858,6 +882,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.engine,
             paper_scale=args.paper_scale,
             inject_fault=args.inject_fault,
+            corrupt_vl=args.corrupt_vl,
             max_findings=args.max_findings,
             workers=args.workers,
         )

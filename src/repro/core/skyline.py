@@ -139,7 +139,7 @@ def minimal_update_set(
     dist[dest_leaf.index] = 0
     q = deque([dest_leaf.index])
     adj: List[List[int]] = [[] for _ in range(n)]
-    for (s, _), t in p2p.items():
+    for (s, _), t in sorted(p2p.items()):
         adj[s].append(t)
     while q:
         cur = q.popleft()

@@ -29,6 +29,7 @@ from repro.fabric.graph import (
 )
 from repro.fabric.topology import SwitchFabricView, Terminal, Topology
 from repro.sm.routing.cache import RoutingState
+from repro.sm.routing.vl import VlAssignment
 
 __all__ = [
     "RoutingRequest",
@@ -261,6 +262,34 @@ class RoutingTables:
     def top_lid(self) -> int:
         """Largest representable LID."""
         return self.ports.shape[1] - 1
+
+    @property
+    def vl(self) -> Optional[VlAssignment]:
+        """The engine's exported virtual-lane assignment, if any.
+
+        ``None`` for single-VL engines (minhop/updn/ftree/dor); a
+        :class:`~repro.sm.routing.vl.VlAssignment` for LASH/DFSSSP. The
+        static analyzer keys its per-VL checks off this.
+        """
+        return VlAssignment.from_metadata(self.metadata)
+
+    def vl_summary(self) -> Dict[str, Any]:
+        """Lane usage summary (VLs used, pairs per VL, max layer).
+
+        Engines that export no assignment summarize as a single data lane
+        (``kind: "single"``) so Fig. 7 report rows stay uniform.
+        """
+        vl = self.vl
+        if vl is not None:
+            return vl.vl_summary()
+        return {
+            "kind": "single",
+            "num_vls": self.num_vls,
+            "max_vls": self.num_vls,
+            "assignments": 0,
+            "pairs_per_vl": {},
+            "max_layer": max(self.num_vls - 1, 0),
+        }
 
     def port_for(self, switch_index: int, lid: int) -> int:
         """Output port on *switch_index* for destination *lid*."""

@@ -46,11 +46,9 @@ from repro.sm.routing.base import (
     RoutingTables,
 )
 from repro.sm.routing.cdg_array import ArrayCdg, channel_ids, channel_table
+from repro.sm.routing.vl import MANAGEMENT_VL, VlAssignment
 
 __all__ = ["DFSSSPRouting", "MANAGEMENT_VL"]
-
-#: Virtual lane tag for switch-destined (management) traffic — IB's VL15.
-MANAGEMENT_VL = 15
 
 
 class DFSSSPRouting(RoutingAlgorithm):
@@ -130,7 +128,16 @@ class DFSSSPRouting(RoutingAlgorithm):
             algorithm=self.name,
             ports=ports,
             num_vls=num_vls_used,
-            metadata={"lid_to_vl": lid_to_vl, "edge_weights": weights},
+            metadata={
+                "lid_to_vl": lid_to_vl,
+                "edge_weights": weights,
+                "vl": VlAssignment(
+                    kind="dest",
+                    num_vls=num_vls_used,
+                    max_vls=self.max_vls,
+                    lid_to_vl=lid_to_vl,
+                ),
+            },
         )
 
     # -- phase 1: weighted SSSP --------------------------------------------

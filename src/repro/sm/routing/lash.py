@@ -40,6 +40,7 @@ from repro.sm.routing.base import (
     RoutingTables,
 )
 from repro.sm.routing.cdg_array import ArrayCdg, channel_ids, channel_table
+from repro.sm.routing.vl import VlAssignment
 
 __all__ = ["LashRouting"]
 
@@ -127,7 +128,15 @@ class LashRouting(RoutingAlgorithm):
             algorithm=self.name,
             ports=ports,
             num_vls=num_vls_used,
-            metadata={"pair_to_vl": pair_to_vl},
+            metadata={
+                "pair_to_vl": pair_to_vl,
+                "vl": VlAssignment(
+                    kind="pair",
+                    num_vls=num_vls_used,
+                    max_vls=self.max_vls,
+                    pair_to_vl=pair_to_vl,
+                ),
+            },
         )
 
     # -- reference implementation -------------------------------------------
@@ -177,7 +186,15 @@ class LashRouting(RoutingAlgorithm):
             algorithm=self.name,
             ports=ports,
             num_vls=num_vls_used,
-            metadata={"pair_to_vl": pair_to_vl},
+            metadata={
+                "pair_to_vl": pair_to_vl,
+                "vl": VlAssignment(
+                    kind="pair",
+                    num_vls=num_vls_used,
+                    max_vls=self.max_vls,
+                    pair_to_vl=pair_to_vl,
+                ),
+            },
         )
 
     @staticmethod

@@ -74,7 +74,7 @@ class TestCheckFabricMatrix:
 
     def test_matrix_covers_all_required_engines(self):
         engines = {c.engine for c in default_cases()}
-        assert {"minhop", "updn", "ftree", "dor"} <= engines
+        assert {"minhop", "updn", "ftree", "dor", "dfsssp", "lash"} <= engines
 
     def test_injected_fault_fails_with_actionable_findings(self):
         case = FabricCheckCase(preset="ring6", engine="updn")

@@ -89,6 +89,45 @@ class TestDet003SetIteration:
         ) == ["DET003"]
 
 
+class TestDet005TupleKeyedDictIteration:
+    ANALYSIS = "src/repro/analysis/static/example.py"
+
+    def test_nested_tuple_items_target_flagged(self):
+        src = "for (a, b), v in d.items():\n    use(a, b, v)\n"
+        assert rules_of(src, CRITICAL) == ["DET005"]
+        # The analysis layer is in scope too (reports must be stable).
+        assert rules_of(src, self.ANALYSIS) == ["DET005"]
+
+    def test_tuple_keys_target_flagged(self):
+        src = "for a, b in d.keys():\n    use(a, b)\n"
+        assert rules_of(src, CRITICAL) == ["DET005"]
+
+    def test_comprehension_flagged(self):
+        src = "out = [v for (a, b), v in d.items()]\n"
+        assert rules_of(src, CRITICAL) == ["DET005"]
+
+    def test_sorted_wrapper_allowed(self):
+        src = "for (a, b), v in sorted(d.items()):\n    use(a)\n"
+        assert rules_of(src, CRITICAL) == []
+
+    def test_flat_items_target_allowed(self):
+        src = "for k, v in d.items():\n    use(k, v)\n"
+        assert rules_of(src, CRITICAL) == []
+
+    def test_tuple_valued_dict_allowed(self):
+        # The *value* being a tuple says nothing about key order.
+        src = "for k, (x, y) in d.items():\n    use(k, x, y)\n"
+        assert rules_of(src, CRITICAL) == []
+
+    def test_non_critical_module_allowed(self):
+        src = "for (a, b), v in d.items():\n    use(a)\n"
+        assert rules_of(src, RELAXED) == []
+
+    def test_noqa_suppresses(self):
+        src = "for (a, b), v in d.items():  # noqa: DET005\n    use(a)\n"
+        assert rules_of(src, CRITICAL) == []
+
+
 class TestDet004FloatEquality:
     def test_float_literal_eq_flagged_in_cost_model(self):
         assert rules_of("ok = cost == 0.5\n", COST) == ["DET004"]

@@ -24,6 +24,12 @@ DET003    iteration over an unordered ``set``/``frozenset`` expression in
           — hash randomization would reorder SMPs between runs
 DET004    ``==`` / ``!=`` against a float literal in cost-model code —
           accumulated float error makes exact comparison flaky
+DET005    iteration over a tuple-keyed dict (``for (a, b), v in
+          d.items()`` / ``for (a, b) in d.keys()``) without ``sorted()``
+          in ordering-critical routing/analysis modules — LASH's
+          ``pair_to_vl`` and friends feed SMP streams and findings, and
+          plain dict order follows insertion order, which differs
+          between the serial and sharded construction paths
 ========  ==============================================================
 
 Suppress a finding with a trailing ``# noqa: DET00x`` comment (blanket
@@ -51,6 +57,7 @@ RULES = {
     "DET002": "unseeded global RNG call",
     "DET003": "unordered set iteration in ordering-critical module",
     "DET004": "exact float-literal equality in cost-model code",
+    "DET005": "unsorted tuple-keyed dict iteration in ordering-critical module",
 }
 
 #: Wall-clock calls banned by DET001 (dotted-name suffixes).
@@ -108,6 +115,11 @@ _FLOAT_EQ_CRITICAL = (
     "repro/analysis/",
     "repro/sim/",
 )
+
+#: Module-path prefixes where tuple-keyed dict iteration order can leak
+#: into routing tables, SMP streams or findings (DET005): the DET003
+#: scope plus the analysis layer, whose reports must be stable.
+_TUPLE_KEY_CRITICAL = _ORDERING_CRITICAL + ("repro/analysis/",)
 
 #: Set-returning method names whose result order is unordered (DET003).
 _SET_METHODS = {
@@ -176,6 +188,36 @@ def _is_unordered(node: ast.AST) -> bool:
     return False
 
 
+def _is_tuple_keyed_iter(iter_node: ast.AST, target: "ast.AST | None") -> bool:
+    """True when *iter_node* is a bare ``.items()``/``.keys()`` call whose
+    unpacking *target* reveals tuple keys (DET005).
+
+    A ``sorted(...)`` wrapper never matches (the call target is ``sorted``,
+    not the dict method), and a flat ``for k, v in d.items()`` is fine —
+    only a tuple in the *key* slot of the items target (``for (a, b), v
+    in ...``) or a tuple target over ``.keys()`` (``for a, b in
+    d.keys()``) betrays tuple keys whose order the module then depends
+    on. A tuple-valued dict (``for k, (x, y) in d.items()``) is not
+    implicated: its key order is whatever DET003-clean code inserted.
+    """
+    if target is None or not isinstance(iter_node, ast.Call):
+        return False
+    if iter_node.args or iter_node.keywords:
+        return False
+    if not isinstance(iter_node.func, ast.Attribute):
+        return False
+    method = iter_node.func.attr
+    if method == "items":
+        return (
+            isinstance(target, (ast.Tuple, ast.List))
+            and len(target.elts) == 2
+            and isinstance(target.elts[0], (ast.Tuple, ast.List))
+        )
+    if method == "keys":
+        return isinstance(target, (ast.Tuple, ast.List))
+    return False
+
+
 def _is_float_literal(node: ast.AST) -> bool:
     if isinstance(node, ast.Constant) and isinstance(node.value, float):
         return True
@@ -195,6 +237,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self._wall_clock_ok = rel.startswith(_WALL_CLOCK_ALLOWED)
         self._ordering_critical = rel.startswith(_ORDERING_CRITICAL)
         self._float_eq_critical = rel.startswith(_FLOAT_EQ_CRITICAL)
+        self._tuple_key_critical = rel.startswith(_TUPLE_KEY_CRITICAL)
 
     def _add(self, node: ast.AST, rule: str, message: str) -> None:
         self.violations.append(
@@ -228,9 +271,11 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 )
         self.generic_visit(node)
 
-    # -- DET003 --------------------------------------------------------------
+    # -- DET003 / DET005 -----------------------------------------------------
 
-    def _check_iter(self, iter_node: ast.AST) -> None:
+    def _check_iter(
+        self, iter_node: ast.AST, target: "ast.AST | None" = None
+    ) -> None:
         if self._ordering_critical and _is_unordered(iter_node):
             self._add(
                 iter_node,
@@ -238,14 +283,25 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 "iterating an unordered set in an ordering-critical module;"
                 " wrap the expression in sorted() to pin SMP/routing order",
             )
+        if self._tuple_key_critical and _is_tuple_keyed_iter(
+            iter_node, target
+        ):
+            self._add(
+                iter_node,
+                "DET005",
+                "iterating a tuple-keyed dict follows insertion order, which"
+                " differs between construction paths (serial vs sharded);"
+                " wrap the .items()/.keys() call in sorted() to pin the"
+                " routing/report order",
+            )
 
     def visit_For(self, node: ast.For) -> None:
-        self._check_iter(node.iter)
+        self._check_iter(node.iter, node.target)
         self.generic_visit(node)
 
     def _visit_comprehension(self, node: ast.AST) -> None:
         for comp in node.generators:  # type: ignore[attr-defined]
-            self._check_iter(comp.iter)
+            self._check_iter(comp.iter, comp.target)
         self.generic_visit(node)
 
     visit_ListComp = _visit_comprehension
@@ -329,7 +385,7 @@ def main(argv: Sequence[str] = ()) -> int:
 
     parser = argparse.ArgumentParser(
         prog="tools.lint",
-        description="AST determinism lint (DET001-DET004) for src/repro",
+        description="AST determinism lint (DET001-DET005) for src/repro",
     )
     parser.add_argument(
         "paths",
