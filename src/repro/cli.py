@@ -183,7 +183,9 @@ def build_parser() -> argparse.ArgumentParser:
             " at step N), 'heal-after=K' (heal K steps later; the stale"
             " master must be fenced+demoted), 'flap-storm=N' and"
             " 'storm-size=K' (K down/up cycles of one link at step N,"
-            " absorbed by the trap queue)"
+            " absorbed by the trap queue); 'rewire=N' spreads N live"
+            " topology mutations (add/remove/restore links and switches)"
+            " over the run, each converged incrementally and audited"
         ),
     )
     chaos.add_argument("--seed", type=int, default=0)

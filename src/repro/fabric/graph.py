@@ -31,6 +31,8 @@ __all__ = [
     "edge_sources",
     "link_failure_affected_sources",
     "switch_removal_affected_sources",
+    "link_addition_affected_sources",
+    "switch_addition_affected_sources",
 ]
 
 #: Upper bound on the (edges x destinations) scratch matrix one batched
@@ -258,6 +260,61 @@ def link_failure_affected_sources(
         alt = (dist[:, nbrs] == db[:, None] - 1).any(axis=1)
         safe |= forward & alt
     return affected & ~safe
+
+
+def link_addition_affected_sources(
+    dist: np.ndarray, u: int, v: int
+) -> np.ndarray:
+    """Boolean mask of BFS sources whose tree may change when a cable
+    ``(u, v)`` is *added*.
+
+    A new edge can only shorten paths that cross it, and a shortest path
+    crosses a single edge at most once. From source ``s`` the best new
+    route to any ``t`` is ``dist[s, u] + 1 + dist[v, t]`` (or the mirror),
+    which beats the old ``dist[s, t] <= dist[s, v] + dist[v, t]`` only if
+    ``dist[s, u] + 1 < dist[s, v]`` — so row ``s`` changes iff the
+    endpoints sat more than one hop apart as seen from ``s``
+    (``|dist[s, u] - dist[s, v]| >= 2``), or the edge connects a
+    previously unreachable component (exactly one endpoint reachable).
+    This test is exact, not conservative.
+    """
+    du = dist[:, u]
+    dv = dist[:, v]
+    ru = du >= 0
+    rv = dv >= 0
+    return (ru & rv & (np.abs(du - dv) >= 2)) | (ru ^ rv)
+
+
+def switch_addition_affected_sources(
+    dist: np.ndarray, neighbors: np.ndarray
+) -> np.ndarray:
+    """Boolean mask of *existing* BFS sources whose tree may change when a
+    new switch is cabled to the switches in *neighbors*.
+
+    The new switch itself is not part of *dist* (its row is computed
+    fresh by the caller). An existing pair ``(s, t)`` only improves by
+    routing *through* the new switch: enter via some neighbour ``x_i``,
+    leave via ``x_j``, at cost ``dist[s, x_i] + 2 + dist[x_j, t]``.
+    Minimizing entry and exit independently is exact: if both minima land
+    on the same neighbour ``x`` the bound is
+    ``dist[s, x] + 2 + dist[x, t] >= dist[s, t] + 2`` and never fires.
+    Unreachable entries (``-1``) are treated as infinite, so the mask
+    also catches sources that gain reachability through the new switch.
+    """
+    n = dist.shape[0]
+    nbrs = np.asarray(neighbors, dtype=np.int64)
+    if nbrs.size < 2:
+        # One cable (or none): every through-path would enter and leave
+        # by the same neighbour, which can never shorten anything.
+        return np.zeros(n, dtype=bool)
+    big = np.int64(1) << 40
+    sub = dist[:, nbrs].astype(np.int64)
+    sub[sub < 0] = big
+    near = sub.min(axis=1)  # d(s, closest neighbour); symmetric for t
+    base = dist.astype(np.int64)
+    base[base < 0] = big
+    improved = (near[:, None] + 2 + near[None, :]) < base
+    return improved.any(axis=1)
 
 
 def switch_removal_affected_sources(dist: np.ndarray, w: int) -> np.ndarray:

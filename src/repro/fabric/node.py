@@ -272,6 +272,17 @@ class Switch(Node):
         """Output port for *dest_lid* per the current LFT."""
         return self.lft.get(dest_lid)
 
+    def reset_forwarding(self) -> None:
+        """Drop all forwarding and counter state (clean detach).
+
+        Called when the switch leaves a subnet so stale LFT entries or
+        PMA counters can never leak into a later re-add of the same
+        hardware.
+        """
+        self.lft = LinearForwardingTable(top_lid=63)
+        for counters in self.counters.values():
+            counters.reset()
+
     def attached_hcas(self) -> List["HCA"]:
         """HCAs plugged directly into this switch (defines a leaf switch)."""
         out: List[HCA] = []

@@ -8,8 +8,17 @@ integer-indexed view of the switch graph for the routing engines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -17,7 +26,96 @@ from repro.errors import TopologyError
 from repro.fabric.link import Link
 from repro.fabric.node import HCA, Node, Port, Switch
 
-__all__ = ["Topology", "Terminal", "SwitchFabricView"]
+__all__ = ["Topology", "TopologyMutation", "Terminal", "SwitchFabricView"]
+
+#: Mutation kinds :class:`TopologyMutation` describes (the runtime
+#: topology-change vocabulary shared by the SM, the trap pipeline, the
+#: HA journal and the chaos ``rewire`` knob).
+MUTATION_KINDS = (
+    "add_link",
+    "remove_link",
+    "restore_link",
+    "add_switch",
+    "remove_switch",
+)
+
+
+@dataclass(frozen=True)
+class TopologyMutation:
+    """One planned runtime topology change, as plain serializable data.
+
+    ``a``/``port_a`` and ``b``/``port_b`` name the cable endpoints for the
+    link kinds; for the switch kinds ``a`` is the switch name and
+    ``cables`` lists ``(local_port, peer_name, peer_port)`` triples to
+    plug while adding. ``level`` optionally records the new switch's tree
+    level so level-aware engines (ftree, Up*/Down*) keep total metadata.
+    The dict round-trip (:meth:`as_dict` / :meth:`from_dict`) is what the
+    HA journal replicates to standbys.
+    """
+
+    kind: str
+    a: str = ""
+    port_a: int = -1
+    b: str = ""
+    port_b: int = -1
+    num_ports: int = 0
+    level: int = -1
+    latency: float = 100e-9
+    cables: Tuple[Tuple[int, str, int], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in MUTATION_KINDS:
+            raise TopologyError(
+                f"unknown mutation kind {self.kind!r};"
+                f" choose one of {MUTATION_KINDS}"
+            )
+        if isinstance(self.cables, list):  # tolerate list literals
+            object.__setattr__(
+                self, "cables", tuple(tuple(c) for c in self.cables)
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Wire/journal form (plain JSON-able types only)."""
+        return {
+            "kind": self.kind,
+            "a": self.a,
+            "port_a": self.port_a,
+            "b": self.b,
+            "port_b": self.port_b,
+            "num_ports": self.num_ports,
+            "level": self.level,
+            "latency": self.latency,
+            "cables": [list(c) for c in self.cables],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TopologyMutation":
+        """Rebuild a mutation from its :meth:`as_dict` form."""
+        return cls(
+            kind=str(data["kind"]),
+            a=str(data.get("a", "")),
+            port_a=int(data.get("port_a", -1)),
+            b=str(data.get("b", "")),
+            port_b=int(data.get("port_b", -1)),
+            num_ports=int(data.get("num_ports", 0)),
+            level=int(data.get("level", -1)),
+            latency=float(data.get("latency", 100e-9)),
+            cables=tuple(
+                (int(p), str(peer), int(pp))
+                for p, peer, pp in data.get("cables", [])
+            ),
+        )
+
+    def describe(self) -> str:
+        """Compact human form for logs and chaos reports."""
+        if self.kind in ("add_link", "remove_link", "restore_link"):
+            return (
+                f"{self.kind} {self.a}:{self.port_a}"
+                f"<->{self.b}:{self.port_b}"
+            )
+        if self.kind == "add_switch":
+            return f"add_switch {self.a} ({len(self.cables)} cables)"
+        return f"remove_switch {self.a}"
 
 
 class Terminal(NamedTuple):
@@ -135,6 +233,62 @@ class Topology:
             self._touch_switch_graph()
         return link
 
+    def add_link(
+        self,
+        a: Union[Node, str],
+        port_a: int,
+        b: Union[Node, str],
+        port_b: int,
+        *,
+        latency: float = 100e-9,
+    ) -> Link:
+        """Runtime-add a cable (mutation-first alias of :meth:`connect`).
+
+        Switch-to-switch cables bump :attr:`version` exactly once; record
+        the matching
+        :meth:`repro.sm.routing.cache.RoutingState.note_link_addition`
+        right after this call to keep the repair chain unbroken.
+        """
+        return self.connect(a, port_a, b, port_b, latency=latency)
+
+    def remove_link(self, link: Link) -> Link:
+        """Runtime-remove a cable: unplug it AND drop it from the registry.
+
+        Unlike a raw ``link.disconnect()`` (the out-of-band failure path),
+        this leaves no dead :class:`~repro.fabric.link.Link` behind in
+        :attr:`links`, so a removed cable cannot be re-picked by chaos
+        schedules or partition checks. Switch-to-switch cables bump
+        :attr:`version` exactly once; HCA cables leave the switch graph —
+        and every version-keyed routing cache — untouched.
+        """
+        if link not in self._links:
+            raise TopologyError("link is not part of this topology")
+        end_a, end_b = link.ends
+        fabric_cable = isinstance(end_a.node, Switch) and isinstance(
+            end_b.node, Switch
+        )
+        link.disconnect()
+        self._links.remove(link)
+        if fabric_cable:
+            self._touch_switch_graph()
+        return link
+
+    def restore_link(self, link: Link, *, latency: Optional[float] = None) -> Link:
+        """Re-plug a previously removed cable at its original ports.
+
+        *link* is the object :meth:`remove_link` returned (it remembers
+        its end ports). Returns the fresh :class:`~repro.fabric.link.Link`
+        now cabling those ports.
+        """
+        end_a, end_b = link.ends
+        return self.connect(
+            end_a.node,
+            end_a.num,
+            end_b.node,
+            end_b.num,
+            latency=link.latency if latency is None else latency,
+        )
+
     def auto_connect(self, a: Union[Node, str], b: Union[Node, str], **kw) -> Link:
         """Cable the first free port of *a* to the first free port of *b*."""
         node_a, node_b = self._resolve(a), self._resolve(b)
@@ -176,6 +330,11 @@ class Topology:
         for idx, sw in enumerate(self._switches):
             sw.index = idx
         node.index = -1
+        node.lid = None
+        # Clean detach: a removed switch keeps no forwarding or counter
+        # state, so a later re-add (same name or same hardware) starts
+        # from scratch and round-trips to byte-identical routing.
+        node.reset_forwarding()
         self._touch_switch_graph()
         return node
 

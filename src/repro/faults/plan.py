@@ -32,6 +32,7 @@ _INT_SPEC_KEYS = {
     "heal-after": "partition_heal_steps",
     "flap-storm": "link_flap_storm_step",
     "storm-size": "link_flap_storm_size",
+    "rewire": "rewire_ops",
 }
 
 
@@ -115,6 +116,11 @@ class FaultPlan:
     link_flap_storm_step: Optional[int] = None
     #: Down/up cycles in the storm burst.
     link_flap_storm_size: int = 6
+    #: Live topology mutations to spread evenly over the run (the chaos
+    #: ``rewire`` knob): each picks an add/remove/restore link-or-switch
+    #: mutation from the fabric RNG stream, drives it through
+    #: ``SubnetManager.handle_topology_change`` and audits convergence.
+    rewire_ops: int = 0
 
     def __post_init__(self) -> None:
         _check_rate("smp_drop_rate", self.smp_drop_rate)
@@ -128,6 +134,8 @@ class FaultPlan:
             raise FaultInjectionError("partition_heal_steps must be >= 1")
         if self.link_flap_storm_size < 1:
             raise FaultInjectionError("link_flap_storm_size must be >= 1")
+        if self.rewire_ops < 0:
+            raise FaultInjectionError("rewire_ops must be >= 0")
         for name, rate in self.per_target_drop.items():
             _check_rate(f"per_target_drop[{name!r}]", rate)
         if isinstance(self.scripted, list):  # tolerate list literals
@@ -214,4 +222,6 @@ class FaultPlan:
                 f"flap-storm@{self.link_flap_storm_step}"
                 f"x{self.link_flap_storm_size}"
             )
+        if self.rewire_ops:
+            parts.append(f"rewire={self.rewire_ops}")
         return " ".join(parts)

@@ -40,7 +40,7 @@ from repro.sm.routing.base import RoutingTables
 __all__ = ["JournalEntry", "ReplicationJournal", "StandbyReplica"]
 
 #: Journal entry kinds the replication protocol understands.
-ENTRY_KINDS = ("lid", "tables", "lft", "vswitch")
+ENTRY_KINDS = ("lid", "tables", "lft", "vswitch", "topology")
 
 
 @dataclass(frozen=True)
@@ -120,6 +120,11 @@ class StandbyReplica:
         #: completed (the LFT shadow summary).
         self.lft_blocks: Dict[str, int] = {}
         self.vswitch: Optional[Dict[str, Any]] = None
+        #: Live topology mutations replicated by the master, in order
+        #: (``TopologyMutation.as_dict`` payloads). A successor elected on
+        #: a rewired fabric replays these against its own topology model
+        #: before trusting the replicated routing intent.
+        self.topology_mutations: List[Dict[str, Any]] = []
 
     def apply(self, entries: List[Dict[str, Any]]) -> int:
         """Apply one delivered batch of serialized entries; return how
@@ -154,6 +159,8 @@ class StandbyReplica:
         elif kind == "vswitch":
             self.vswitch = payload
             self._apply_vswitch(payload)
+        elif kind == "topology":
+            self.topology_mutations.append(dict(payload))
 
     def _apply_vswitch(self, payload: Dict[str, Any]) -> None:
         """Mirror a vSwitch table update onto the replicated tables.

@@ -343,6 +343,16 @@ class HighAvailabilityManager:
         """Journal + replicate a vSwitch table update."""
         self._replicate(self.journal.append("vswitch", dict(payload)))
 
+    def note_topology(self, mutation: Dict[str, Any]) -> None:
+        """Journal + replicate a live topology mutation.
+
+        *mutation* is a :meth:`repro.fabric.topology.TopologyMutation.as_dict`
+        payload. It is journaled *before* the routing recompute that
+        follows it, so a replica replaying in order always rewires its
+        topology model before adopting the tables routed on it.
+        """
+        self._replicate(self.journal.append("topology", dict(mutation)))
+
     def _replicate(self, entry: JournalEntry) -> None:
         """Stream one journal entry to every alive standby.
 

@@ -104,7 +104,15 @@ class RoutingRequest:
                 for name, lvl in built.level.items()
                 if name in topology
             }
-            roots = [sw.index for sw in built.roots if sw.index >= 0]
+            # Resolve roots by NAME, not by captured object: a root that
+            # was removed and later re-added at runtime is a fresh Switch
+            # instance, and the stale object's index (-1) would silently
+            # drop it from the root set.
+            roots = [
+                topology.node(sw.name).index
+                for sw in built.roots
+                if sw.name in topology
+            ]
             hints = dict(getattr(built, "params", {}) or {})
         return cls(
             view=topology.fabric_view(),

@@ -38,7 +38,9 @@ from repro.fabric.graph import (
     edge_sources,
     equal_cost_candidates,
     equal_cost_candidates_batch,
+    link_addition_affected_sources,
     link_failure_affected_sources,
+    switch_addition_affected_sources,
     switch_removal_affected_sources,
 )
 from repro.fabric.topology import Topology
@@ -89,9 +91,13 @@ class RepairEvent(NamedTuple):
     ``version`` is the topology version *after* the mutation. ``a``/``b``
     are switch indices in the frame right before the mutation: the cable's
     endpoints for ``kind == "link"``, the removed switch (and -1) for
-    ``kind == "switch"``. ``kind == "noop"`` advances the version chain
-    without touching distances (e.g. an HCA cable failure handled through
-    the same SM path).
+    ``kind == "switch"``. The addition-side kinds mirror them:
+    ``"link_add"`` records a new (or restored) inter-switch cable with
+    its endpoint indices in the frame right *after* the mutation (link
+    additions never re-index), and ``"switch_add"`` records a new switch
+    appended at dense index ``a``. ``kind == "noop"`` advances the
+    version chain without touching distances (e.g. an HCA cable failure
+    handled through the same SM path).
     """
 
     kind: str
@@ -153,6 +159,45 @@ class RoutingState:
     def note_switch_removal(self, w: int) -> None:
         """Record a removed switch (its dense index *before* removal)."""
         self._pending.append(RepairEvent("switch", w, -1, self.topology.version))
+
+    # -- addition notifications -----------------------------------------------
+
+    def note_link_addition(self, u: int, v: int) -> None:
+        """Record a newly cabled inter-switch link (endpoint indices).
+
+        Must be called right after the ``connect`` that bumped
+        ``topology.version``. A cable with a non-switch endpoint never
+        bumps the version (the switch graph is untouched), so passing a
+        negative index records nothing at all — the cache simply stays
+        warm.
+        """
+        if u < 0 or v < 0:
+            return
+        self._pending.append(
+            RepairEvent("link_add", u, v, self.topology.version)
+        )
+
+    def note_link_restored(self, u: int, v: int) -> None:
+        """Record a restored (re-plugged) inter-switch cable.
+
+        Semantically an alias of :meth:`note_link_addition` — a restored
+        cable repairs exactly like a new one — kept as its own entry
+        point so failure/heal call sites mirror each other.
+        """
+        self.note_link_addition(u, v)
+
+    def note_switch_addition(self, w: int) -> None:
+        """Record a newly added switch (its dense index *after* the add).
+
+        New switches are appended, so existing indices are stable; the
+        repair grows the matrix by one row/column, marks the new row for
+        a BFS sweep, and tracks the switch's cables as they are recorded
+        by subsequent :meth:`note_link_addition` calls (the through-paths
+        test needs the accumulated neighbour set).
+        """
+        self._pending.append(
+            RepairEvent("switch_add", w, -1, self.topology.version)
+        )
 
     # -- cached accessors -------------------------------------------------------
 
@@ -309,31 +354,84 @@ class RoutingState:
         dist = self._dist.copy()
         affected = np.zeros(dist.shape[0], dtype=bool)
         view = self.topology.fabric_view()
-        # Link events can use the exact unique-predecessor refinement only
-        # while their frame's switch indexing matches the final view — i.e.
-        # once every deletion of the chain has been applied.
+        # Link-removal events can use the exact unique-predecessor
+        # refinement only while their frame's adjacency is a superset of
+        # the final view's with matching indexing: after every deletion of
+        # the chain (indexing) and before no addition (an edge added later
+        # would offer "alternative predecessors" that did not exist yet).
         last_switch = max(
             (i for i, e in enumerate(events) if e.kind == "switch"),
             default=-1,
         )
+        last_add = max(
+            (
+                i
+                for i, e in enumerate(events)
+                if e.kind in ("link_add", "switch_add")
+            ),
+            default=-1,
+        )
+        #: Switches appended by this chain whose rows/columns are still
+        #: placeholders (swept at the end), mapped to the neighbour
+        #: indices their cables have accumulated so far.
+        dirty: Dict[int, List[int]] = {}
         for i, ev in enumerate(events):
             if ev.kind == "noop":
                 continue
             if ev.kind == "link":
+                if ev.a in dirty or ev.b in dirty:
+                    # Removing a cable of a switch added earlier in the
+                    # same chain: its placeholder column makes every
+                    # affectedness test unreliable.
+                    return False
                 refine = (
                     view
                     if i > last_switch
+                    and i > last_add
                     and dist.shape[0] == view.num_switches
                     else None
                 )
                 affected |= link_failure_affected_sources(
                     dist, ev.a, ev.b, view=refine
                 )
+            elif ev.kind == "link_add":
+                in_a, in_b = ev.a in dirty, ev.b in dirty
+                if in_a and in_b:
+                    # A cable between two switches added in the same
+                    # chain: through-paths would cross two placeholder
+                    # columns — bail to a full recompute.
+                    return False
+                if in_a or in_b:
+                    w, x = (ev.a, ev.b) if in_a else (ev.b, ev.a)
+                    if not 0 <= x < dist.shape[0]:
+                        return False
+                    dirty[w].append(x)
+                    affected |= switch_addition_affected_sources(
+                        dist, np.asarray(dirty[w], dtype=np.int64)
+                    )
+                else:
+                    if not (
+                        0 <= ev.a < dist.shape[0]
+                        and 0 <= ev.b < dist.shape[0]
+                    ):
+                        return False
+                    affected |= link_addition_affected_sources(
+                        dist, ev.a, ev.b
+                    )
+            elif ev.kind == "switch_add":
+                if ev.a != dist.shape[0]:
+                    return False
+                dist = np.pad(
+                    dist, ((0, 1), (0, 1)), constant_values=-1
+                )
+                dist[ev.a, ev.a] = 0
+                affected = np.append(affected, True)
+                dirty[ev.a] = []
             elif ev.kind == "switch":
                 w = ev.a
-                if not 0 <= w < dist.shape[0] or affected[w]:
-                    # Row w is stale (or the index is off): the
-                    # through-w test would be unreliable.
+                if dirty or not 0 <= w < dist.shape[0] or affected[w]:
+                    # Row w is stale, a placeholder column would poison
+                    # the through-w test, or the index is off.
                     return False
                 affected |= switch_removal_affected_sources(dist, w)
                 dist = np.delete(np.delete(dist, w, axis=0), w, axis=1)
@@ -345,6 +443,11 @@ class RoutingState:
         srcs = np.flatnonzero(affected)
         for s in srcs:
             dist[s] = bfs_distances(view, int(s))
+        # Unaffected rows still hold placeholder entries toward switches
+        # added by this chain; hop distances are symmetric, so their
+        # freshly swept rows fill those columns exactly.
+        for w in dirty:
+            dist[:, w] = dist[w, :]
         self._dist = dist
         self.stats.bfs_sweeps += len(srcs)
         self.stats.sources_repaired += len(srcs)

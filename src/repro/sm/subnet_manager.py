@@ -16,9 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
-from repro.errors import RoutingError
+from repro.errors import RoutingError, TopologyError
 from repro.fabric.node import Switch
-from repro.fabric.topology import Topology
+from repro.fabric.topology import Topology, TopologyMutation
 from repro.mad.transport import SmpTransport
 from repro.obs.hub import get_hub, span
 from repro.sm.discovery import DiscoveryReport, discover_subnet
@@ -54,6 +54,13 @@ class ConfigureReport:
     sweep_mode: str = ""
     #: Journal entries the successor replayed to reconstruct state.
     journal_entries_replayed: int = 0
+    #: How the routing cache absorbed a topology change: ``"incremental"``
+    #: (event-chain repair, only affected BFS trees reswept), ``"full"``
+    #: (chain broken, complete recompute) or ``"warm"`` (switch graph
+    #: untouched). ``""`` outside :meth:`SubnetManager.handle_topology_change`.
+    repair_mode: str = ""
+    #: BFS source trees the incremental repair actually reswept.
+    sources_repaired: int = 0
 
     @property
     def lft_smps(self) -> int:
@@ -295,10 +302,13 @@ class SubnetManager:
         end_a, end_b = link.ends
         u = end_a.node.index if isinstance(end_a.node, Switch) else -1
         v = end_b.node.index if isinstance(end_b.node, Switch) else -1
-        link.disconnect()
+        # remove_link bumps the version exactly once (sw-sw cables only),
+        # so the note below completes an unbroken repair chain; an HCA
+        # cable failure leaves the switch graph — and the cache — warm.
+        self.topology.remove_link(link)
         self.transport.invalidate_distances()
-        self.topology.invalidate_fabric_view()
-        self.routing_state.note_link_failure(u, v)
+        if u >= 0 and v >= 0:
+            self.routing_state.note_link_failure(u, v)
         self.topology.validate()
         report = ConfigureReport()
         with span("link_failure_reroute"):
@@ -333,6 +343,147 @@ class SubnetManager:
             report.path_compute_seconds = tables.compute_seconds
             report.distribution = self.distribute()
         self._expose(report, phase="switch_failure")
+        return report
+
+    # -- live topology mutation --------------------------------------------------
+
+    def apply_topology_mutation(self, mutation: TopologyMutation):
+        """Apply one planned topology change to the subnet state.
+
+        Mutates the topology, records the matching routing-cache repair
+        event(s), assigns LIDs to new elements, keeps the builder's level
+        metadata total, journals the mutation for hot standbys and counts
+        it in ``repro_topology_mutations_total``. Returns the affected
+        :class:`~repro.fabric.link.Link` or
+        :class:`~repro.fabric.node.Switch`.
+
+        This is the *state* half only — no SMPs are sent. Use
+        :meth:`handle_topology_change` for the full converge-and-verify
+        flow, or call this from a deferred trap pipeline and reroute in a
+        batch later.
+        """
+        topology = self.topology
+        result: object
+        if mutation.kind in ("add_link", "restore_link"):
+            node_a = topology.node(mutation.a)
+            node_b = topology.node(mutation.b)
+            result = topology.add_link(
+                node_a,
+                mutation.port_a,
+                node_b,
+                mutation.port_b,
+                latency=mutation.latency,
+            )
+            if isinstance(node_a, Switch) and isinstance(node_b, Switch):
+                if mutation.kind == "restore_link":
+                    self.routing_state.note_link_restored(
+                        node_a.index, node_b.index
+                    )
+                else:
+                    self.routing_state.note_link_addition(
+                        node_a.index, node_b.index
+                    )
+        elif mutation.kind == "remove_link":
+            port = topology.node(mutation.a).port(mutation.port_a)
+            link = port.link
+            if link is None:
+                raise TopologyError(
+                    f"no cable at {mutation.a}:{mutation.port_a} to remove"
+                )
+            end_a, end_b = link.ends
+            u = end_a.node.index if isinstance(end_a.node, Switch) else -1
+            v = end_b.node.index if isinstance(end_b.node, Switch) else -1
+            result = topology.remove_link(link)
+            if u >= 0 and v >= 0:
+                self.routing_state.note_link_failure(u, v)
+        elif mutation.kind == "add_switch":
+            sw = topology.add_switch(mutation.a, mutation.num_ports)
+            self.routing_state.note_switch_addition(sw.index)
+            for local_port, peer_name, peer_port in mutation.cables:
+                peer = topology.node(peer_name)
+                topology.add_link(sw, local_port, peer, peer_port)
+                if isinstance(peer, Switch):
+                    self.routing_state.note_link_addition(
+                        sw.index, peer.index
+                    )
+            level = getattr(self.built, "level", None)
+            if mutation.level >= 0 and isinstance(level, dict):
+                level[sw.name] = mutation.level
+            self.assign_lids()
+            result = sw
+        elif mutation.kind == "remove_switch":
+            sw = topology.node(mutation.a)
+            if not isinstance(sw, Switch):
+                raise TopologyError(f"{mutation.a!r} is not a switch")
+            if sw.attached_hcas():
+                raise TopologyError(
+                    f"{sw.name!r} still has HCAs attached;"
+                    " evacuate them first"
+                )
+            if sw.lid is not None and topology.port_of_lid(sw.lid):
+                self.lid_manager.release_lid(sw.lid)
+                sw.lid = None
+            removed_index = sw.index
+            topology.remove_switch(sw)
+            self.routing_state.note_switch_removal(removed_index)
+            level = getattr(self.built, "level", None)
+            if isinstance(level, dict):
+                level.pop(sw.name, None)
+            result = sw
+        else:  # pragma: no cover - TopologyMutation validates kinds
+            raise TopologyError(f"unknown mutation kind {mutation.kind!r}")
+        get_hub().metrics.counter(
+            "repro_topology_mutations_total", kind=mutation.kind
+        ).add(1)
+        if self.ha is not None:
+            self.ha.note_topology(mutation.as_dict())
+        return result
+
+    def handle_topology_change(
+        self, mutation: TopologyMutation, *, verify: bool = True
+    ) -> ConfigureReport:
+        """Apply a mutation and converge the subnet on it.
+
+        The runtime analogue of :meth:`initial_configure` for a living
+        fabric: apply the change, re-sweep, recompute paths (repaired
+        incrementally whenever the event chain allows) and distribute
+        only the changed LFT blocks. With ``verify=True`` (the default) a
+        full :func:`~repro.analysis.verification.verify_subnet` audit
+        runs afterwards and raises on any delivery or consistency fault —
+        every mutation is followed by proof of convergence.
+        """
+        # Snapshot BEFORE applying: journal-replication SMPs sent while
+        # the mutation is applied already pull repaired distances.
+        before = self.routing_state.stats.snapshot()
+        self.apply_topology_mutation(mutation)
+        self.transport.invalidate_distances()
+        self.topology.validate()
+        report = ConfigureReport()
+        with span("topology_change", kind=mutation.kind) as sp:
+            report.discovery = self.discover()
+            tables = self.compute_routing()
+            report.path_compute_seconds = tables.compute_seconds
+            report.distribution = self.distribute()
+            delta = self.routing_state.stats.delta_since(before)
+            if delta["full_recomputes"]:
+                report.repair_mode = "full"
+            elif delta["repairs"]:
+                report.repair_mode = "incremental"
+            else:
+                report.repair_mode = "warm"
+            report.sources_repaired = delta["sources_repaired"]
+            sp.set_attribute("repair_mode", report.repair_mode)
+            sp.set_attribute("sources_repaired", report.sources_repaired)
+        get_hub().metrics.counter(
+            "repro_routing_repair_mode_total", mode=report.repair_mode
+        ).add(1)
+        self._expose(report, phase="topology_change")
+        if verify:
+            # Function-local import: analysis.verification imports this
+            # module at load time.
+            from repro.analysis.verification import verify_subnet
+
+            verify_subnet(self).raise_if_failed()
         return report
 
     def _expose(self, report: ConfigureReport, *, phase: str) -> None:

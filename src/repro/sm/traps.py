@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ReproError, TopologyError
 from repro.fabric.link import Link
 from repro.fabric.node import Switch
+from repro.fabric.topology import TopologyMutation
 from repro.mad.smp import Smp, SmpKind, SmpMethod
 from repro.obs.hub import get_hub, span
 from repro.sm.subnet_manager import ConfigureReport, SubnetManager
@@ -43,12 +44,19 @@ __all__ = ["TrapType", "TrapRecord", "PendingEvent", "FabricEventManager"]
 class TrapType(enum.Enum):
     """Modelled trap numbers (IBA 13.4.9).
 
-    ``CONGESTION`` is not a wire trap: it is the PerfManager's threshold
-    event (OpenSM's perfmgr raises the analogous internal event when a
-    swept counter crosses its configured threshold), routed through the
-    same event manager so chaos runs see congestion next to link state.
+    ``IN_SERVICE``/``OUT_OF_SERVICE`` are the IBA 64/65 pair: an element
+    joined or left the subnet — raised by the deferred ingestion of
+    *planned* topology mutations (:meth:`FabricEventManager.\
+report_topology_change`), as opposed to the 128/129 port-state pair a
+    failing cable raises on its own. ``CONGESTION`` is not a wire trap:
+    it is the PerfManager's threshold event (OpenSM's perfmgr raises the
+    analogous internal event when a swept counter crosses its configured
+    threshold), routed through the same event manager so chaos runs see
+    congestion next to link state.
     """
 
+    IN_SERVICE = 64
+    OUT_OF_SERVICE = 65
     LINK_STATE_DOWN = 128
     LINK_STATE_UP = 129
     CONGESTION = 144
@@ -193,6 +201,14 @@ class FabricEventManager:
                 self._record(
                     TrapType.LINK_STATE_UP, port.node.name, port.num
                 )
+        end_a, end_b = link.ends
+        if isinstance(end_a.node, Switch) and isinstance(end_b.node, Switch):
+            # The connect bumped the version once; this note completes
+            # the repair chain so a heal costs an incremental repair, not
+            # a full recompute.
+            self.sm.routing_state.note_link_restored(
+                end_a.node.index, end_b.node.index
+            )
         self.sm.transport.invalidate_distances()
         report = ConfigureReport()
         report.discovery = self.sm.discover()
@@ -280,18 +296,21 @@ class FabricEventManager:
         b, pb = end_b.node, end_b.num
         u = a.index if isinstance(a, Switch) else -1
         v = b.index if isinstance(b, Switch) else -1
-        link.disconnect()
+        self.sm.topology.remove_link(link)
         self.sm.transport.invalidate_distances()
-        self.sm.topology.invalidate_fabric_view()
+        if u >= 0 and v >= 0:
+            self.sm.routing_state.note_link_failure(u, v)
         try:
             self.sm.topology.validate()
         except TopologyError:
-            # The cut would partition the fabric: refuse, replug.
+            # The cut would partition the fabric: refuse, replug. The
+            # restore note pairs with the failure note above, so the two
+            # events chain into a (cheap) no-op repair.
             self.sm.topology.connect(a, pa, b, pb)
             self.sm.transport.invalidate_distances()
-            self.sm.topology.invalidate_fabric_view()
+            if u >= 0 and v >= 0:
+                self.sm.routing_state.note_link_restored(u, v)
             raise
-        self.sm.routing_state.note_link_failure(u, v)
         for port in ends:
             self._notice(TrapType.LINK_STATE_DOWN, port.node.name, port.num)
         self._enqueue(
@@ -310,7 +329,11 @@ class FabricEventManager:
         """
         link = self.sm.topology.connect(a, port_a, b, port_b)
         self.sm.transport.invalidate_distances()
-        self.sm.topology.invalidate_fabric_view()
+        end_a, end_b = link.ends
+        if isinstance(end_a.node, Switch) and isinstance(end_b.node, Switch):
+            self.sm.routing_state.note_link_restored(
+                end_a.node.index, end_b.node.index
+            )
         for port in link.ends:
             if isinstance(port.node, Switch):
                 self._notice(
@@ -326,6 +349,69 @@ class FabricEventManager:
             )
         )
         return link
+
+    def report_topology_change(self, mutation: "TopologyMutation"):
+        """Deferred ingestion of a *planned* topology mutation.
+
+        The subnet state changes now (cables plugged/pulled, switches
+        registered, LIDs assigned, cache repair events recorded,
+        mutation journaled); the reroute waits for the next :meth:`pump`.
+        IN_SERVICE/OUT_OF_SERVICE notices (IBA traps 64/65) ride VL15
+        into the queue and an add/remove pair for the same element
+        coalesces away like a link flap. A removal that would partition
+        the switch fabric is refused: the inverse mutation is applied
+        (element re-added with its original cables) and the
+        :class:`~repro.errors.TopologyError` re-raised. Returns the
+        affected :class:`~repro.fabric.link.Link` or
+        :class:`~repro.fabric.node.Switch`.
+        """
+        inverse: Optional[TopologyMutation] = None
+        if mutation.kind == "remove_link":
+            inverse = TopologyMutation(
+                kind="restore_link",
+                a=mutation.a,
+                port_a=mutation.port_a,
+                b=mutation.b,
+                port_b=mutation.port_b,
+            )
+        elif mutation.kind == "remove_switch":
+            sw = self.sm.topology.node(mutation.a)
+            level = getattr(self.sm.built, "level", None)
+            inverse = TopologyMutation(
+                kind="add_switch",
+                a=sw.name,
+                num_ports=sw.num_ports,
+                level=(
+                    level.get(sw.name, -1) if isinstance(level, dict) else -1
+                ),
+                cables=tuple(
+                    (p.num, p.remote.node.name, p.remote.num)
+                    for p in sw.connected_ports()
+                    if p.remote is not None
+                ),
+            )
+        result = self.sm.apply_topology_mutation(mutation)
+        self.sm.transport.invalidate_distances()
+        if inverse is not None:
+            try:
+                self.sm.topology.validate()
+            except TopologyError:
+                self.sm.apply_topology_mutation(inverse)
+                self.sm.transport.invalidate_distances()
+                raise
+        joined = mutation.kind in ("add_link", "restore_link", "add_switch")
+        trap = TrapType.IN_SERVICE if joined else TrapType.OUT_OF_SERVICE
+        if mutation.kind in ("add_link", "remove_link", "restore_link"):
+            key = self._link_key(mutation.a, mutation.b)
+            self._notice(trap, mutation.a, mutation.port_a)
+            self._notice(trap, mutation.b, mutation.port_b)
+        else:
+            # Switch events key on ("", name): link keys always carry two
+            # non-empty node names, so the spaces cannot collide.
+            key = ("", mutation.a)
+            self._notice(trap, mutation.a, 0)
+        self._enqueue(PendingEvent(key=key, kind=trap))
+        return result
 
     @property
     def pending_events(self) -> int:

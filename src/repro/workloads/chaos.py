@@ -39,6 +39,7 @@ from repro.errors import (
     TransportError,
 )
 from repro.fabric.node import Switch
+from repro.fabric.topology import TopologyMutation
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.mad.reliable import RetryPolicy
@@ -155,6 +156,25 @@ class ChaosReport:
     trap_storms: int = 0
     coalesced_traps: int = 0
     throttled_traps: int = 0
+    #: Live topology mutations performed by the ``rewire`` knob, and the
+    #: ones the planner could not place (no viable candidate) or the SM
+    #: refused.
+    rewires: int = 0
+    refused_rewires: int = 0
+    #: Mutations performed, by kind (``add_link``, ``remove_switch``, ...).
+    rewire_kinds: Dict[str, int] = field(default_factory=dict)
+    #: How the routing cache absorbed each rewire's recompute.
+    rewire_repair_incremental: int = 0
+    rewire_repair_full: int = 0
+    rewire_repair_warm: int = 0
+    #: BFS source trees reswept across all incremental rewire repairs.
+    rewire_sources_repaired: int = 0
+    #: Problems found by the per-mutation convergence audit (one
+    #: ``verify_subnet`` after every rewire) — must stay empty.
+    rewire_audit_failures: List[str] = field(default_factory=list)
+    #: Whether the final routing equals a cold from-scratch recompute
+    #: byte-for-byte (None when no rewires ran).
+    final_routing_cold_identical: Optional[bool] = None
     #: LFT SMPs spent reacting to fabric events (the *legitimate* heavy
     #: reconfigurations, kept apart from the migration ledger).
     reroute_smps: int = 0
@@ -180,7 +200,12 @@ class ChaosReport:
     @property
     def ok(self) -> bool:
         """True iff the end-state audit ran and found nothing wrong."""
-        return self.verified and not self.verification_failures
+        return (
+            self.verified
+            and not self.verification_failures
+            and not self.rewire_audit_failures
+            and self.final_routing_cold_identical is not False
+        )
 
     @property
     def smp_overhead_ratio(self) -> float:
@@ -232,6 +257,44 @@ class ChaosReport:
                 f" {self.coalesced_traps} coalesced,"
                 f" {self.throttled_traps} throttled"
             ),
+        ]
+        if self.rewires or self.refused_rewires:
+            kinds = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.rewire_kinds.items())
+            )
+            lines.append(
+                f"rewires: {self.rewires} performed"
+                f" ({self.refused_rewires} refused)"
+                + (f" [{kinds}]" if kinds else "")
+                + f"; repair incremental={self.rewire_repair_incremental}"
+                f" full={self.rewire_repair_full}"
+                f" warm={self.rewire_repair_warm}"
+                f" ({self.rewire_sources_repaired} sources reswept)"
+            )
+            if self.final_routing_cold_identical is not None:
+                lines.append(
+                    "final routing vs cold recompute: "
+                    + (
+                        "byte-identical"
+                        if self.final_routing_cold_identical
+                        else "DIVERGED"
+                    )
+                )
+            if self.rewire_audit_failures:
+                lines.append(
+                    f"rewire audits: FAILED"
+                    f" ({len(self.rewire_audit_failures)} problems)"
+                )
+                lines.extend(
+                    f"  {p}"
+                    for p in self.rewire_audit_failures[:max_problems]
+                )
+            else:
+                lines.append(
+                    "rewire audits: clean (every mutation converged)"
+                )
+        lines += [
             (
                 f"migration SMPs: ideal n'*m'={self.ideal_migration_smps},"
                 f" achieved={self.achieved_migration_smps}"
@@ -334,6 +397,14 @@ class ChaosRunner:
         #: in flight) and who was cut off.
         self._heal_step: Optional[int] = None
         self._partitioned_master: Optional[str] = None
+        #: Rewire state: mutations per step (filled by :meth:`run` from
+        #: ``plan.rewire_ops``), restore candidates for cables a rewire
+        #: removed, names of switches a rewire added (preferred removal
+        #: victims), and a monotonic sequence for generated names.
+        self._rewire_counts: Dict[int, int] = {}
+        self._removed_cables: List[TopologyMutation] = []
+        self._added_switches: List[str] = []
+        self._rewire_seq = 0
 
     def _register_sm_candidates(self) -> None:
         """Master on the current SM node, two standbys elsewhere.
@@ -372,6 +443,13 @@ class ChaosRunner:
         report = ChaosReport(steps=steps, plan=self.plan.describe())
         if self.telemetry_enabled:
             report.telemetry = ChaosTelemetry()
+        # Spread rewire ops evenly over the run (deterministic schedule;
+        # only the mutation *choice* comes from the fabric RNG).
+        self._rewire_counts = {}
+        for i in range(self.plan.rewire_ops):
+            at = int((i + 1) * steps / (self.plan.rewire_ops + 1))
+            at = min(at, max(steps - 1, 0))
+            self._rewire_counts[at] = self._rewire_counts.get(at, 0) + 1
         transport = self.sm.transport
         if self.plan.injects_smp_faults:
             transport.set_fault_injector(self.injector)
@@ -391,6 +469,8 @@ class ChaosRunner:
         report.fault_summary = self.injector.summary()
         report.coalesced_traps = self.events.traps_coalesced
         report.throttled_traps = self.events.traps_throttled
+        if report.rewires:
+            self._final_cold_check(report)
         if report.telemetry is not None:
             self._finalize_telemetry(report)
         self._verify(report)
@@ -415,6 +495,8 @@ class ChaosRunner:
             and step == self.plan.link_flap_storm_step
         ):
             self._link_flap_storm(step, report)
+        for _ in range(self._rewire_counts.get(step, 0)):
+            self._rewire(report)
         self._ha_tick(report)
         frng = self.injector.fabric_rng
         if self.plan.link_flap_rate and frng.random() < self.plan.link_flap_rate:
@@ -727,6 +809,298 @@ class ChaosRunner:
                     seen.add(peer)
                     stack.append(peer)
         return len(seen) != len(remaining)
+
+    def _link_would_partition(self, link) -> bool:
+        """Whether cutting *link* disconnects the switch graph."""
+        switches = self.sm.topology.switches
+        if len(switches) < 2:
+            return True
+        adjacency: Dict[str, set] = {sw.name: set() for sw in switches}
+        for other in self.sm.topology.links:
+            if other is link:
+                continue
+            end_a, end_b = other.ends
+            if isinstance(end_a.node, Switch) and isinstance(
+                end_b.node, Switch
+            ):
+                adjacency[end_a.node.name].add(end_b.node.name)
+                adjacency[end_b.node.name].add(end_a.node.name)
+        seen = {switches[0].name}
+        stack = [switches[0].name]
+        while stack:
+            for peer in adjacency[stack.pop()]:
+                if peer not in seen:
+                    seen.add(peer)
+                    stack.append(peer)
+        return len(seen) != len(switches)
+
+    # -- live rewiring (the rewire knob) --------------------------------------
+
+    def _rewire(self, report: ChaosReport) -> None:
+        """Perform one live topology mutation and audit its convergence."""
+        mutation = self._plan_rewire()
+        if mutation is None:
+            # No viable candidate of any kind (e.g. every removal would
+            # partition and every port is cabled).
+            report.refused_rewires += 1
+            return
+        before = self.sm.transport.stats.snapshot()
+        change = None
+        with span(
+            "rewire", kind=mutation.kind, detail=mutation.describe()
+        ) as sp:
+            try:
+                change = self.sm.handle_topology_change(
+                    mutation, verify=False
+                )
+            except TopologyError as exc:
+                sp.set_attribute("refused", True)
+                report.refused_rewires += 1
+                report.control_plane_errors.append(
+                    f"rewire {mutation.describe()}: {exc}"
+                )
+                return
+            except (TransportError, DistributionError) as exc:
+                report.control_plane_errors.append(
+                    f"rewire {mutation.describe()}: {exc}"
+                )
+                self._recover(
+                    report, self.sm.distribute, label="rewire repair"
+                )
+        self._note_rewire_pools(mutation)
+        delta = self.sm.transport.stats.delta_since(before)
+        report.rewires += 1
+        report.rewire_kinds[mutation.kind] = (
+            report.rewire_kinds.get(mutation.kind, 0) + 1
+        )
+        report.reroute_smps += delta.lft_update_smps
+        if change is not None:
+            if change.repair_mode == "incremental":
+                report.rewire_repair_incremental += 1
+            elif change.repair_mode == "full":
+                report.rewire_repair_full += 1
+            elif change.repair_mode == "warm":
+                report.rewire_repair_warm += 1
+            report.rewire_sources_repaired += change.sources_repaired
+        get_hub().metrics.counter(
+            "repro_chaos_rewires_total", kind=mutation.kind
+        ).add(1)
+        # Convergence audit after EVERY mutation: delivery walked on the
+        # hardware LFTs and SM-consistency checked, not just at run end.
+        from repro.analysis.verification import verify_subnet
+
+        audit = verify_subnet(self.sm)
+        for problem in audit.problems():
+            report.rewire_audit_failures.append(
+                f"{mutation.describe()}: {problem}"
+            )
+
+    def _note_rewire_pools(self, mutation: TopologyMutation) -> None:
+        """Track inverse-operation candidates for later rewires."""
+        if mutation.kind == "remove_link":
+            self._removed_cables.append(
+                TopologyMutation(
+                    kind="restore_link",
+                    a=mutation.a,
+                    port_a=mutation.port_a,
+                    b=mutation.b,
+                    port_b=mutation.port_b,
+                )
+            )
+        elif mutation.kind == "add_switch":
+            self._added_switches.append(mutation.a)
+        elif mutation.kind == "remove_switch":
+            if mutation.a in self._added_switches:
+                self._added_switches.remove(mutation.a)
+
+    def _plan_rewire(self) -> Optional[TopologyMutation]:
+        """Pick the next mutation from the fabric RNG stream.
+
+        Draws the preferred kind first, then rotates through the others
+        until one has a viable candidate, so a single exhausted pool
+        (e.g. nothing left to restore) never wastes a scheduled op.
+        """
+        frng = self.injector.fabric_rng
+        planners = (
+            self._plan_add_link,
+            self._plan_remove_link,
+            self._plan_restore_link,
+            self._plan_add_switch,
+            self._plan_remove_switch,
+        )
+        start = frng.randrange(len(planners))
+        for offset in range(len(planners)):
+            mutation = planners[(start + offset) % len(planners)]()
+            if mutation is not None:
+                return mutation
+        return None
+
+    def _plan_add_link(self) -> Optional[TopologyMutation]:
+        """A new cable between two non-adjacent switches with free ports."""
+        topology = self.sm.topology
+        adjacent = set()
+        for link in topology.links:
+            end_a, end_b = link.ends
+            if isinstance(end_a.node, Switch) and isinstance(
+                end_b.node, Switch
+            ):
+                pair = tuple(sorted((end_a.node.name, end_b.node.name)))
+                adjacent.add(pair)
+        open_switches = [
+            sw
+            for sw in topology.switches
+            if next(sw.free_ports(), None) is not None
+        ]
+        pairs = [
+            (a, b)
+            for i, a in enumerate(open_switches)
+            for b in open_switches[i + 1 :]
+            if tuple(sorted((a.name, b.name))) not in adjacent
+        ]
+        if not pairs:
+            return None
+        a, b = self.injector.fabric_rng.choice(pairs)
+        return TopologyMutation(
+            kind="add_link",
+            a=a.name,
+            port_a=next(a.free_ports()).num,
+            b=b.name,
+            port_b=next(b.free_ports()).num,
+        )
+
+    def _plan_remove_link(self) -> Optional[TopologyMutation]:
+        """A removable inter-switch cable (no partition, ends keep >1 cable)."""
+        candidates = [
+            link
+            for link in self.sm.topology.links
+            if all(isinstance(p.node, Switch) for p in link.ends)
+            and not self._link_would_partition(link)
+        ]
+        if not candidates:
+            return None
+        link = self.injector.fabric_rng.choice(candidates)
+        end_a, end_b = link.ends
+        return TopologyMutation(
+            kind="remove_link",
+            a=end_a.node.name,
+            port_a=end_a.num,
+            b=end_b.node.name,
+            port_b=end_b.num,
+        )
+
+    def _plan_restore_link(self) -> Optional[TopologyMutation]:
+        """Re-plug a cable a previous rewire removed, if ports are free."""
+        topology = self.sm.topology
+        viable = []
+        for mutation in self._removed_cables:
+            try:
+                port_a = topology.node(mutation.a).port(mutation.port_a)
+                port_b = topology.node(mutation.b).port(mutation.port_b)
+            except TopologyError:
+                continue  # an endpoint switch has since been removed
+            if not port_a.is_connected and not port_b.is_connected:
+                viable.append(mutation)
+        if not viable:
+            return None
+        mutation = self.injector.fabric_rng.choice(viable)
+        self._removed_cables.remove(mutation)
+        return mutation
+
+    def _plan_add_switch(self) -> Optional[TopologyMutation]:
+        """A new switch cabled to two existing switches with free ports."""
+        open_switches = [
+            sw
+            for sw in self.sm.topology.switches
+            if next(sw.free_ports(), None) is not None
+        ]
+        if len(open_switches) < 2:
+            return None
+        frng = self.injector.fabric_rng
+        peer_a = frng.choice(open_switches)
+        peer_b = frng.choice([sw for sw in open_switches if sw is not peer_a])
+        level = getattr(self.sm.built, "level", None)
+        new_level = -1
+        if isinstance(level, dict):
+            known = [
+                level[p.name] for p in (peer_a, peer_b) if p.name in level
+            ]
+            if known:
+                new_level = max(known) + 1
+        self._rewire_seq += 1
+        name = f"rw{self._rewire_seq}"
+        while name in self.sm.topology:
+            self._rewire_seq += 1
+            name = f"rw{self._rewire_seq}"
+        return TopologyMutation(
+            kind="add_switch",
+            a=name,
+            num_ports=8,
+            level=new_level,
+            cables=(
+                (1, peer_a.name, next(peer_a.free_ports()).num),
+                (2, peer_b.name, next(peer_b.free_ports()).num),
+            ),
+        )
+
+    def _plan_remove_switch(self) -> Optional[TopologyMutation]:
+        """A safely removable switch, preferring rewire-added ones."""
+        topology = self.sm.topology
+        added = [
+            topology.node(name)
+            for name in self._added_switches
+            if name in topology
+        ]
+        pool = [
+            sw
+            for sw in added
+            if isinstance(sw, Switch)
+            and not sw.attached_hcas()
+            and not self._would_partition(sw)
+        ]
+        if not pool:
+            pool = [
+                sw
+                for sw in topology.switches
+                if not sw.attached_hcas() and not self._would_partition(sw)
+            ]
+        if not pool:
+            return None
+        victim = self.injector.fabric_rng.choice(pool)
+        return TopologyMutation(kind="remove_switch", a=victim.name)
+
+    def _final_cold_check(self, report: ChaosReport) -> None:
+        """Compare warm-cache routing against a cold recompute.
+
+        The distance state was incrementally repaired across every
+        mutation of the run; an engine computing from scratch on the
+        final topology must produce byte-identical port assignments, or
+        the repair chain silently diverged somewhere. The probe is
+        side-effect free: ``current_tables`` (which vSwitch fast-path
+        migrations keep in sync with the *hardware*, without recomputes)
+        is restored afterwards so the end-of-run audit still compares
+        what was actually distributed.
+        """
+        from repro.sm.routing.base import RoutingRequest
+        from repro.sm.routing.registry import create_engine
+
+        saved_tables = self.sm.current_tables
+        saved_request = self.sm.last_request
+        saved_ha = self.sm.ha
+        self.sm.ha = None  # do not journal the probe's tables
+        try:
+            warm = self.sm.compute_routing()
+        finally:
+            self.sm.ha = saved_ha
+            self.sm.current_tables = saved_tables
+            self.sm.last_request = saved_request
+        request = RoutingRequest.from_topology(
+            self.sm.topology, built=self.sm.built
+        )
+        cold = create_engine(warm.algorithm).compute(request)
+        report.final_routing_cold_identical = (
+            warm.ports.shape == cold.ports.shape
+            and warm.ports.tobytes() == cold.ports.tobytes()
+        )
 
     def _sm_death(self, step: int, report: ChaosReport) -> None:
         """The master dies mid-reconfiguration — at the worst moment.

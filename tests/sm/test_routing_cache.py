@@ -240,6 +240,145 @@ class TestIncrementalRepair:
         assert old.tobytes() == old_bytes
 
 
+class TestAdditionRepair:
+    """Addition-side repair events: links and switches appearing live."""
+
+    @staticmethod
+    def _spines_with_free_ports(built):
+        return [
+            sw
+            for sw in built.roots
+            if next(sw.free_ports(), None) is not None
+        ]
+
+    def test_link_addition_repairs_fewer_than_n_sources(self):
+        built, sm = make_sm("minhop")
+        topo = built.topology
+        n = topo.num_switches
+        a, b = self._spines_with_free_ports(built)[:2]
+        before = sm.routing_state.stats.snapshot()
+        topo.add_link(a, next(a.free_ports()).num, b, next(b.free_ports()).num)
+        sm.routing_state.note_link_addition(a.index, b.index)
+        dist = sm.routing_state.distances()
+        delta = sm.routing_state.stats.delta_since(before)
+        assert delta["repairs"] == 1
+        assert delta["full_recomputes"] == 0
+        assert 0 < delta["sources_repaired"] < n
+        assert np.array_equal(
+            dist, all_pairs_switch_distances(topo.fabric_view())
+        )
+
+    def test_link_addition_tables_byte_identical(self):
+        built, sm = make_sm("minhop")
+        topo = built.topology
+        a, b = self._spines_with_free_ports(built)[:2]
+        topo.add_link(a, next(a.free_ports()).num, b, next(b.free_ports()).num)
+        sm.routing_state.note_link_addition(a.index, b.index)
+        sm.compute_routing()
+        scratch = fresh_tables(topo, built, "minhop")
+        assert sm.current_tables.ports.tobytes() == scratch.ports.tobytes()
+        assert sm.routing_state.stats.full_recomputes == 1  # cold start only
+
+    def test_switch_addition_repairs_incrementally(self):
+        built, sm = make_sm("minhop")
+        topo = built.topology
+        peers = self._spines_with_free_ports(built)[:2]
+        sw = topo.add_switch("grown", 4)
+        sm.routing_state.note_switch_addition(sw.index)
+        for local_port, peer in enumerate(peers, start=1):
+            topo.add_link(sw, local_port, peer, next(peer.free_ports()).num)
+            sm.routing_state.note_link_addition(sw.index, peer.index)
+        before = sm.routing_state.stats.snapshot()
+        dist = sm.routing_state.distances()
+        delta = sm.routing_state.stats.delta_since(before)
+        assert delta["repairs"] == 1
+        assert delta["full_recomputes"] == 0
+        assert dist.shape == (topo.num_switches, topo.num_switches)
+        assert np.array_equal(
+            dist, all_pairs_switch_distances(topo.fabric_view())
+        )
+
+    def test_restore_after_failure_chains_in_one_sync(self):
+        built, sm = make_sm("minhop")
+        topo = built.topology
+        link = safe_links(topo)[0]
+        end_a, end_b = link.ends
+        u, v = end_a.node.index, end_b.node.index
+        topo.remove_link(link)
+        sm.routing_state.note_link_failure(u, v)
+        topo.restore_link(link)
+        sm.routing_state.note_link_restored(u, v)
+        before = sm.routing_state.stats.snapshot()
+        dist = sm.routing_state.distances()
+        delta = sm.routing_state.stats.delta_since(before)
+        assert delta["repairs"] == 1
+        assert delta["full_recomputes"] == 0
+        assert np.array_equal(
+            dist, all_pairs_switch_distances(topo.fabric_view())
+        )
+
+    def test_cable_between_two_added_switches_bails_to_full(self):
+        built, sm = make_sm("minhop")
+        topo = built.topology
+        peers = self._spines_with_free_ports(built)[:2]
+        added = []
+        for i, peer in enumerate(peers):
+            sw = topo.add_switch(f"pair{i}", 4)
+            sm.routing_state.note_switch_addition(sw.index)
+            topo.add_link(sw, 1, peer, next(peer.free_ports()).num)
+            sm.routing_state.note_link_addition(sw.index, peer.index)
+            added.append(sw)
+        # A cable between the two new switches: both columns are still
+        # placeholders, so the repair must refuse and recompute fully.
+        topo.add_link(added[0], 2, added[1], 2)
+        sm.routing_state.note_link_addition(added[0].index, added[1].index)
+        before = sm.routing_state.stats.snapshot()
+        dist = sm.routing_state.distances()
+        delta = sm.routing_state.stats.delta_since(before)
+        assert delta["full_recomputes"] == 1
+        assert np.array_equal(
+            dist, all_pairs_switch_distances(topo.fabric_view())
+        )
+
+    def test_remove_added_switch_in_same_chain_bails_to_full(self):
+        built, sm = make_sm("minhop")
+        topo = built.topology
+        peers = self._spines_with_free_ports(built)[:2]
+        sw = topo.add_switch("ephemeral", 4)
+        sm.routing_state.note_switch_addition(sw.index)
+        for local_port, peer in enumerate(peers, start=1):
+            topo.add_link(sw, local_port, peer, next(peer.free_ports()).num)
+            sm.routing_state.note_link_addition(sw.index, peer.index)
+        removed_index = sw.index
+        topo.remove_switch(sw)
+        sm.routing_state.note_switch_removal(removed_index)
+        before = sm.routing_state.stats.snapshot()
+        dist = sm.routing_state.distances()
+        delta = sm.routing_state.stats.delta_since(before)
+        assert delta["full_recomputes"] == 1
+        assert np.array_equal(
+            dist, all_pairs_switch_distances(topo.fabric_view())
+        )
+
+    def test_hca_cabling_records_nothing(self):
+        built, sm = make_sm("minhop")
+        topo = built.topology
+        sm.routing_state.distances()
+        hca = topo.add_hca("late-host")
+        # Leaves are fully cabled at this profile; any switch with a free
+        # port works — HCA cabling never touches the switch graph.
+        attach = self._spines_with_free_ports(built)[0]
+        v = topo.version
+        topo.add_link(hca, 1, attach, next(attach.free_ports()).num)
+        sm.routing_state.note_link_addition(-1, attach.index)
+        assert topo.version == v  # no bump, and...
+        before = sm.routing_state.stats.snapshot()
+        sm.routing_state.distances()
+        delta = sm.routing_state.stats.delta_since(before)
+        assert delta["repairs"] == 0  # ...no event recorded: cache warm
+        assert delta["bfs_sweeps"] == 0
+
+
 class TestTransportSharing:
     def test_transport_uses_shared_state(self):
         _, sm = make_sm("minhop")

@@ -5,6 +5,9 @@ import pytest
 from repro.errors import ReproError, TopologyError
 from repro.fabric.node import Switch
 from repro.fabric.presets import scaled_fattree
+from repro.fabric.topology import TopologyMutation
+from repro.sm.routing.base import RoutingRequest
+from repro.sm.routing.registry import create_engine
 from repro.sm.subnet_manager import SubnetManager
 from repro.sm.traps import FabricEventManager, TrapType
 
@@ -87,3 +90,147 @@ class TestLinkUp:
             for i in range(running_sm.topology.num_switches)
         ]
         assert min(degrees) >= 1
+
+
+def spine_add_link(sm, pair=0):
+    """A planned spine-spine shortcut (spines are never pre-cabled)."""
+    spines = [
+        sw
+        for sw in sm.built.roots
+        if next(sw.free_ports(), None) is not None
+    ]
+    a, b = spines[2 * pair], spines[2 * pair + 1]
+    return TopologyMutation(
+        kind="add_link",
+        a=a.name,
+        port_a=next(a.free_ports()).num,
+        b=b.name,
+        port_b=next(b.free_ports()).num,
+    )
+
+
+class TestServiceTrapCoalescing:
+    """IBA 64/65 (IN_SERVICE / OUT_OF_SERVICE) for planned mutations."""
+
+    def test_join_raises_in_service_notices(self, running_sm):
+        mgr = FabricEventManager(running_sm)
+        mgr.report_topology_change(spine_add_link(running_sm))
+        joins = mgr.traps_of(TrapType.IN_SERVICE)
+        assert len(joins) == 2  # one notice per cable end
+        assert mgr.pending_events == 1
+
+    def test_add_then_remove_link_coalesces_away(self, running_sm):
+        mgr = FabricEventManager(running_sm)
+        mutation = spine_add_link(running_sm)
+        mgr.report_topology_change(mutation)
+        mgr.report_topology_change(
+            TopologyMutation(
+                kind="remove_link",
+                a=mutation.a,
+                port_a=mutation.port_a,
+                b=mutation.b,
+                port_b=mutation.port_b,
+            )
+        )
+        # Opposite service traps on the same link cancel like a flap: no
+        # event surfaces and the pump has nothing to reroute.
+        assert mgr.pending_events == 0
+        assert mgr.traps_coalesced == 1
+        assert mgr.pump() is None
+
+    def test_add_then_remove_switch_coalesces_away(self, running_sm):
+        mgr = FabricEventManager(running_sm)
+        mutation = spine_add_link(running_sm)
+        mgr.report_topology_change(
+            TopologyMutation(
+                kind="add_switch",
+                a="tmp-sw",
+                num_ports=4,
+                cables=(
+                    (1, mutation.a, mutation.port_a),
+                    (2, mutation.b, mutation.port_b),
+                ),
+            )
+        )
+        assert len(mgr.traps_of(TrapType.IN_SERVICE)) == 1
+        mgr.report_topology_change(
+            TopologyMutation(kind="remove_switch", a="tmp-sw")
+        )
+        assert len(mgr.traps_of(TrapType.OUT_OF_SERVICE)) == 1
+        assert mgr.pending_events == 0
+        assert mgr.traps_coalesced == 1
+        assert mgr.pump() is None
+        assert "tmp-sw" not in running_sm.topology
+
+    def test_batched_pump_converges_to_cold_routing(self, running_sm):
+        mgr = FabricEventManager(running_sm)
+        first = spine_add_link(running_sm)
+        mgr.report_topology_change(first)
+        second = spine_add_link(running_sm, pair=1)  # a different pair
+        mgr.report_topology_change(second)
+        assert mgr.pending_events == 2
+        report = mgr.pump()
+        assert report is not None
+        assert mgr.pending_events == 0
+        assert mgr.reaction_count == 1  # both joins, one batched reroute
+        request = RoutingRequest.from_topology(
+            running_sm.topology, built=running_sm.built
+        )
+        cold = create_engine("minhop").compute(request)
+        assert (
+            running_sm.current_tables.ports.tobytes()
+            == cold.ports.tobytes()
+        )
+
+    def test_partitioning_removal_is_rolled_back(self, running_sm):
+        mgr = FabricEventManager(running_sm)
+        topo = running_sm.topology
+        # Cut one leaf's spine uplinks one at a time; the cut that would
+        # strand the leaf (and its hosts) must be refused with the cable
+        # replugged by the inverse mutation.
+        leaf = next(sw for sw in topo.switches if sw.attached_hcas())
+        uplinks = [
+            p.link
+            for p in leaf.connected_ports()
+            if isinstance(p.remote.node, Switch)
+        ]
+        refused = False
+        for link in uplinks:
+            end = link.a if link.a.node is leaf else link.b
+            far = link.other_end(end)
+            try:
+                mgr.report_topology_change(
+                    TopologyMutation(
+                        kind="remove_link",
+                        a=end.node.name,
+                        port_a=end.num,
+                        b=far.node.name,
+                        port_b=far.num,
+                    )
+                )
+            except TopologyError:
+                refused = True
+                break
+        assert refused
+        # The refused cable is back: the fabric still validates.
+        topo.validate()
+
+
+class TestIncrementalHeal:
+    def test_flap_heal_is_repaired_not_recomputed(self, running_sm):
+        mgr = FabricEventManager(running_sm)
+        link = inter_switch_link(running_sm.topology)
+        a, pa = link.a.node, link.a.num
+        b, pb = link.b.node, link.b.num
+        n = running_sm.topology.num_switches
+        before = running_sm.routing_state.stats.snapshot()
+        mgr.report_link_down(link)
+        mgr.pump()
+        mgr.report_link_up(a, pa, b, pb)
+        mgr.pump()
+        delta = running_sm.routing_state.stats.delta_since(before)
+        # Both the failure and the heal chain into incremental repairs —
+        # the heal rides the new link-addition predicate, no cold sweep.
+        assert delta["full_recomputes"] == 0
+        assert delta["repairs"] == 2
+        assert 0 < delta["sources_repaired"] < 2 * n

@@ -103,6 +103,57 @@ class TestChaosRunner:
         assert report.smp_overhead_ratio >= 1.0
         assert 0.0 <= report.downtime_inflation <= 1.0
 
+    def test_rewire_run_is_clean_and_cold_identical(self):
+        cloud = make_cloud(scaled_fattree("2l-small"))
+        runner = ChaosRunner(
+            cloud, FaultPlan(seed=3, rewire_ops=6, link_flap_rate=0.05)
+        )
+        report = runner.run(30)
+        assert report.ok
+        assert report.rewires == 6
+        assert report.rewire_kinds  # at least one mutation kind exercised
+        # Every mutation passed its post-apply subnet audit, and the
+        # final warm tables match a cold recompute byte-for-byte.
+        assert not report.rewire_audit_failures
+        assert report.final_routing_cold_identical is True
+        assert report.rewire_repair_incremental > 0
+        text = report.render()
+        assert "rewires: 6 performed" in text
+        assert "byte-identical" in text
+
+    def test_rewire_repairs_fewer_sources_than_full_sweeps(self):
+        cloud = make_cloud(scaled_fattree("2l-small"))
+        sm = cloud.sm
+        n = cloud.topology.num_switches
+        before = sm.routing_state.stats.snapshot()
+        runner = ChaosRunner(cloud, FaultPlan(seed=3, rewire_ops=6))
+        report = runner.run(30)
+        delta = sm.routing_state.stats.delta_since(before)
+        assert report.rewires > 0
+        assert delta["repairs"] > 0
+        # The point of incremental repair: strictly fewer BFS source
+        # sweeps than recomputing every source per mutation.
+        assert report.rewire_sources_repaired == delta["sources_repaired"]
+        assert delta["sources_repaired"] < delta["repairs"] * n
+
+    def test_flap_heal_repairs_incrementally(self):
+        """Satellite: a chaos flap's heal rides the addition-repair path —
+        no full recompute, and fewer sources reswept than a full sweep."""
+        cloud = make_cloud(scaled_fattree("2l-small"))
+        sm = cloud.sm
+        n = cloud.topology.num_switches
+        before = sm.routing_state.stats.snapshot()
+        runner = ChaosRunner(cloud, FaultPlan(seed=7, link_flap_rate=0.5))
+        report = runner.run(10)
+        delta = sm.routing_state.stats.delta_since(before)
+        assert report.link_flaps > 0
+        assert report.ok
+        assert delta["full_recomputes"] == 0
+        # Each flap costs two repairs (down + heal), each resweeping a
+        # strict subset of the fabric's sources.
+        assert delta["repairs"] >= 2 * report.link_flaps
+        assert 0 < delta["sources_repaired"] < delta["repairs"] * n
+
     def test_render_is_complete(self):
         report = ChaosReport(steps=5, plan="seed=1")
         report.verified = True
