@@ -1,0 +1,150 @@
+"""Benchmark E9 — control-plane service under 1x/10x/100x offered load.
+
+Drives :class:`~repro.service.service.ControlPlaneService` over the
+paper-324 structural twin (``2l-small``, dynamic LID scheme) with three
+offered-load multipliers and measures the two degradation levers the
+service PR adds:
+
+* **coalescing** — N requests admitted per sweep window collapse into
+  far fewer SM sweeps (requests/sweep > 1), and batched boots share LFT
+  block writes (ideal serial SMPs / actual SMPs >= 1);
+* **shedding** — past the queue bound the service rejects with a
+  deterministic retry-after hint. The no-silent-drop ledger must balance
+  at every load: every submission ends terminal or rejected, never lost.
+
+Results are written to ``BENCH_service.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.fabric.presets import scaled_fattree
+from repro.obs import reset_hub
+from repro.service import ControlPlaneService, TenantQuota
+from repro.virt.cloud import CloudManager
+
+#: Offered-load multipliers: submissions per round = LOAD x BASE_RATE.
+LOADS = (1, 10, 100)
+BASE_RATE = 2
+ROUNDS = 10
+TENANTS = ("t1", "t2", "t3")
+
+#: {label: {metric: value}} accumulated across the module.
+RESULTS = {}
+
+_OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_service.json",
+)
+
+
+def build_service():
+    built = scaled_fattree("2l-small")
+    cloud = CloudManager(
+        built.topology, built=built, lid_scheme="dynamic", num_vfs=4
+    )
+    cloud.adopt_all_hcas()
+    cloud.bring_up_subnet()
+    service = ControlPlaneService(
+        cloud,
+        batch_size=8,
+        max_queue_depth=64,
+        default_quota=TenantQuota(max_vms=10_000, max_vfs=10_000),
+    )
+    return cloud, service
+
+
+def run_at_load(load):
+    reset_hub()
+    cloud, service = build_service()
+    accepted = []
+    rejected = 0
+    missing_retry_after = 0
+    t0 = time.perf_counter()
+    serial = 0
+    for _ in range(ROUNDS):
+        for i in range(load * BASE_RATE):
+            tenant = TENANTS[i % len(TENANTS)]
+            serial += 1
+            response = service.submit(
+                tenant, "boot", request_id=f"{tenant}/bench/{serial}"
+            )
+            if response.status == "accepted":
+                accepted.append(response.request_id)
+            else:
+                rejected += 1
+                if response.retry_after_s is None:
+                    missing_retry_after += 1
+        service.pump()
+    service.drain()
+    wall_s = time.perf_counter() - t0
+    unanswered = [
+        rid for rid in accepted if service.response_for(rid) is None
+    ]
+    stats = service.stats
+    return {
+        "offered": stats.submitted,
+        "completed": stats.completed,
+        "failed": stats.failed,
+        "rejected_quota": stats.rejected_quota,
+        "rejected_overload": stats.rejected_overload,
+        "timed_out": stats.timed_out,
+        "sweeps": stats.sweeps,
+        "applied": stats.applied_requests,
+        "coalescing_ratio": round(stats.coalescing_ratio, 3),
+        "smp_coalescing_ratio": round(stats.smp_coalescing_ratio, 3),
+        "shed_rate": round(stats.shed_rate, 4),
+        "peak_queue_depth": stats.peak_queue_depth,
+        "rejected": rejected,
+        "missing_retry_after": missing_retry_after,
+        "unanswered": len(unanswered),
+        "pending_accounted": service.pending_accounted(),
+        "wall_s": round(wall_s, 4),
+    }
+
+
+@pytest.mark.parametrize("load", LOADS)
+def test_service_under_load(benchmark, load):
+    entry = benchmark.pedantic(run_at_load, args=(load,), rounds=1, iterations=1)
+    RESULTS[f"load-{load}x"] = entry
+
+    # no silent drops at any load: ledger balances, every accepted
+    # request got a terminal answer, every rejection carried retry-after
+    assert entry["unanswered"] == 0
+    assert entry["pending_accounted"] == 0
+    assert entry["missing_retry_after"] == 0
+    # the queue stayed bounded
+    assert entry["peak_queue_depth"] <= 64
+    # batching pays off as soon as the queue has depth
+    if load > 1:
+        assert entry["coalescing_ratio"] > 1.0
+        assert entry["smp_coalescing_ratio"] >= 1.0
+    # past saturation the service sheds explicitly instead of queueing
+    if load == 100:
+        assert entry["rejected_overload"] > 0
+        assert entry["shed_rate"] > 0.0
+    if load == 1:
+        assert entry["rejected_overload"] == 0
+
+
+def test_write_results(benchmark):
+    """Persist the measurements (runs last: files sort after the others)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not RESULTS:
+        pytest.skip("no measurements collected")
+    with open(_OUT_PATH, "w") as fh:
+        json.dump(RESULTS, fh, indent=2, sort_keys=True)
+    print(f"\nwrote {_OUT_PATH}")
+    for label, entry in RESULTS.items():
+        print(
+            f"  {label}: {entry['offered']} offered,"
+            f" {entry['completed']} completed,"
+            f" coalescing {entry['coalescing_ratio']:.2f}x,"
+            f" shed {entry['shed_rate']:.1%},"
+            f" {entry['unanswered']} unanswered"
+        )

@@ -37,6 +37,7 @@ RUN_COMMANDS = (
     "migrate-demo",
     "check-fabric",
     "chaos",
+    "serve",
     "perf",
     "top",
 )
@@ -221,6 +222,80 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     add_record(chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "drive the multi-tenant control-plane service (journaled"
+            " boots/stops/migrations with admission control) through a"
+            " chaos scenario and audit the end state (non-zero exit on"
+            " any silent drop, orphaned VF, leaked LID or forwarding"
+            " divergence)"
+        ),
+    )
+    serve.add_argument(
+        "--chaos",
+        default="",
+        metavar="SPEC",
+        help=(
+            "fault plan for the run: 'kill-service[=N]' kills the"
+            " service worker at step N (default: mid-run) and"
+            " warm-recovers it from the intent journal;"
+            " 'tenant-storm=N,storm-factor=K' bursts K x the usual load"
+            " at step N (admission control must shed with retry-after);"
+            " SMP keys like 'smp-drop=0.1' compose"
+        ),
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--steps", type=int, default=24, help="service steps (default 24)"
+    )
+    serve.add_argument("--profile", default="2l-small")
+    serve.add_argument(
+        "--scheme",
+        choices=["prepopulated", "dynamic"],
+        default="dynamic",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=3, help="tenant count (default 3)"
+    )
+    serve.add_argument(
+        "--requests-per-step",
+        type=int,
+        default=2,
+        help="requests each tenant submits per step (default 2)",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="requests coalesced into one SM sweep (default 8)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=64,
+        help="bounded admission queue depth (default 64)",
+    )
+    serve.add_argument(
+        "--max-vms",
+        type=int,
+        default=8,
+        help="per-tenant VM quota (default 8)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=8,
+        help="MAD retries per SMP (default 8)",
+    )
+    serve.add_argument(
+        "--journal",
+        metavar="FILE",
+        default=None,
+        help="persist the intent journal as JSONL to FILE",
+    )
+    add_record(serve)
 
     def add_fabric_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--profile", default="2l-small")
@@ -567,6 +642,82 @@ def _cmd_chaos(
     return 0 if report.ok else 1
 
 
+def _cmd_serve(
+    chaos: str,
+    *,
+    seed: int,
+    steps: int,
+    profile: str,
+    scheme: str,
+    tenants: int,
+    requests_per_step: int,
+    batch_size: int,
+    max_queue_depth: int,
+    max_vms: int,
+    retries: int,
+    journal: Optional[str],
+) -> int:
+    from repro.errors import FaultInjectionError, ReproError
+    from repro.fabric.presets import scaled_fattree
+    from repro.faults.plan import FaultPlan
+    from repro.mad.reliable import RetryPolicy
+    from repro.service import IntentJournal, TenantQuota
+    from repro.virt.cloud import CloudManager
+    from repro.workloads.chaos import ServiceChaosRunner
+
+    # Bare 'kill-service' (no =N) means "kill mid-run".
+    spec = ",".join(
+        f"kill-service={steps // 2}" if item.strip() == "kill-service" else item
+        for item in chaos.split(",")
+        if item.strip()
+    )
+    try:
+        plan = FaultPlan.from_spec(spec, seed=seed)
+        policy = RetryPolicy(retries=retries)
+    except FaultInjectionError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        built = scaled_fattree(profile)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    cloud = CloudManager(
+        built.topology, built=built, lid_scheme=scheme, num_vfs=4
+    )
+    cloud.adopt_all_hcas()
+    cloud.bring_up_subnet()
+    sink = IntentJournal(Path(journal)) if journal else None
+    print(
+        f"serve: profile={profile} scheme={scheme}"
+        f" hypervisors={len(cloud.hypervisors)} tenants={tenants}"
+        f" [{plan.describe() or 'no faults'}]"
+    )
+    runner = ServiceChaosRunner(
+        cloud,
+        plan,
+        tenants=tenants,
+        requests_per_step=requests_per_step,
+        retry_policy=policy,
+        journal=sink,
+        batch_size=batch_size,
+        max_queue_depth=max_queue_depth,
+        default_quota=TenantQuota(max_vms=max_vms, max_vfs=max_vms),
+        genesis={
+            "profile": profile,
+            "scheme": scheme,
+            "engine": "minhop",
+            "num_vfs": 4,
+            "placement": "first-fit",
+        },
+    )
+    report = runner.run(steps)
+    print(report.render())
+    if journal:
+        print(f"intent journal -> {journal}")
+    return 0 if report.ok else 1
+
+
 def _build_harness(
     profile: str, scheme: str, *, hosts: int, credits: int, vms: int = 0
 ):
@@ -898,6 +1049,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             retries=args.retries,
             migrate_probability=args.migrate_probability,
             telemetry=args.telemetry,
+        )
+    elif args.command == "serve":
+        rc = _cmd_serve(
+            args.chaos,
+            seed=args.seed,
+            steps=args.steps,
+            profile=args.profile,
+            scheme=args.scheme,
+            tenants=args.tenants,
+            requests_per_step=args.requests_per_step,
+            batch_size=args.batch_size,
+            max_queue_depth=args.max_queue_depth,
+            max_vms=args.max_vms,
+            retries=args.retries,
+            journal=args.journal,
         )
     elif args.command == "perf":
         rc = _cmd_perf(

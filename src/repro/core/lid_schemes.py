@@ -18,8 +18,8 @@ for LFT edits.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ReconfigError, TransportError
 from repro.sm.subnet_manager import SubnetManager
@@ -29,6 +29,7 @@ from repro.core.reconfig import ReconfigReport, VSwitchReconfigurer
 
 __all__ = [
     "VmBootReport",
+    "VmBootBatchReport",
     "LidScheme",
     "PrepopulatedLidScheme",
     "DynamicLidScheme",
@@ -43,6 +44,26 @@ class VmBootReport:
     lid: int
     lft_smps: int = 0
     reconfig: Optional[ReconfigReport] = None
+
+
+@dataclass
+class VmBootBatchReport:
+    """Cost of booting several VMs as one coalesced operation.
+
+    ``ideal_lft_smps`` is what the same boots would have cost issued one
+    at a time (the per-boot ``predict_copy`` sum); ``lft_smps`` is what
+    the batch actually paid. Their ratio is the control-plane service's
+    coalescing win.
+    """
+
+    boots: List[VmBootReport] = field(default_factory=list)
+    reconfig: Optional[ReconfigReport] = None
+    ideal_lft_smps: int = 0
+
+    @property
+    def lft_smps(self) -> int:
+        """LFT SMPs the whole batch actually cost."""
+        return self.reconfig.lft_smps if self.reconfig is not None else 0
 
 
 class LidScheme(abc.ABC):
@@ -83,6 +104,34 @@ class LidScheme(abc.ABC):
     @abc.abstractmethod
     def boot_vm(self, vsw: VSwitchHCA, vm_name: str) -> VmBootReport:
         """Attach a new VM to a free VF and make its LID routable."""
+
+    def boot_vms(
+        self, requests: Sequence[Tuple[VSwitchHCA, str]]
+    ) -> VmBootBatchReport:
+        """Boot several VMs in one operation.
+
+        Default: sequential :meth:`boot_vm` calls (correct for schemes
+        with zero per-boot SMPs). The dynamic scheme overrides this with
+        a genuinely coalesced LFT sweep. All-or-nothing on transport
+        failure either way.
+        """
+        batch = VmBootBatchReport()
+        booted: List[Tuple[VSwitchHCA, VirtualFunction]] = []
+        try:
+            for vsw, vm_name in requests:
+                report = self.boot_vm(vsw, vm_name)
+                batch.boots.append(report)
+                batch.ideal_lft_smps += report.lft_smps
+                booted.append(
+                    (vsw, vsw.vf(int(report.vf_name.rsplit("VF", 1)[1])))
+                )
+        except TransportError:
+            # boot_vm rolled the failing boot back; undo the earlier ones
+            # so the batch is all-or-nothing for the caller.
+            for vsw, vf in reversed(booted):
+                self.shutdown_vm(vsw, vf)
+            raise
+        return batch
 
     @abc.abstractmethod
     def shutdown_vm(self, vsw: VSwitchHCA, vf: VirtualFunction) -> None:
@@ -206,6 +255,50 @@ class DynamicLidScheme(LidScheme):
         return VmBootReport(
             vf_name=vf.name, lid=lid, lft_smps=reconfig.lft_smps, reconfig=reconfig
         )
+
+    def boot_vms(
+        self, requests: Sequence[Tuple[VSwitchHCA, str]]
+    ) -> VmBootBatchReport:
+        """Boot a batch with one coalesced LFT sweep (the service win).
+
+        All the batch's VFs and LIDs are allocated first, then every
+        switch is programmed once via
+        :meth:`~repro.core.reconfig.VSwitchReconfigurer.copy_paths` —
+        consecutive fresh LIDs share 64-entry blocks, so k boots often
+        cost one SMP per switch instead of k. A transport failure rolls
+        the LFT writes back (inside ``copy_paths``) and releases every
+        VF/LID of the batch: no orphaned allocations.
+        """
+        batch = VmBootBatchReport()
+        if not requests:
+            return batch
+        allocs: List[Tuple[VirtualFunction, int, int]] = []
+        try:
+            for vsw, vm_name in requests:
+                vf = vsw.first_free_vf()
+                pf_lid = vsw.pf_lid
+                if pf_lid is None:
+                    raise ReconfigError(f"{vsw.hca.name}: PF has no LID")
+                lid = self.sm.lid_manager.assign_extra_lid(vsw.uplink_port)
+                vf.lid = lid
+                vf.attach(vm_name)
+                allocs.append((vf, lid, pf_lid))
+                _, smps = self.reconfigurer.predict_copy(pf_lid, lid)
+                batch.ideal_lft_smps += smps
+            batch.reconfig = self.reconfigurer.copy_paths(
+                [(pf_lid, lid) for _, lid, pf_lid in allocs]
+            )
+        except TransportError:
+            for vf, lid, _ in reversed(allocs):
+                vf.release()
+                vf.lid = None
+                self.sm.lid_manager.release_lid(lid)
+            raise
+        batch.boots = [
+            VmBootReport(vf_name=vf.name, lid=lid)
+            for vf, lid, _ in allocs
+        ]
+        return batch
 
     def shutdown_vm(self, vsw: VSwitchHCA, vf: VirtualFunction) -> None:
         """Release both the VF and its LID back to the free pools."""

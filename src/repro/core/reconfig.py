@@ -168,6 +168,64 @@ class VSwitchReconfigurer:
         self._record_copy(template_lid, target_lid, limit_switches)
         return report
 
+    def copy_paths(
+        self,
+        pairs: List[Tuple[int, int]],
+        *,
+        limit_switches: Optional[Set[int]] = None,
+    ) -> ReconfigReport:
+        """Batched :meth:`copy_path`: program many (template, target)
+        copies in one sweep, coalescing SMPs per (switch, block).
+
+        This is what lets N concurrent tenant boots cost far fewer SMPs
+        than N sequential ones: freshly assigned LIDs are consecutive, so
+        on each switch many of them land in the same 64-entry LFT block
+        and one ``SubnSet(LFT)`` carries all of their entries at once.
+        All-or-nothing like the single-copy path: a transport failure
+        rolls every applied block back and re-raises.
+        """
+        if not pairs:
+            return ReconfigReport(mode="copy-batch")
+        seen: Set[int] = set()
+        for template_lid, target_lid in pairs:
+            if template_lid == target_lid:
+                raise ReconfigError("template and target LIDs must differ")
+            if target_lid in seen:
+                raise ReconfigError(
+                    f"target LID {target_lid} appears twice in the batch"
+                )
+            seen.add(target_lid)
+            self._check_lid_known(template_lid)
+        if limit_switches is not None:
+            self._check_limit_safe(
+                tuple(t for t, _ in pairs), limit_switches
+            )
+        report = ReconfigReport(mode="copy-batch")
+        before = self.sm.transport.stats.snapshot()
+        undo: List[Tuple] = []
+        with span("lft_copy_batch", pairs=len(pairs)):
+            try:
+                for sw in self._switch_sweep(limit_switches):
+                    changed = [
+                        (tpl, tgt)
+                        for tpl, tgt in pairs
+                        if sw.lft.get(tgt) != sw.lft.get(tpl)
+                    ]
+                    if not changed:
+                        continue
+                    desired = sw.lft.clone()
+                    for tpl, tgt in changed:
+                        desired.copy_entry(tpl, tgt)
+                    blocks = sorted({lft_block_of(tgt) for _, tgt in changed})
+                    self._send_blocks(sw, desired, blocks, report, undo)
+            except TransportError:
+                self._rollback_blocks(undo)
+                raise
+            self._finish(report, before)
+        for template_lid, target_lid in pairs:
+            self._record_copy(template_lid, target_lid, limit_switches)
+        return report
+
     def safe_swap_lids(
         self,
         lid_a: int,

@@ -47,6 +47,27 @@ class VirtError(ReproError):
     """Cloud/virtualization layer error (placement, migration, lifecycle)."""
 
 
+class CapacityError(VirtError):
+    """No free VF anywhere the scheduler may place a VM.
+
+    Retryable from the control plane's point of view: capacity frees up
+    when other tenants stop or evacuations complete, so the service layer
+    answers these with retry-after rather than a permanent rejection.
+    """
+
+
+class UnknownResourceError(VirtError):
+    """A named VM or hypervisor does not exist.
+
+    Permanent as far as retrying the same request goes — the service
+    layer fails these immediately instead of burning retry budget.
+    """
+
+
+class DuplicateResourceError(VirtError):
+    """A VM with the requested name already exists."""
+
+
 class MigrationError(VirtError):
     """A live migration could not be carried out."""
 
@@ -107,3 +128,26 @@ class ReconfigRollbackError(ReconfigError):
 
 class StaticAnalysisError(ReproError):
     """A static fabric invariant (loop/deadlock/reachability) is violated."""
+
+
+class ServiceError(ReproError):
+    """Control-plane service misuse or an unrecoverable service state."""
+
+
+class AdmissionError(ServiceError):
+    """A request could not even be formed (bad op, bad parameters)."""
+
+
+class RecoveryError(ServiceError):
+    """A journal replay or reconciliation found state it cannot explain
+    (an effect with no intent, a double-applied record, ...)."""
+
+
+class ServiceKilled(ServiceError):
+    """The service worker was killed (chaos ``kill-service`` knob).
+
+    Raised at an armed crash point inside the intent journal; everything
+    in the worker's memory is gone, the journal and the fabric survive.
+    Callers (the chaos runner, the crash/replay property tests) catch it
+    and drive recovery.
+    """

@@ -33,6 +33,9 @@ _INT_SPEC_KEYS = {
     "flap-storm": "link_flap_storm_step",
     "storm-size": "link_flap_storm_size",
     "rewire": "rewire_ops",
+    "kill-service": "service_kill_step",
+    "tenant-storm": "tenant_storm_step",
+    "storm-factor": "tenant_storm_factor",
 }
 
 
@@ -121,6 +124,17 @@ class FaultPlan:
     #: mutation from the fabric RNG stream, drives it through
     #: ``SubnetManager.handle_topology_change`` and audits convergence.
     rewire_ops: int = 0
+    #: Chaos step (0-based) at which the control-plane worker is killed
+    #: mid-sweep (``ServiceKilled`` at the next journal append) and then
+    #: warm-recovered from its intent journal. The run must end with an
+    #: audit-clean cloud and every submission accounted for.
+    service_kill_step: Optional[int] = None
+    #: Chaos step at which every tenant bursts ``tenant_storm_factor``×
+    #: its usual request count at once — the admission-control stress:
+    #: the service must shed with retry-after, never drop silently.
+    tenant_storm_step: Optional[int] = None
+    #: Multiplier applied to per-step submissions during the storm.
+    tenant_storm_factor: int = 10
 
     def __post_init__(self) -> None:
         _check_rate("smp_drop_rate", self.smp_drop_rate)
@@ -136,6 +150,8 @@ class FaultPlan:
             raise FaultInjectionError("link_flap_storm_size must be >= 1")
         if self.rewire_ops < 0:
             raise FaultInjectionError("rewire_ops must be >= 0")
+        if self.tenant_storm_factor < 1:
+            raise FaultInjectionError("tenant_storm_factor must be >= 1")
         for name, rate in self.per_target_drop.items():
             _check_rate(f"per_target_drop[{name!r}]", rate)
         if isinstance(self.scripted, list):  # tolerate list literals
@@ -224,4 +240,11 @@ class FaultPlan:
             )
         if self.rewire_ops:
             parts.append(f"rewire={self.rewire_ops}")
+        if self.service_kill_step is not None:
+            parts.append(f"kill-service@{self.service_kill_step}")
+        if self.tenant_storm_step is not None:
+            parts.append(
+                f"tenant-storm@{self.tenant_storm_step}"
+                f"x{self.tenant_storm_factor}"
+            )
         return " ".join(parts)

@@ -74,6 +74,18 @@ class RetryPolicy:
         """Total sim time burned if every attempt times out."""
         return sum(self.timeout_for(i) for i in range(self.retries + 1))
 
+    def waits(self):
+        """The backoff waits, in order: one per allowed retry.
+
+        ``for wait in policy.waits():`` is the retry-loop shape shared by
+        the MAD layer and the control-plane service's request retries —
+        the service charges each wait to the sim clock between attempts,
+        so a request's worst-case latency is exactly
+        :meth:`worst_case_wait` on both layers.
+        """
+        for attempt in range(self.retries):
+            yield self.timeout_for(attempt)
+
 
 class ReliableSmpSender:
     """Retransmitting wrapper around an :class:`SmpTransport`.

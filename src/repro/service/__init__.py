@@ -1,0 +1,48 @@
+"""The multi-tenant control-plane service (the OpenStack-Neutron shape).
+
+``repro.service`` is the tenant-facing layer over
+:class:`~repro.virt.cloud.CloudManager`: every boot/stop/migrate/evacuate
+arrives as a versioned, idempotency-keyed request, survives in a
+write-ahead intent journal, passes admission control (per-tenant quotas,
+a bounded queue, explicit load shedding with retry-after), and is applied
+in coalesced batches so N concurrent requests cost few SM sweeps.
+
+The headline property is robustness: kill the service worker at *any*
+point and :mod:`repro.service.recovery` reconstructs the exact
+tenant/VM/VF/LID state from the journal — warm (reconciling against the
+surviving fabric) or cold (rebuilding the cloud from genesis and
+replaying) — with no orphaned VFs, leaked LIDs or double-booted VMs.
+
+See ``docs/SERVICE.md`` for the tenant model, the journal format, the
+recovery procedure, and the shedding thresholds.
+"""
+
+from repro.service.journal import IntentJournal, ServiceJournalEntry
+from repro.service.records import (
+    ServiceResponse,
+    TenantQuota,
+    TenantRequest,
+)
+from repro.service.recovery import (
+    RecoveryReport,
+    audit_cloud,
+    cloud_fingerprint,
+    rebuild_from_journal,
+    recover_service,
+)
+from repro.service.service import ControlPlaneService, SweepReport
+
+__all__ = [
+    "ControlPlaneService",
+    "IntentJournal",
+    "RecoveryReport",
+    "ServiceJournalEntry",
+    "ServiceResponse",
+    "SweepReport",
+    "TenantQuota",
+    "TenantRequest",
+    "audit_cloud",
+    "cloud_fingerprint",
+    "rebuild_from_journal",
+    "recover_service",
+]

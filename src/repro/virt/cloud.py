@@ -11,9 +11,15 @@ executed ...").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import TransportError, VirtError
+from repro.errors import (
+    CapacityError,
+    DuplicateResourceError,
+    TransportError,
+    UnknownResourceError,
+    VirtError,
+)
 from repro.fabric.addressing import GuidAllocator
 from repro.fabric.node import HCA
 from repro.fabric.topology import Topology
@@ -45,7 +51,7 @@ class PlacementPolicy:
     def choose(self, candidates: List[Hypervisor]) -> Hypervisor:
         """Pick a hypervisor among those with capacity."""
         if not candidates:
-            raise VirtError("no hypervisor has a free VF")
+            raise CapacityError("no hypervisor has a free VF")
         if self.name == "spread":
             return max(candidates, key=lambda h: h.free_vf_count)
         if self.name == "pack":
@@ -168,23 +174,17 @@ class CloudManager:
     # -- VM lifecycle -------------------------------------------------------------
 
     def boot_vm(
-        self, name: Optional[str] = None, *, on: Optional[str] = None
+        self,
+        name: Optional[str] = None,
+        *,
+        on: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> VirtualMachine:
         """Create and place one VM (scheduler-chosen node unless ``on``)."""
-        if name is None:
-            self._vm_serial += 1
-            name = f"vm{self._vm_serial}"
-        if name in self.vms:
-            raise VirtError(f"VM {name!r} already exists")
-        if on is not None:
-            hyp = self._hypervisor(on)
-            if not hyp.has_capacity():
-                raise VirtError(f"{on} has no free VF")
-        else:
-            hyp = self.placement.choose(
-                [h for h in self.hypervisors.values() if h.has_capacity()]
-            )
-        vm = VirtualMachine(name, self.guids.allocate_virtual())
+        hyp = self._admit_boot(name := self._boot_name(name), on)
+        vm = VirtualMachine(
+            name, self.guids.allocate_virtual(), tenant=tenant
+        )
         with span("boot_vm", vm=name, hypervisor=hyp.name):
             try:
                 boot = self.scheme.boot_vm(hyp.vswitch, name)
@@ -204,6 +204,88 @@ class CloudManager:
         metrics.counter("repro_vm_boots_total").add(1)
         metrics.gauge("repro_vms_running").set(self.running_vm_count)
         return vm
+
+    def boot_vms_batch(
+        self,
+        specs: Sequence[Tuple[Optional[str], Optional[str], Optional[str]]],
+    ) -> Tuple[List[VirtualMachine], "object"]:
+        """Boot several VMs as one coalesced LFT sweep.
+
+        ``specs`` is a sequence of ``(name, on, tenant)`` triples (any
+        element may be ``None``). Placement is decided per spec in order,
+        so earlier batch members consume capacity the later ones see.
+        Under the dynamic LID scheme the whole batch's forwarding entries
+        are programmed by :meth:`LidScheme.boot_vms` in one pass — LIDs
+        sharing a 64-entry LFT block on a switch cost one SMP instead of
+        one per boot. All-or-nothing: a transport failure rolls the whole
+        batch back and nothing is registered.
+
+        Returns ``(vms, batch_report)``.
+        """
+        resolved: List[Tuple[str, Hypervisor, Optional[str]]] = []
+        claimed: Dict[str, int] = {}
+        for name, on, tenant in specs:
+            name = self._boot_name(name)
+            if any(name == taken for taken, _, _ in resolved):
+                raise DuplicateResourceError(
+                    f"VM {name!r} appears twice in the batch"
+                )
+            hyp = self._admit_boot(name, on, claimed=claimed)
+            claimed[hyp.name] = claimed.get(hyp.name, 0) + 1
+            resolved.append((name, hyp, tenant))
+        with span("boot_vms_batch", size=len(resolved)):
+            batch = self.scheme.boot_vms(
+                [(hyp.vswitch, name) for name, hyp, _ in resolved]
+            )
+            vms: List[VirtualMachine] = []
+            for (name, hyp, tenant), boot in zip(resolved, batch.boots):
+                vm = VirtualMachine(
+                    name, self.guids.allocate_virtual(), tenant=tenant
+                )
+                vf = hyp.vswitch.vf(int(boot.vf_name.rsplit("VF", 1)[1]))
+                hyp.host_vm(vm, vf)
+                self.vms[name] = vm
+                self.sa.register(vm.gid, boot.lid)
+                vms.append(vm)
+        metrics = get_hub().metrics
+        metrics.counter("repro_vm_boots_total").add(len(vms))
+        metrics.gauge("repro_vms_running").set(self.running_vm_count)
+        return vms, batch
+
+    def _boot_name(self, name: Optional[str]) -> str:
+        if name is None:
+            self._vm_serial += 1
+            name = f"vm{self._vm_serial}"
+        return name
+
+    def _admit_boot(
+        self,
+        name: str,
+        on: Optional[str],
+        *,
+        claimed: Optional[Dict[str, int]] = None,
+    ) -> Hypervisor:
+        """Validate one boot and pick its hypervisor.
+
+        ``claimed`` holds VFs already promised to earlier members of a
+        batch (not yet attached), so batch placement never oversubscribes
+        a vSwitch.
+        """
+        claimed = claimed or {}
+        if name in self.vms:
+            raise DuplicateResourceError(f"VM {name!r} already exists")
+
+        def headroom(h: Hypervisor) -> int:
+            return h.free_vf_count - claimed.get(h.name, 0)
+
+        if on is not None:
+            hyp = self._hypervisor(on)
+            if headroom(hyp) <= 0:
+                raise CapacityError(f"{on} has no free VF")
+            return hyp
+        return self.placement.choose(
+            [h for h in self.hypervisors.values() if headroom(h) > 0]
+        )
 
     def stop_vm(self, name: str) -> None:
         """Shut a VM down and release its VF (and LID, scheme permitting)."""
@@ -238,15 +320,28 @@ class CloudManager:
         hyp = self._hypervisor(hypervisor_name)
         reports = []
         with span("evacuate", hypervisor=hypervisor_name) as sp:
+            stranded = 0
             for vm in list(hyp.running_vms()):
                 candidates = [
                     h
                     for h in self.hypervisors.values()
                     if h is not hyp and h.has_capacity()
                 ]
-                dest = self.placement.choose(candidates)
+                try:
+                    dest = self.placement.choose(candidates)
+                except CapacityError:
+                    # Graceful partial drain: the remaining VMs stay on
+                    # the source (still running, still routed) instead of
+                    # the evacuation dying mid-way with half the node
+                    # drained. The caller sees the shortfall explicitly.
+                    stranded = len(list(hyp.running_vms()))
+                    break
                 reports.append(self.orchestrator.migrate(vm, hyp, dest))
-            sp.set_attribute("migrations", len(reports))
+            sp.set_attributes(migrations=len(reports), stranded=stranded)
+            if stranded:
+                get_hub().metrics.counter(
+                    "repro_evacuate_stranded_vms_total"
+                ).add(stranded)
         return reports
 
     def _on_migrated(self, report) -> None:
@@ -261,7 +356,7 @@ class CloudManager:
         try:
             return self.vms[name]
         except KeyError:
-            raise VirtError(f"unknown VM {name!r}") from None
+            raise UnknownResourceError(f"unknown VM {name!r}") from None
 
     def _hypervisor(self, name: Optional[str]) -> Hypervisor:
         if name is None:
@@ -269,7 +364,13 @@ class CloudManager:
         try:
             return self.hypervisors[name]
         except KeyError:
-            raise VirtError(f"unknown hypervisor {name!r}") from None
+            raise UnknownResourceError(
+                f"unknown hypervisor {name!r}"
+            ) from None
+
+    def vms_of_tenant(self, tenant: Optional[str]) -> List[VirtualMachine]:
+        """All VMs owned by *tenant*, in registration order."""
+        return [vm for vm in self.vms.values() if vm.tenant == tenant]
 
     @property
     def total_capacity(self) -> int:

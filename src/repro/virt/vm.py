@@ -29,9 +29,16 @@ class VmState(enum.Enum):
 class VirtualMachine:
     """One tenant VM with a dedicated set of IB addresses."""
 
-    def __init__(self, name: str, vguid: GUID) -> None:
+    def __init__(
+        self, name: str, vguid: GUID, *, tenant: Optional[str] = None
+    ) -> None:
         self.name = name
         self.vguid = vguid
+        #: Owning tenant (``None`` for CLI scenarios that predate the
+        #: multi-tenant control plane). Travels with the VM through
+        #: migrations; the service layer's quota accounting recounts it
+        #: straight off the cloud, so recovery never needs a ledger.
+        self.tenant = tenant
         self.state = VmState.STOPPED
         self.hypervisor_name: Optional[str] = None
         self.vf: Optional[VirtualFunction] = None

@@ -231,6 +231,15 @@ class ChaosReport:
                 f" {c.stops} stops, {c.migrations} migrations"
                 f" ({c.rolled_back_migrations} rolled back,"
                 f" {c.failed_migrations} failed)"
+                + (
+                    f"; admission: {c.rejected_quota} quota,"
+                    f" {c.rejected_overload} overload,"
+                    f" {c.timed_out_requests} timed out"
+                    if c.rejected_quota
+                    or c.rejected_overload
+                    or c.timed_out_requests
+                    else ""
+                )
             ),
             (
                 f"fabric: {self.link_flaps} link flaps"
@@ -1281,3 +1290,378 @@ class ChaosRunner:
             metrics.gauge(
                 "repro_telemetry_chaos_xmit_wait_seconds"
             ).set(tel.xmit_wait_seconds)
+
+
+# -- the control-plane chaos runner (the kill-service knob) -----------------
+
+
+@dataclass
+class ServiceChaosReport:
+    """Outcome of one control-plane chaos run (``repro serve --chaos``).
+
+    The pass criteria are the robustness contract of
+    :mod:`repro.service`: after kills, storms and SMP faults the cloud
+    audits clean, the forwarding state verifies exact, every submission
+    reached a terminal answer (``unanswered`` empty — no silent drops)
+    and every retryable rejection carried a retry-after hint.
+    """
+
+    steps: int = 0
+    plan: str = ""
+    tenants: int = 0
+    churn: ChurnReport = field(default_factory=ChurnReport)
+    #: Unique requests submitted (idempotent retries counted separately).
+    submitted: int = 0
+    resubmissions: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Worker kills injected and the recoveries that followed.
+    kills: int = 0
+    recoveries: int = 0
+    recovered_finished: int = 0
+    recovered_reconciled: int = 0
+    recovered_requeued: int = 0
+    #: Submissions made during the tenant-storm burst.
+    storm_submissions: int = 0
+    #: Batching ledger (accumulated across worker incarnations).
+    sweeps: int = 0
+    applied_requests: int = 0
+    lft_smps: int = 0
+    ideal_lft_smps: int = 0
+    #: Request ids that never reached a terminal response — silent drops.
+    unanswered: List[str] = field(default_factory=list)
+    #: Retryable rejections that arrived without a retry-after hint.
+    missing_retry_after: List[str] = field(default_factory=list)
+    #: ``audit_cloud`` problems found at recovery points and at the end.
+    audit_problems: List[str] = field(default_factory=list)
+    verified: bool = False
+    verification_failures: List[str] = field(default_factory=list)
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Applied requests per SM sweep (> 1 means batching won)."""
+        return self.applied_requests / self.sweeps if self.sweeps else 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True iff the run met the whole robustness contract."""
+        return (
+            self.verified
+            and not self.verification_failures
+            and not self.audit_problems
+            and not self.unanswered
+            and not self.missing_retry_after
+        )
+
+    def render(self, *, max_problems: int = 10) -> str:
+        """Human-readable summary (the ``repro serve`` output)."""
+        c = self.churn
+        lines = [
+            f"serve: {self.steps} steps, {self.tenants} tenants"
+            f" [{self.plan}]",
+            (
+                f"requests: {self.submitted} submitted"
+                f" ({self.resubmissions} idempotent retries),"
+                f" {self.completed} completed, {self.failed} failed"
+            ),
+            (
+                f"workload: {c.boots} boots, {c.stops} stops,"
+                f" {c.migrations} migrations;"
+                f" admission: {c.rejected_quota} quota,"
+                f" {c.rejected_overload} overload,"
+                f" {c.timed_out_requests} timed out"
+            ),
+            (
+                f"batching: {self.applied_requests} applied in"
+                f" {self.sweeps} sweeps"
+                f" (coalescing {self.coalescing_ratio:.2f}x,"
+                f" {self.lft_smps} LFT SMPs vs"
+                f" {self.ideal_lft_smps} ideal)"
+            ),
+            (
+                f"crashes: {self.kills} kills, {self.recoveries}"
+                f" recoveries ({self.recovered_finished} finished,"
+                f" {self.recovered_reconciled} reconciled,"
+                f" {self.recovered_requeued} requeued)"
+            ),
+        ]
+        if self.storm_submissions:
+            lines.append(
+                f"storm: {self.storm_submissions} burst submissions"
+            )
+        if self.unanswered:
+            lines.append(
+                f"SILENT DROPS: {len(self.unanswered)} requests never"
+                f" answered"
+            )
+            lines.extend(f"  {rid}" for rid in self.unanswered[:max_problems])
+        if self.missing_retry_after:
+            lines.append(
+                f"rejections without retry-after:"
+                f" {len(self.missing_retry_after)}"
+            )
+        if self.audit_problems:
+            lines.append(
+                f"cloud audit: FAILED ({len(self.audit_problems)} problems)"
+            )
+            lines.extend(
+                f"  {p}" for p in self.audit_problems[:max_problems]
+            )
+        else:
+            lines.append(
+                "cloud audit: clean (no orphaned VFs, no leaked LIDs)"
+            )
+        if not self.verified:
+            lines.append("verification: NOT RUN")
+        elif self.verification_failures:
+            lines.append(
+                f"verification: FAILED"
+                f" ({len(self.verification_failures)} problems)"
+            )
+            lines.extend(
+                f"  {p}"
+                for p in self.verification_failures[:max_problems]
+            )
+        else:
+            lines.append("verification: clean (forwarding state exact)")
+        return "\n".join(lines)
+
+
+class ServiceChaosRunner:
+    """Drive the control-plane service through kills, storms and faults.
+
+    The runner is the *client side* of the robustness contract: it
+    submits idempotency-keyed tenant requests, retries them (same key)
+    when the worker dies mid-call, and at the end cross-checks that
+    every key it ever used reached a terminal response. The kill knob
+    (``plan.service_kill_step``) arms a :class:`ServiceKilled` crash at
+    the next journal append of that step; recovery is always warm —
+    the fabric survives, only the worker's memory is lost.
+    """
+
+    def __init__(
+        self,
+        cloud: CloudManager,
+        plan: FaultPlan,
+        *,
+        tenants: int = 3,
+        requests_per_step: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
+        resilient: bool = True,
+        journal=None,
+        **service_kwargs,
+    ) -> None:
+        from repro.service import ControlPlaneService, IntentJournal
+
+        self.cloud = cloud
+        self.plan = plan
+        self.injector = FaultInjector(plan)
+        self.tenant_names = [f"tenant{i}" for i in range(tenants)]
+        self.requests_per_step = requests_per_step
+        if resilient:
+            cloud.sm.enable_resilience(retry_policy, transactional=True)
+        self._service_kwargs = dict(service_kwargs)
+        self.journal = journal if journal is not None else IntentJournal()
+        self.service = ControlPlaneService(
+            cloud, journal=self.journal, **self._service_kwargs
+        )
+        #: Workload RNG, independent of the injector's streams.
+        self.rng = __import__("random").Random(plan.seed)
+        #: rid -> (op, final status or None while queued).
+        self._outcomes: Dict[str, List[Optional[str]]] = {}
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self, steps: int) -> ServiceChaosReport:
+        """Perform *steps* service chaos steps, then audit everything."""
+        report = ServiceChaosReport(
+            steps=steps,
+            plan=self.plan.describe(),
+            tenants=len(self.tenant_names),
+        )
+        transport = self.cloud.sm.transport
+        if self.plan.injects_smp_faults:
+            transport.set_fault_injector(self.injector)
+        try:
+            with span(
+                "service_chaos_run", steps=steps, plan=self.plan.describe()
+            ):
+                for step in range(steps):
+                    self._step(step, report)
+                self._drain(report)
+        finally:
+            transport.set_fault_injector(None)
+        self._absorb_stats(report)
+        self._settle_outcomes(report)
+        self._audit(report)
+        self._expose(report)
+        return report
+
+    def _step(self, step: int, report: ServiceChaosReport) -> None:
+        if (
+            self.plan.service_kill_step is not None
+            and step == self.plan.service_kill_step
+        ):
+            # Die at the next journal append; odd seeds lose the write
+            # (applied-but-not-journaled), even seeds keep it.
+            self.journal.arm_crash(
+                self.journal.head_seq + 2,
+                before=bool(self.plan.seed % 2),
+            )
+            report.kills += 1
+        storm = (
+            self.plan.tenant_storm_step is not None
+            and step == self.plan.tenant_storm_step
+        )
+        factor = self.plan.tenant_storm_factor if storm else 1
+        for tenant in self.tenant_names:
+            for i in range(self.requests_per_step * factor):
+                op, params = self._choose_op(tenant)
+                rid = f"{tenant}/s{step}/{i}"
+                self._submit(rid, tenant, op, params, report)
+                if storm:
+                    report.storm_submissions += 1
+        self._pump(report)
+
+    def _choose_op(self, tenant: str):
+        running = [
+            vm
+            for vm in self.cloud.vms_of_tenant(tenant)
+            if vm.is_running
+        ]
+        draw = self.rng.random()
+        if not running or draw < 0.6:
+            return "boot", {}
+        victim = self.rng.choice(running).name
+        if draw < 0.8:
+            return "stop", {"name": victim}
+        return "migrate", {"name": victim}
+
+    def _submit(
+        self,
+        rid: str,
+        tenant: str,
+        op: str,
+        params: Dict[str, Optional[str]],
+        report: ServiceChaosReport,
+    ) -> None:
+        from repro.errors import ServiceKilled
+
+        first = rid not in self._outcomes
+        if first:
+            self._outcomes[rid] = [op, None]
+            report.submitted += 1
+        else:
+            report.resubmissions += 1
+        for _ in range(3):
+            try:
+                response = self.service.submit(
+                    tenant, op, request_id=rid, **params
+                )
+            except ServiceKilled:
+                self._recover(report)
+                report.resubmissions += 1
+                continue
+            if response.status != "accepted":
+                self._outcomes[rid][1] = response.status
+                if response.retryable and response.retry_after_s is None:
+                    report.missing_retry_after.append(rid)
+            return
+
+    def _pump(self, report: ServiceChaosReport) -> None:
+        from repro.errors import ServiceKilled
+
+        try:
+            self.service.pump()
+        except ServiceKilled:
+            self._recover(report)
+
+    def _drain(self, report: ServiceChaosReport) -> None:
+        from repro.errors import ServiceKilled
+
+        for _ in range(10_000):
+            if not self.service.queue_depth:
+                return
+            try:
+                self.service.pump()
+            except ServiceKilled:
+                self._recover(report)
+        report.audit_problems.append("queue failed to drain")
+
+    def _recover(self, report: ServiceChaosReport) -> None:
+        from repro.service import recover_service
+
+        self._absorb_stats(report)
+        self.service, recovery = recover_service(
+            self.journal, self.cloud, **self._service_kwargs
+        )
+        report.recoveries += 1
+        report.recovered_finished += recovery.finished
+        report.recovered_reconciled += recovery.reconciled
+        report.recovered_requeued += recovery.requeued
+        report.audit_problems.extend(recovery.problems)
+
+    def _absorb_stats(self, report: ServiceChaosReport) -> None:
+        """Fold the current worker incarnation's ledger into the run."""
+        stats = self.service.stats
+        report.sweeps += stats.sweeps
+        report.applied_requests += stats.applied_requests
+        report.lft_smps += stats.lft_smps
+        report.ideal_lft_smps += stats.ideal_lft_smps
+
+    # -- settlement and audit ------------------------------------------------
+
+    def _settle_outcomes(self, report: ServiceChaosReport) -> None:
+        """Resolve queued requests and enforce no-silent-drop."""
+        churn = report.churn
+        for rid, (op, status) in self._outcomes.items():
+            if status is None:
+                response = self.service.response_for(rid)
+                status = response.status if response is not None else None
+            if status is None:
+                report.unanswered.append(rid)
+                continue
+            if status == "completed":
+                report.completed += 1
+                if op == "boot":
+                    churn.boots += 1
+                elif op == "stop":
+                    churn.stops += 1
+                elif op == "migrate":
+                    churn.migrations += 1
+            elif status == "failed":
+                report.failed += 1
+                if op == "migrate":
+                    churn.failed_migrations += 1
+                elif op == "boot":
+                    churn.failed_boots += 1
+            elif status == "rejected_quota":
+                churn.rejected_quota += 1
+            elif status == "rejected_overload":
+                churn.rejected_overload += 1
+            elif status == "timed_out":
+                churn.timed_out_requests += 1
+
+    def _audit(self, report: ServiceChaosReport) -> None:
+        from repro.analysis.verification import verify_subnet
+        from repro.service import audit_cloud
+
+        report.audit_problems.extend(audit_cloud(self.cloud))
+        audit = verify_subnet(self.cloud.sm)
+        report.verified = True
+        report.verification_failures = audit.problems()
+
+    def _expose(self, report: ServiceChaosReport) -> None:
+        metrics = get_hub().metrics
+        metrics.gauge("repro_service_chaos_coalescing_ratio").set(
+            report.coalescing_ratio
+        )
+        metrics.gauge("repro_service_chaos_unanswered").set(
+            len(report.unanswered)
+        )
+        metrics.gauge("repro_service_chaos_recoveries").set(
+            report.recoveries
+        )
+        metrics.gauge("repro_service_chaos_audit_problems").set(
+            len(report.audit_problems)
+        )

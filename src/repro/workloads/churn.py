@@ -36,6 +36,12 @@ class ChurnReport:
     rolled_back_migrations: int = 0
     #: Migrations whose rollback also failed (subnet needs repair).
     failed_migrations: int = 0
+    #: Admission-control outcomes (service-driven churn only): requests
+    #: bounced off a tenant quota, shed under overload (both with a
+    #: retry-after hint — never a silent drop), or expired in the queue.
+    rejected_quota: int = 0
+    rejected_overload: int = 0
+    timed_out_requests: int = 0
 
     @property
     def total_boot_smps(self) -> int:

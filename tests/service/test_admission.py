@@ -1,0 +1,200 @@
+"""Admission control: quotas, bounded queue, shedding, idempotency."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.obs.hub import get_hub
+from repro.service import ControlPlaneService, TenantQuota
+
+
+def service_over(cloud, **kw):
+    kw.setdefault("default_quota", TenantQuota(max_vms=16, max_vfs=16))
+    return ControlPlaneService(cloud, **kw)
+
+
+class TestQuotas:
+    def test_boot_quota_counts_queued_boots(self, dynamic_cloud):
+        svc = service_over(
+            dynamic_cloud, default_quota=TenantQuota(max_vms=2, max_vfs=2)
+        )
+        assert svc.submit("t1", "boot").status == "accepted"
+        assert svc.submit("t1", "boot").status == "accepted"
+        third = svc.submit("t1", "boot")
+        assert third.status == "rejected_quota"
+        assert third.retry_after_s is not None and third.retry_after_s > 0
+        assert third.retryable
+        assert svc.stats.rejected_quota == 1
+
+    def test_boot_quota_counts_running_vms(self, dynamic_cloud):
+        svc = service_over(
+            dynamic_cloud, default_quota=TenantQuota(max_vms=2, max_vfs=2)
+        )
+        svc.submit("t1", "boot")
+        svc.submit("t1", "boot")
+        svc.drain()
+        assert svc.stats.completed == 2
+        assert svc.submit("t1", "boot").status == "rejected_quota"
+
+    def test_quota_is_per_tenant(self, dynamic_cloud):
+        svc = service_over(
+            dynamic_cloud, default_quota=TenantQuota(max_vms=1, max_vfs=1)
+        )
+        assert svc.submit("t1", "boot").status == "accepted"
+        assert svc.submit("t1", "boot").status == "rejected_quota"
+        assert svc.submit("t2", "boot").status == "accepted"
+
+    def test_named_tenant_quota_overrides_default(self, dynamic_cloud):
+        svc = service_over(
+            dynamic_cloud,
+            quotas={"vip": TenantQuota(max_vms=3, max_vfs=3)},
+            default_quota=TenantQuota(max_vms=1, max_vfs=1),
+        )
+        assert svc.quota_for("vip").max_vms == 3
+        assert svc.quota_for("other").max_vms == 1
+
+    def test_migrations_in_flight_capped(self, dynamic_cloud):
+        svc = service_over(
+            dynamic_cloud,
+            default_quota=TenantQuota(
+                max_vms=8, max_vfs=8, max_migrations_in_flight=1
+            ),
+        )
+        svc.submit("t1", "boot")
+        svc.submit("t1", "boot")
+        svc.drain()
+        first = svc.submit("t1", "migrate", name="t1-vm1")
+        second = svc.submit("t1", "migrate", name="t1-vm2")
+        assert first.status == "accepted"
+        assert second.status == "rejected_quota"
+        assert "in flight" in second.detail
+
+
+class TestOverload:
+    def test_queue_full_is_explicit_rejection(self, dynamic_cloud):
+        svc = service_over(
+            dynamic_cloud, max_queue_depth=4, shed_queue_fraction=1.0
+        )
+        for _ in range(4):
+            assert svc.submit("t1", "boot").status == "accepted"
+        overflow = svc.submit("t1", "boot")
+        assert overflow.status == "rejected_overload"
+        assert "queue is full" in overflow.detail
+        assert overflow.retry_after_s is not None
+        assert svc.stats.rejected_overload == 1
+
+    def test_shedding_before_queue_is_full(self, dynamic_cloud):
+        svc = service_over(
+            dynamic_cloud, max_queue_depth=8, shed_queue_fraction=0.5
+        )
+        for _ in range(4):
+            svc.submit("t1", "boot")
+        assert svc.shedding
+        shed = svc.submit("t1", "boot")
+        assert shed.status == "rejected_overload"
+        assert "shedding" in shed.detail
+        assert svc.queue_depth == 4  # nothing silently enqueued
+
+    def test_retry_after_is_deterministic(self, dynamic_cloud):
+        svc = service_over(
+            dynamic_cloud, max_queue_depth=4, shed_queue_fraction=1.0
+        )
+        for _ in range(4):
+            svc.submit("t1", "boot")
+        first = svc.submit("t1", "boot")
+        second = svc.submit("t1", "boot")
+        assert first.retry_after_s == second.retry_after_s
+
+    def test_rejections_do_not_touch_the_journal(self, dynamic_cloud):
+        svc = service_over(
+            dynamic_cloud, default_quota=TenantQuota(max_vms=1, max_vfs=1)
+        )
+        svc.submit("t1", "boot")
+        head = svc.journal.head_seq
+        svc.submit("t1", "boot")  # rejected_quota
+        assert svc.journal.head_seq == head
+
+    def test_queue_depth_gauge_exposed(self, dynamic_cloud):
+        svc = service_over(dynamic_cloud)
+        svc.submit("t1", "boot")
+        gauge = get_hub().metrics.gauge("repro_service_queue_depth")
+        assert gauge.value == 1
+
+
+class TestIdempotency:
+    def test_terminal_replay_returns_original_response(self, dynamic_cloud):
+        svc = service_over(dynamic_cloud)
+        svc.submit("t1", "boot", request_id="t1/boot/once")
+        svc.drain()
+        original = svc.response_for("t1/boot/once")
+        assert original is not None and original.status == "completed"
+        vms_before = set(dynamic_cloud.vms)
+        replay = svc.submit("t1", "boot", request_id="t1/boot/once")
+        assert replay is original
+        assert set(dynamic_cloud.vms) == vms_before  # no double boot
+        assert svc.stats.duplicates == 1
+
+    def test_queued_replay_reports_already_queued(self, dynamic_cloud):
+        svc = service_over(dynamic_cloud)
+        svc.submit("t1", "boot", request_id="t1/boot/once")
+        replay = svc.submit("t1", "boot", request_id="t1/boot/once")
+        assert replay.status == "accepted"
+        assert replay.detail == "already queued"
+        assert svc.queue_depth == 1
+
+    def test_minted_ids_and_vm_names_never_collide(self, dynamic_cloud):
+        svc = service_over(dynamic_cloud)
+        r1 = svc.submit("t1", "boot")
+        r2 = svc.submit("t1", "boot", request_id="t1/custom")
+        r3 = svc.submit("t1", "boot")
+        svc.drain()
+        ids = {r1.request_id, r2.request_id, r3.request_id}
+        assert len(ids) == 3
+        assert {"t1-vm1", "t1-vm2", "t1-vm3"} <= set(dynamic_cloud.vms)
+
+
+class TestIsolationAndLedger:
+    def test_tenant_cannot_stop_foreign_vm(self, dynamic_cloud):
+        svc = service_over(dynamic_cloud)
+        svc.submit("t1", "boot")
+        svc.drain()
+        response = svc.submit("t2", "stop", request_id="t2/stop/1", name="t1-vm1")
+        assert response.status == "accepted"
+        svc.drain()
+        outcome = svc.response_for("t2/stop/1")
+        assert outcome is not None and outcome.status == "failed"
+        assert "unknown VM" in outcome.detail
+        assert dynamic_cloud.vms["t1-vm1"].is_running
+
+    def test_stop_requires_a_name(self, dynamic_cloud):
+        svc = service_over(dynamic_cloud)
+        with pytest.raises(ServiceError, match="must name a VM"):
+            svc.submit("t1", "stop")
+
+    def test_every_submission_is_accounted(self, dynamic_cloud):
+        svc = service_over(
+            dynamic_cloud,
+            default_quota=TenantQuota(max_vms=3, max_vfs=3),
+            max_queue_depth=4,
+            shed_queue_fraction=1.0,
+        )
+        for _ in range(6):  # some admitted, some quota-rejected
+            svc.submit("t1", "boot")
+        svc.submit("t1", "stop", name="no-such-vm")  # will fail
+        svc.drain()
+        assert svc.pending_accounted() == 0
+        stats = svc.stats
+        assert stats.submitted == (
+            stats.completed
+            + stats.failed
+            + stats.rejected_quota
+            + stats.rejected_overload
+            + stats.timed_out
+        )
+
+    def test_dead_worker_refuses_everything(self, dynamic_cloud):
+        svc = service_over(dynamic_cloud)
+        svc.kill()
+        with pytest.raises(ServiceError, match="dead"):
+            svc.submit("t1", "boot")
+        with pytest.raises(ServiceError, match="dead"):
+            svc.pump()

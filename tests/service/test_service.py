@@ -1,0 +1,169 @@
+"""Sweep mechanics: batching/coalescing, op flows, timeouts, backoff."""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.mad.reliable import RetryPolicy
+from repro.obs.hub import get_hub
+from repro.service import ControlPlaneService, TenantQuota
+
+
+def service_over(cloud, **kw):
+    kw.setdefault("default_quota", TenantQuota(max_vms=16, max_vfs=16))
+    return ControlPlaneService(cloud, **kw)
+
+
+class TestCoalescing:
+    def test_batch_applies_in_one_sweep(self, dynamic_cloud):
+        svc = service_over(dynamic_cloud, batch_size=8)
+        for _ in range(8):
+            svc.submit("t1", "boot")
+        svc.drain()
+        assert svc.stats.sweeps == 1
+        assert svc.stats.applied_requests == 8
+        assert svc.stats.coalescing_ratio == 8.0
+
+    def test_batched_boots_cost_fewer_smps_than_serial(self):
+        from repro.fabric.presets import scaled_fattree
+        from tests.conftest import make_cloud
+
+        batched = service_over(
+            make_cloud(scaled_fattree("2l-small"), lid_scheme="dynamic"),
+            batch_size=8,
+        )
+        for _ in range(8):
+            batched.submit("t1", "boot")
+        batched.drain()
+
+        serial = service_over(
+            make_cloud(scaled_fattree("2l-small"), lid_scheme="dynamic"),
+            batch_size=1,
+        )
+        for _ in range(8):
+            serial.submit("t1", "boot")
+        serial.drain()
+
+        assert batched.stats.sweeps < serial.stats.sweeps
+        assert batched.stats.lft_smps <= serial.stats.lft_smps
+        assert batched.stats.ideal_lft_smps == serial.stats.ideal_lft_smps
+        assert batched.stats.smp_coalescing_ratio >= 1.0
+
+    def test_mixed_batch_splits_boots_from_others(self, dynamic_cloud):
+        svc = service_over(dynamic_cloud, batch_size=8)
+        svc.submit("t1", "boot")
+        svc.submit("t1", "boot")
+        svc.drain()
+        svc.submit("t1", "boot")
+        svc.submit("t1", "stop", name="t1-vm1")
+        report = svc.pump()
+        assert report.applied == 2
+        assert report.completed == 2
+        assert "t1-vm1" not in dynamic_cloud.vms
+        assert "t1-vm3" in dynamic_cloud.vms
+
+
+class TestOpFlows:
+    def test_boot_response_names_placement(self, dynamic_cloud):
+        svc = service_over(dynamic_cloud)
+        svc.submit("t1", "boot", request_id="r1")
+        svc.drain()
+        outcome = svc.response_for("r1")
+        assert outcome.status == "completed"
+        vm = dynamic_cloud.vms["t1-vm1"]
+        assert vm.hypervisor_name in outcome.detail
+        assert vm.tenant == "t1"
+        assert vm.lid is not None
+
+    def test_migrate_moves_to_bound_dest(self, dynamic_cloud):
+        svc = service_over(dynamic_cloud)
+        svc.submit("t1", "boot")
+        svc.drain()
+        src = dynamic_cloud.vms["t1-vm1"].hypervisor_name
+        svc.submit("t1", "migrate", request_id="r-mig", name="t1-vm1")
+        svc.drain()
+        outcome = svc.response_for("r-mig")
+        assert outcome.status == "completed"
+        assert dynamic_cloud.vms["t1-vm1"].hypervisor_name != src
+
+    def test_evacuate_drains_hypervisor(self, dynamic_cloud):
+        svc = service_over(dynamic_cloud)
+        hyp_name = sorted(dynamic_cloud.hypervisors)[0]
+        for _ in range(3):
+            svc.submit("t1", "boot", on=hyp_name)
+        svc.drain()
+        hyp = dynamic_cloud.hypervisors[hyp_name]
+        assert len(list(hyp.running_vms())) == 3
+        svc.submit("t1", "evacuate", request_id="r-evac", hypervisor=hyp_name)
+        svc.drain()
+        outcome = svc.response_for("r-evac")
+        assert outcome.status == "completed"
+        assert "drained" in outcome.detail
+        assert not list(hyp.running_vms())
+        assert len(dynamic_cloud.vms) == 3  # still running elsewhere
+
+    def test_boot_on_full_hypervisor_fails_with_capacity(self, dynamic_cloud):
+        svc = service_over(dynamic_cloud)
+        hyp_name = sorted(dynamic_cloud.hypervisors)[0]
+        for _ in range(4):  # num_vfs=4 fills the node
+            svc.submit("t1", "boot", on=hyp_name)
+        svc.drain()
+        svc.submit("t1", "boot", request_id="r-full", on=hyp_name)
+        svc.drain()
+        outcome = svc.response_for("r-full")
+        assert outcome.status == "failed"
+        assert "capacity" in outcome.detail
+        assert outcome.retry_after_s is not None  # retryable failure
+
+
+class TestTimeouts:
+    def test_queued_deadline_expires_explicitly(self, dynamic_cloud):
+        svc = service_over(dynamic_cloud, request_timeout_s=0.25)
+        svc.submit("t1", "boot", request_id="r-late")
+        get_hub().advance(1.0)  # sim time passes while queued
+        report = svc.pump()
+        assert report.timed_out == 1
+        outcome = svc.response_for("r-late")
+        assert outcome.status == "timed_out"
+        assert "while queued" in outcome.detail
+        assert outcome.retry_after_s is not None
+        assert svc.stats.timed_out == 1
+        assert "t1-vm1" not in dynamic_cloud.vms
+
+    def test_transport_faults_exhaust_into_timed_out(self, dynamic_cloud):
+        # Transactional distribution turns silent SMP loss into a raised
+        # TransportError (read-back verification); rate 1.0 means no
+        # retry budget can save the boot.
+        dynamic_cloud.sm.enable_resilience(RetryPolicy(retries=1))
+        dynamic_cloud.sm.transport.set_fault_injector(
+            FaultInjector(FaultPlan(seed=7, smp_drop_rate=1.0))
+        )
+        svc = service_over(
+            dynamic_cloud,
+            retry_policy=RetryPolicy(retries=2),
+            request_timeout_s=100.0,
+        )
+        svc.submit("t1", "boot", request_id="r-dark")
+        svc.drain()
+        outcome = svc.response_for("r-dark")
+        assert outcome.status == "timed_out"
+        assert "transport" in outcome.detail
+        assert svc.pending_accounted() == 0
+        # the failed boot rolled back: no half-created VM
+        assert "t1-vm1" not in dynamic_cloud.vms
+
+    def test_retry_backoff_charges_sim_clock(self, dynamic_cloud):
+        dynamic_cloud.sm.enable_resilience(RetryPolicy(retries=1))
+        dynamic_cloud.sm.transport.set_fault_injector(
+            FaultInjector(FaultPlan(seed=7, smp_drop_rate=1.0))
+        )
+        svc = service_over(
+            dynamic_cloud,
+            retry_policy=RetryPolicy(retries=3),
+            request_timeout_s=1000.0,
+        )
+        svc.submit("t1", "boot")
+        started = get_hub().now()
+        svc.drain()
+        waited = get_hub().now() - started
+        assert waited >= sum(RetryPolicy(retries=3).waits())
